@@ -1,0 +1,169 @@
+//! The architecture descriptions shipped with the tool (paper §4.2).
+//!
+//! One YAML document per supported FPGA family, listing the primitive-interface
+//! implementations the architecture provides, their port/parameter structure, and
+//! which of those become holes during sketch generation. These files are the only
+//! per-architecture input a user has to provide; their size (SLoC) is what the
+//! extensibility experiment (§5.2) measures.
+
+/// Xilinx UltraScale+ architecture description.
+pub const XILINX_ULTRASCALE_PLUS: &str = r#"
+# Architecture description: Xilinx UltraScale+
+name: xilinx-ultrascale-plus
+vendor: xilinx
+lut_size: 6
+implementations:
+  - interface: { name: DSP, out-width: 48, a-width: 30, b-width: 18, c-width: 48, d-width: 27 }
+    holes: [INMODE, OPMODE, ALUMODE, CARRYIN, AREG, BREG, CREG, DREG, ADREG, MREG, PREG, AMULTSEL]
+    implementation:
+      module: DSP48E2
+      ports:
+        - { name: A, bitwidth: 30, value: A }
+        - { name: B, bitwidth: 18, value: B }
+        - { name: C, bitwidth: 48, value: C }
+        - { name: D, bitwidth: 27, value: D }
+        - { name: CARRYIN, bitwidth: 1, value: "?CARRYIN" }
+        - { name: INMODE, bitwidth: 5, value: "?INMODE" }
+        - { name: OPMODE, bitwidth: 9, value: "?OPMODE" }
+        - { name: ALUMODE, bitwidth: 4, value: "?ALUMODE" }
+      parameters:
+        - { name: AREG, value: "?AREG" }
+        - { name: BREG, value: "?BREG" }
+        - { name: CREG, value: "?CREG" }
+        - { name: DREG, value: "?DREG" }
+        - { name: ADREG, value: "?ADREG" }
+        - { name: MREG, value: "?MREG" }
+        - { name: PREG, value: "?PREG" }
+        - { name: AMULTSEL, value: "?AMULTSEL" }
+      outputs: { O: P }
+  - interface: { name: LUT, num_inputs: 6 }
+    internal_data: { INIT: 64 }
+    implementation:
+      module: LUT6
+      ports:
+        - { name: I0, bitwidth: 1, value: I0 }
+        - { name: I1, bitwidth: 1, value: I1 }
+        - { name: I2, bitwidth: 1, value: I2 }
+        - { name: I3, bitwidth: 1, value: I3 }
+        - { name: I4, bitwidth: 1, value: I4 }
+        - { name: I5, bitwidth: 1, value: I5 }
+      parameters: [{ name: INIT, value: INIT }]
+      outputs: { O: O }
+  - interface: { name: CARRY, width: 8 }
+    implementation:
+      module: CARRY8
+      ports:
+        - { name: S, bitwidth: 8, value: S }
+        - { name: DI, bitwidth: 8, value: DI }
+        - { name: CI, bitwidth: 1, value: CI }
+      outputs: { O: O }
+"#;
+
+/// Lattice ECP5 architecture description.
+pub const LATTICE_ECP5: &str = r#"
+# Architecture description: Lattice ECP5
+name: lattice-ecp5
+vendor: lattice
+lut_size: 4
+implementations:
+  - interface: { name: DSP, out-width: 54, a-width: 18, b-width: 18, c-width: 54 }
+    holes: [REG_INPUT, REG_C, REG_PIPE, REG_OUTPUT, ALU_OP]
+    implementation:
+      # The ECP5 exposes its DSP as a MULT18X18C feeding an ALU54A; Lakeroad maps to
+      # the pair as a single DSP, as the paper does.
+      module: MULT18X18C_ALU54A
+      ports:
+        - { name: A, bitwidth: 18, value: A }
+        - { name: B, bitwidth: 18, value: B }
+        - { name: C, bitwidth: 54, value: C }
+      parameters:
+        - { name: REG_INPUT, value: "?REG_INPUT" }
+        - { name: REG_C, value: "?REG_C" }
+        - { name: REG_PIPE, value: "?REG_PIPE" }
+        - { name: REG_OUTPUT, value: "?REG_OUTPUT" }
+        - { name: ALU_OP, value: "?ALU_OP" }
+      outputs: { O: R }
+  - interface: { name: LUT, num_inputs: 4 }
+    internal_data: { INIT: 16 }
+    implementation:
+      module: LUT4
+      ports:
+        - { name: A, bitwidth: 1, value: I0 }
+        - { name: B, bitwidth: 1, value: I1 }
+        - { name: C, bitwidth: 1, value: I2 }
+        - { name: D, bitwidth: 1, value: I3 }
+      parameters: [{ name: INIT, value: INIT }]
+      outputs: { O: Z }
+  - interface: { name: LUT, num_inputs: 2 }
+    internal_data: { INIT: 4 }
+    implementation:
+      module: LUT2
+      ports:
+        - { name: A, bitwidth: 1, value: I0 }
+        - { name: B, bitwidth: 1, value: I1 }
+      parameters: [{ name: INIT, value: INIT }]
+      outputs: { O: Z }
+  - interface: { name: CARRY, width: 2 }
+    implementation:
+      module: CCU2C
+      ports:
+        - { name: A0, bitwidth: 1, value: A0 }
+        - { name: B0, bitwidth: 1, value: B0 }
+        - { name: A1, bitwidth: 1, value: A1 }
+        - { name: B1, bitwidth: 1, value: B1 }
+        - { name: CIN, bitwidth: 1, value: CIN }
+      parameters:
+        - { name: INIT0, value: INIT0 }
+        - { name: INIT1, value: INIT1 }
+      outputs: { O: S }
+"#;
+
+/// Intel Cyclone 10 LP architecture description.
+pub const INTEL_CYCLONE10LP: &str = r#"
+# Architecture description: Intel Cyclone 10 LP
+name: intel-cyclone10lp
+vendor: intel
+lut_size: 4
+implementations:
+  - interface: { name: DSP, out-width: 36, a-width: 18, b-width: 18 }
+    holes: [REGISTER_A, REGISTER_B, REGISTER_OUT]
+    implementation:
+      module: cyclone10lp_mac_mult
+      ports:
+        - { name: dataa, bitwidth: 18, value: A }
+        - { name: datab, bitwidth: 18, value: B }
+      parameters:
+        - { name: REGISTER_A, value: "?REGISTER_A" }
+        - { name: REGISTER_B, value: "?REGISTER_B" }
+        - { name: REGISTER_OUT, value: "?REGISTER_OUT" }
+      outputs: { O: dataout }
+  - interface: { name: LUT, num_inputs: 4 }
+    internal_data: { INIT: 16 }
+    implementation:
+      module: LUT4
+      ports:
+        - { name: A, bitwidth: 1, value: I0 }
+        - { name: B, bitwidth: 1, value: I1 }
+        - { name: C, bitwidth: 1, value: I2 }
+        - { name: D, bitwidth: 1, value: I3 }
+      parameters: [{ name: INIT, value: INIT }]
+      outputs: { O: Z }
+"#;
+
+/// SOFA architecture description (Figure 5 of the paper).
+pub const SOFA: &str = r#"
+# Architecture description: SOFA (no DSP; a single fracturable LUT4)
+name: sofa
+vendor: openfpga
+lut_size: 4
+implementations:
+  - interface: { name: LUT, num_inputs: 4 }
+    internal_data: { sram: 16 }
+    implementation:
+      module: frac_lut4
+      ports:
+        - { name: in, bitwidth: 4, value: "(concat I3 I2 I1 I0)" }
+        - { name: mode, bitwidth: 1, value: "(bv 0 1)" }
+      parameters: [{ name: sram, value: sram }]
+      outputs: { O: lut4_out }
+"#;

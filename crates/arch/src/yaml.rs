@@ -1,0 +1,401 @@
+//! A minimal YAML-subset parser for architecture descriptions.
+//!
+//! Lakeroad's architecture descriptions are short YAML files (paper §4.2, Fig. 5).
+//! Rather than pull in a serialization dependency, this module parses the subset
+//! those files actually need: nested mappings by indentation, block sequences
+//! (`- item`), inline flow mappings (`{ a: b, c: d }`) and sequences (`[x, y]`),
+//! and plain scalars (strings, integers, booleans).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Yaml {
+    /// A scalar (string form; use the accessors to interpret).
+    Scalar(String),
+    /// A sequence of values.
+    List(Vec<Yaml>),
+    /// A mapping from string keys to values (insertion order not preserved).
+    Map(BTreeMap<String, Yaml>),
+}
+
+impl Yaml {
+    /// The value as a string scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_str().and_then(|s| s.parse().ok())
+    }
+
+    /// The value as a boolean (`true`/`false`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.as_str()? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The value as a list.
+    pub fn as_list(&self) -> Option<&[Yaml]> {
+        match self {
+            Yaml::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The value as a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Yaml>> {
+        match self {
+            Yaml::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        self.as_map()?.get(key)
+    }
+}
+
+/// A YAML parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YAML error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+struct Line {
+    number: usize,
+    indent: usize,
+    text: String,
+}
+
+/// Parses a YAML document (the supported subset).
+///
+/// # Errors
+/// Returns a [`YamlError`] pointing at the offending line.
+pub fn parse_yaml(src: &str) -> Result<Yaml, YamlError> {
+    let lines: Vec<Line> = src
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| {
+            let without_comment = strip_comment(raw);
+            let indent = without_comment.len() - without_comment.trim_start().len();
+            Line { number: i + 1, indent, text: without_comment.trim().to_string() }
+        })
+        .filter(|l| !l.text.is_empty())
+        .collect();
+    let mut pos = 0;
+    let value = parse_block(&lines, &mut pos, 0)?;
+    Ok(value)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A comment starts at a '#' that is not inside a quoted string.
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' | '\'' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
+    if *pos >= lines.len() {
+        return Ok(Yaml::Map(BTreeMap::new()));
+    }
+    if lines[*pos].text.starts_with("- ") || lines[*pos].text == "-" {
+        parse_sequence(lines, pos, indent)
+    } else {
+        parse_mapping(lines, pos, indent)
+    }
+}
+
+fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
+    let mut items = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent >= indent {
+        let line = &lines[*pos];
+        if line.indent != indent || !(line.text.starts_with("- ") || line.text == "-") {
+            break;
+        }
+        let rest = line.text.trim_start_matches('-').trim().to_string();
+        let number = line.number;
+        *pos += 1;
+        if rest.is_empty() {
+            // The item is a nested block.
+            items.push(parse_block(lines, pos, next_indent(lines, *pos, indent)?)?);
+        } else if rest.contains(':') && !is_flow(&rest) {
+            // The item is a mapping whose first key is inline with the dash.
+            let mut map = BTreeMap::new();
+            insert_key_value(&mut map, &rest, lines, pos, number, indent + 2)?;
+            while *pos < lines.len() && lines[*pos].indent > indent {
+                let l = &lines[*pos];
+                let text = l.text.clone();
+                let num = l.number;
+                let ind = l.indent;
+                *pos += 1;
+                insert_key_value(&mut map, &text, lines, pos, num, ind)?;
+            }
+            items.push(Yaml::Map(map));
+        } else {
+            items.push(parse_scalar_or_flow(&rest, number)?);
+        }
+    }
+    Ok(Yaml::List(items))
+}
+
+fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
+    let mut map = BTreeMap::new();
+    while *pos < lines.len() && lines[*pos].indent >= indent {
+        let line = &lines[*pos];
+        if line.indent != indent || line.text.starts_with("- ") {
+            break;
+        }
+        let text = line.text.clone();
+        let number = line.number;
+        *pos += 1;
+        insert_key_value(&mut map, &text, lines, pos, number, indent)?;
+    }
+    Ok(Yaml::Map(map))
+}
+
+fn insert_key_value(
+    map: &mut BTreeMap<String, Yaml>,
+    text: &str,
+    lines: &[Line],
+    pos: &mut usize,
+    number: usize,
+    indent: usize,
+) -> Result<(), YamlError> {
+    let Some(colon) = find_key_colon(text) else {
+        return Err(YamlError { line: number, message: format!("expected `key: value`, got `{text}`") });
+    };
+    let key = unquote(text[..colon].trim());
+    let rest = text[colon + 1..].trim();
+    let value = if rest.is_empty() {
+        // Nested block (mapping or sequence) at greater indentation.
+        if *pos < lines.len() && lines[*pos].indent > indent {
+            let child_indent = lines[*pos].indent;
+            parse_block(lines, pos, child_indent)?
+        } else {
+            Yaml::Scalar(String::new())
+        }
+    } else {
+        parse_scalar_or_flow(rest, number)?
+    };
+    map.insert(key, value);
+    Ok(())
+}
+
+fn next_indent(lines: &[Line], pos: usize, fallback: usize) -> Result<usize, YamlError> {
+    Ok(lines.get(pos).map(|l| l.indent).unwrap_or(fallback))
+}
+
+fn is_flow(text: &str) -> bool {
+    text.starts_with('{') || text.starts_with('[')
+}
+
+fn find_key_colon(text: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, c) in text.char_indices() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            ':' if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_scalar_or_flow(text: &str, line: usize) -> Result<Yaml, YamlError> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('{') {
+        let inner = inner.strip_suffix('}').ok_or(YamlError {
+            line,
+            message: "unterminated flow mapping".to_string(),
+        })?;
+        let mut map = BTreeMap::new();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let colon = find_key_colon(part).ok_or(YamlError {
+                line,
+                message: format!("expected `key: value` in flow mapping, got `{part}`"),
+            })?;
+            let key = unquote(part[..colon].trim());
+            let value = parse_scalar_or_flow(part[colon + 1..].trim(), line)?;
+            map.insert(key, value);
+        }
+        return Ok(Yaml::Map(map));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or(YamlError {
+            line,
+            message: "unterminated flow sequence".to_string(),
+        })?;
+        let items: Result<Vec<Yaml>, YamlError> = split_flow(inner)
+            .into_iter()
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| parse_scalar_or_flow(p.trim(), line))
+            .collect();
+        return Ok(Yaml::List(items?));
+    }
+    Ok(Yaml::Scalar(unquote(text)))
+}
+
+fn split_flow(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '{' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+        || (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+    {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nested_maps() {
+        let doc = "name: xilinx\nfamily:\n  vendor: amd\n  lut_size: 6\n  has_dsp: true\n";
+        let y = parse_yaml(doc).unwrap();
+        assert_eq!(y.get("name").unwrap().as_str(), Some("xilinx"));
+        let family = y.get("family").unwrap();
+        assert_eq!(family.get("lut_size").unwrap().as_int(), Some(6));
+        assert_eq!(family.get("has_dsp").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parses_sequences_of_maps() {
+        let doc = r#"
+implementations:
+  - interface: { name: DSP, out-width: 48 }
+    module: DSP48E2
+    holes: [ACASCREG, ADREG, ALUMODEREG]
+  - interface: { name: LUT, num_inputs: 6 }
+    module: LUT6
+"#;
+        let y = parse_yaml(doc).unwrap();
+        let impls = y.get("implementations").unwrap().as_list().unwrap();
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].get("module").unwrap().as_str(), Some("DSP48E2"));
+        let iface = impls[0].get("interface").unwrap();
+        assert_eq!(iface.get("name").unwrap().as_str(), Some("DSP"));
+        assert_eq!(iface.get("out-width").unwrap().as_int(), Some(48));
+        let holes = impls[0].get("holes").unwrap().as_list().unwrap();
+        assert_eq!(holes.len(), 3);
+        assert_eq!(holes[1].as_str(), Some("ADREG"));
+    }
+
+    #[test]
+    fn parses_the_papers_sofa_example() {
+        // Figure 5 of the paper, lightly reformatted to the supported subset.
+        let doc = r#"
+implementations:
+  - interface: { name: LUT, num_inputs: 4 }
+    internal_data: { sram: 16 }
+    modules:
+      - module_name: frac_lut4
+        filepath: SOFA/frac_lut4.v
+        ports:
+          - { name: in, direction: in, width: 4, value: "(concat I3 I2 I1 I0)" }
+          - { name: mode, direction: in, width: 1, value: "(bv 0 1)" }
+          - { name: lut4_out, direction: out, width: 1 }
+        parameters: [{ name: sram, value: sram }]
+        outputs: { O: lut4_out }
+"#;
+        let y = parse_yaml(doc).unwrap();
+        let impls = y.get("implementations").unwrap().as_list().unwrap();
+        let modules = impls[0].get("modules").unwrap().as_list().unwrap();
+        assert_eq!(modules[0].get("module_name").unwrap().as_str(), Some("frac_lut4"));
+        let ports = modules[0].get("ports").unwrap().as_list().unwrap();
+        assert_eq!(ports.len(), 3);
+        assert_eq!(ports[0].get("width").unwrap().as_int(), Some(4));
+        assert_eq!(
+            impls[0].get("internal_data").unwrap().get("sram").unwrap().as_int(),
+            Some(16)
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let doc = "# header\nname: ecp5   # trailing comment\n\nlut_size: 4\n";
+        let y = parse_yaml(doc).unwrap();
+        assert_eq!(y.get("name").unwrap().as_str(), Some("ecp5"));
+        assert_eq!(y.get("lut_size").unwrap().as_int(), Some(4));
+    }
+
+    #[test]
+    fn quoted_strings_keep_special_characters() {
+        let doc = "expr: \"(concat I3 I2: I1 I0)\"\n";
+        let y = parse_yaml(doc).unwrap();
+        assert_eq!(y.get("expr").unwrap().as_str(), Some("(concat I3 I2: I1 I0)"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "ok: 1\nnot a key value\n";
+        let err = parse_yaml(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn flow_errors_are_reported() {
+        assert!(parse_yaml("x: { unterminated: 1\n").is_err());
+        assert!(parse_yaml("x: [1, 2\n").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! # lr-baselines: syntactic baseline technology mappers
+//!
+//! The paper compares Lakeroad against (a) proprietary state-of-the-art toolchains
+//! and (b) Yosys, both of which infer DSPs with *hand-written syntactic pattern
+//! rules* and fall back to generic LUT/register mapping when no rule matches. This
+//! crate reproduces that mechanism:
+//!
+//! * [`recognize`] structurally analyses a behavioral ℒlr design and extracts the
+//!   features a pattern rule would key on (pre-adder, post-operation, pipeline
+//!   stages, width);
+//! * [`BaselineTool`] holds a rule set per architecture — `SotaLike` has a richer
+//!   rule list, `YosysLike` a narrow one, mirroring the relative completeness the
+//!   paper measures;
+//! * [`estimate`] maps the design with the given rule set and reports the resources
+//!   used: one DSP when a rule matches the whole design, otherwise a DSP for the
+//!   multiply (when available) plus LUTs/registers for whatever the rules could not
+//!   absorb (this is exactly the 1 DSP + 32 registers + 16 LUTs failure mode of the
+//!   paper's §2.1 walkthrough).
+//!
+//! These baselines are *models* of the commercial flows' mapping behaviour, not
+//! re-implementations of the tools themselves; DESIGN.md discusses why this
+//! substitution preserves the shape of the paper's Figure 6 and resource-reduction
+//! results.
+
+pub mod lutmap;
+
+use lr_arch::ArchName;
+use lr_ir::{BvOp, Node, NodeId, Prog};
+
+/// The post-multiply operation of a recognized design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PostKind {
+    /// No post operation.
+    None,
+    /// `+` or `-` after the multiply.
+    AddSub,
+    /// `&`, `|`, or `^` after the multiply.
+    Logic,
+}
+
+/// The structural features of a behavioral design that syntactic DSP-inference rules
+/// pattern-match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecognizedPattern {
+    /// Whether the design contains exactly one multiplication.
+    pub single_multiply: bool,
+    /// Whether an addition/subtraction feeds the multiplier (a pre-adder).
+    pub pre_adder: bool,
+    /// The operation applied to the multiplier result, if any.
+    pub post: PostKind,
+    /// Number of pipeline register stages after the datapath.
+    pub stages: u32,
+    /// Result width.
+    pub width: u32,
+    /// Number of distinct inputs.
+    pub inputs: usize,
+}
+
+/// Structurally analyses a behavioral design. Returns `None` if the design does not
+/// contain a multiplication at all (such designs are never DSP candidates).
+pub fn recognize(prog: &Prog) -> Option<RecognizedPattern> {
+    // Strip pipeline registers from the root.
+    let mut node = prog.root();
+    let mut stages = 0u32;
+    loop {
+        match prog.node(node)? {
+            Node::Reg { data, .. } => {
+                stages += 1;
+                node = *data;
+            }
+            _ => break,
+        }
+    }
+    let mut mul_count = 0usize;
+    let mut pre_adder = false;
+    count_muls(prog, node, &mut mul_count, &mut pre_adder);
+    if mul_count == 0 {
+        return None;
+    }
+    let post = match prog.node(node)? {
+        Node::Op(BvOp::Mul, _) => PostKind::None,
+        Node::Op(BvOp::Add | BvOp::Sub, args) => {
+            if args.iter().any(|&a| subtree_has_mul(prog, a)) {
+                PostKind::AddSub
+            } else {
+                PostKind::None
+            }
+        }
+        Node::Op(BvOp::And | BvOp::Or | BvOp::Xor, args) => {
+            if args.iter().any(|&a| subtree_has_mul(prog, a)) {
+                PostKind::Logic
+            } else {
+                PostKind::None
+            }
+        }
+        _ => PostKind::None,
+    };
+    Some(RecognizedPattern {
+        single_multiply: mul_count == 1,
+        pre_adder,
+        post,
+        stages,
+        width: prog.width(prog.root()),
+        inputs: prog.free_vars().len(),
+    })
+}
+
+fn count_muls(prog: &Prog, node: NodeId, muls: &mut usize, pre_adder: &mut bool) {
+    if let Some(Node::Op(op, args)) = prog.node(node) {
+        if *op == BvOp::Mul {
+            *muls += 1;
+            for &a in args {
+                if matches!(prog.node(a), Some(Node::Op(BvOp::Add | BvOp::Sub, _))) {
+                    *pre_adder = true;
+                }
+            }
+        }
+        for &a in args {
+            count_muls(prog, a, muls, pre_adder);
+        }
+    } else if let Some(Node::Reg { data, .. }) = prog.node(node) {
+        count_muls(prog, *data, muls, pre_adder);
+    }
+}
+
+fn subtree_has_mul(prog: &Prog, node: NodeId) -> bool {
+    match prog.node(node) {
+        Some(Node::Op(BvOp::Mul, _)) => true,
+        Some(Node::Op(_, args)) => args.iter().any(|&a| subtree_has_mul(prog, a)),
+        Some(Node::Reg { data, .. }) => subtree_has_mul(prog, *data),
+        _ => false,
+    }
+}
+
+/// Which baseline mapper to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineTool {
+    /// The proprietary state-of-the-art flow for the architecture: a reasonably rich
+    /// set of DSP-inference rules, still far from covering the DSP's full
+    /// configuration space.
+    SotaLike,
+    /// The open-source Yosys flow: a much narrower rule set (and none at all for the
+    /// Intel embedded multiplier, matching §5.1).
+    YosysLike,
+}
+
+impl std::fmt::Display for BaselineTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineTool::SotaLike => write!(f, "SOTA (modelled)"),
+            BaselineTool::YosysLike => write!(f, "Yosys (modelled)"),
+        }
+    }
+}
+
+/// Resource usage reported by a baseline mapping (compatible with
+/// `lakeroad::Resources`, kept separate to avoid a dependency cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineResources {
+    /// DSP blocks used.
+    pub dsps: usize,
+    /// Logic elements used.
+    pub logic_elements: usize,
+    /// Register bits used.
+    pub registers: usize,
+}
+
+impl BaselineResources {
+    /// Whether the mapping used exactly one DSP and nothing else.
+    pub fn is_single_dsp(&self) -> bool {
+        self.dsps == 1 && self.logic_elements == 0 && self.registers == 0
+    }
+}
+
+/// Whether the tool's pattern rules absorb the *entire* design into a single DSP.
+pub fn rule_matches(tool: BaselineTool, arch: ArchName, p: &RecognizedPattern) -> bool {
+    if !p.single_multiply || p.width > 18 {
+        return false;
+    }
+    match (tool, arch) {
+        (BaselineTool::SotaLike, ArchName::XilinxUltraScalePlus) => {
+            // Vivado-style inference: multiply, multiply-accumulate, and pre-add
+            // multiply are inferred for shallow pipelines; the logic-unit modes and
+            // deep pipelines are the documented gaps (§1, §2.1).
+            match (p.pre_adder, p.post) {
+                (false, PostKind::None) => p.stages <= 2,
+                (false, PostKind::AddSub) => p.stages <= 2,
+                (true, PostKind::None) => p.stages <= 1,
+                (true, PostKind::AddSub) => p.stages <= 1,
+                (_, PostKind::Logic) => false,
+            }
+        }
+        (BaselineTool::SotaLike, ArchName::LatticeEcp5) => match p.post {
+            PostKind::None => p.stages <= 1,
+            PostKind::AddSub => !p.pre_adder && p.stages <= 1,
+            PostKind::Logic => false,
+        },
+        (BaselineTool::SotaLike, ArchName::IntelCyclone10Lp) => {
+            p.post == PostKind::None && !p.pre_adder && p.stages <= 1 && p.inputs == 2
+        }
+        (BaselineTool::YosysLike, ArchName::XilinxUltraScalePlus) => {
+            // Yosys's dsp48 pass: plain multiplies with at most one register stage.
+            p.post == PostKind::None && !p.pre_adder && p.stages <= 1
+        }
+        (BaselineTool::YosysLike, ArchName::LatticeEcp5) => {
+            p.post == PostKind::None && !p.pre_adder && p.stages <= 1
+        }
+        // Yosys has no mapping for the Cyclone 10 LP embedded multiplier (§5.1:
+        // "Yosys fails to map a single design on Intel").
+        (BaselineTool::YosysLike, ArchName::IntelCyclone10Lp) => false,
+        (_, ArchName::Sofa) => false,
+    }
+}
+
+/// Maps a behavioral design with the modelled baseline and reports resources.
+///
+/// When the whole design matches an inference rule the result is one DSP. Otherwise
+/// the tool still uses a DSP for the multiplication (if the architecture has one and
+/// the rule set covers plain multiplies) and implements the remainder — pre-adders,
+/// post-operations, and pipeline registers the DSP was not configured to absorb —
+/// in soft logic, whose cost is estimated by [`lutmap`].
+pub fn estimate(tool: BaselineTool, arch: ArchName, prog: &Prog) -> BaselineResources {
+    let lut_size = match arch {
+        ArchName::XilinxUltraScalePlus => 6,
+        _ => 4,
+    };
+    let Some(pattern) = recognize(prog) else {
+        // No multiply at all: pure soft-logic mapping.
+        let est = lutmap::estimate_soft_logic(prog, lut_size, false);
+        return BaselineResources {
+            dsps: 0,
+            logic_elements: est.logic_elements,
+            registers: est.registers,
+        };
+    };
+    if rule_matches(tool, arch, &pattern) {
+        return BaselineResources { dsps: 1, logic_elements: 0, registers: 0 };
+    }
+    // Partial mapping: the multiply itself can still go to a DSP when a plain-mul
+    // rule exists for this tool/architecture.
+    let mul_only = RecognizedPattern {
+        single_multiply: true,
+        pre_adder: false,
+        post: PostKind::None,
+        stages: 0,
+        width: pattern.width,
+        inputs: 2,
+    };
+    let dsp_for_mul = rule_matches(tool, arch, &mul_only);
+    let est = lutmap::estimate_soft_logic(prog, lut_size, dsp_for_mul);
+    BaselineResources {
+        dsps: if dsp_for_mul { 1 } else { 0 },
+        logic_elements: est.logic_elements,
+        registers: est.registers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_ir::ProgBuilder;
+
+    fn design(pre: bool, post: Option<BvOp>, stages: u32, width: u32) -> Prog {
+        let mut b = ProgBuilder::new("d");
+        let a = b.input("a", width);
+        let x = b.input("b", width);
+        let lhs = if pre {
+            let c = b.input("c", width);
+            let s = b.op2(BvOp::Add, a, x);
+            b.op2(BvOp::Mul, s, c)
+        } else {
+            b.op2(BvOp::Mul, a, x)
+        };
+        let mut out = match post {
+            None => lhs,
+            Some(op) => {
+                let d = b.input("d", width);
+                b.op2(op, lhs, d)
+            }
+        };
+        for _ in 0..stages {
+            out = b.reg(out, width);
+        }
+        b.finish(out)
+    }
+
+    #[test]
+    fn recognizer_extracts_features() {
+        let p = recognize(&design(true, Some(BvOp::And), 2, 8)).unwrap();
+        assert!(p.single_multiply);
+        assert!(p.pre_adder);
+        assert_eq!(p.post, PostKind::Logic);
+        assert_eq!(p.stages, 2);
+        assert_eq!(p.width, 8);
+
+        let p = recognize(&design(false, None, 0, 16)).unwrap();
+        assert!(!p.pre_adder);
+        assert_eq!(p.post, PostKind::None);
+        assert_eq!(p.stages, 0);
+
+        // No multiply -> not a DSP candidate.
+        let mut b = ProgBuilder::new("add");
+        let a = b.input("a", 8);
+        let x = b.input("b", 8);
+        let s = b.op2(BvOp::Add, a, x);
+        let prog = b.finish(s);
+        assert!(recognize(&prog).is_none());
+    }
+
+    #[test]
+    fn sota_maps_more_than_yosys() {
+        // A multiply-accumulate maps on the SOTA model but not on the Yosys model.
+        let mac = design(false, Some(BvOp::Add), 1, 8);
+        let p = recognize(&mac).unwrap();
+        assert!(rule_matches(BaselineTool::SotaLike, ArchName::XilinxUltraScalePlus, &p));
+        assert!(!rule_matches(BaselineTool::YosysLike, ArchName::XilinxUltraScalePlus, &p));
+        // Neither maps the logic-post-op design that Lakeroad handles (Figure 1).
+        let ama = design(true, Some(BvOp::And), 1, 8);
+        let p = recognize(&ama).unwrap();
+        assert!(!rule_matches(BaselineTool::SotaLike, ArchName::XilinxUltraScalePlus, &p));
+        assert!(!rule_matches(BaselineTool::YosysLike, ArchName::XilinxUltraScalePlus, &p));
+    }
+
+    #[test]
+    fn yosys_never_maps_intel() {
+        let mul = design(false, None, 0, 8);
+        let p = recognize(&mul).unwrap();
+        assert!(rule_matches(BaselineTool::SotaLike, ArchName::IntelCyclone10Lp, &p));
+        assert!(!rule_matches(BaselineTool::YosysLike, ArchName::IntelCyclone10Lp, &p));
+    }
+
+    #[test]
+    fn estimates_mirror_the_papers_walkthrough() {
+        // add_mul_and (16 bits, 2 stages): the SOTA model uses one DSP plus soft
+        // logic and registers, as in §2.1; Lakeroad's single-DSP result beats it.
+        let ama = design(true, Some(BvOp::And), 2, 16);
+        let sota = estimate(BaselineTool::SotaLike, ArchName::XilinxUltraScalePlus, &ama);
+        assert_eq!(sota.dsps, 1);
+        assert!(sota.logic_elements > 0);
+        assert!(sota.registers > 0);
+        assert!(!sota.is_single_dsp());
+
+        // A plain registered multiply maps cleanly on both models.
+        let mul = design(false, None, 1, 16);
+        let sota = estimate(BaselineTool::SotaLike, ArchName::XilinxUltraScalePlus, &mul);
+        assert!(sota.is_single_dsp());
+        let yosys = estimate(BaselineTool::YosysLike, ArchName::XilinxUltraScalePlus, &mul);
+        assert!(yosys.is_single_dsp());
+    }
+
+    #[test]
+    fn yosys_uses_more_soft_logic_than_sota_on_average() {
+        let designs = [
+            design(true, Some(BvOp::And), 1, 8),
+            design(false, Some(BvOp::Add), 1, 8),
+            design(true, None, 2, 12),
+            design(false, None, 3, 16),
+        ];
+        let total = |tool: BaselineTool| -> usize {
+            designs
+                .iter()
+                .map(|d| {
+                    let r = estimate(tool, ArchName::XilinxUltraScalePlus, d);
+                    r.logic_elements + r.registers
+                })
+                .sum()
+        };
+        assert!(total(BaselineTool::YosysLike) >= total(BaselineTool::SotaLike));
+    }
+}

@@ -1,0 +1,126 @@
+//! Soft-logic cost estimation (the LUT/register fallback of the baseline mappers).
+//!
+//! When a baseline's pattern rules cannot absorb the whole design into a DSP, the
+//! remaining word-level operators are implemented in the FPGA fabric. This module
+//! estimates that cost the way a generic technology mapper would: each word-level
+//! operator is decomposed into per-bit logic functions and packed into k-input LUTs,
+//! and every pipeline register costs one flip-flop per bit.
+//!
+//! The estimator intentionally mirrors the numbers the paper quotes for the failing
+//! cases — e.g. a 16-bit `(a+b)*c&d` with two pipeline stages on the SOTA flow costs
+//! one DSP plus tens of LUTs and tens of registers.
+
+use lr_ir::{BvOp, Node, Prog};
+
+/// Estimated soft-logic cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftLogicEstimate {
+    /// Logic elements (k-input LUTs, muxes, carry slices).
+    pub logic_elements: usize,
+    /// Register bits.
+    pub registers: usize,
+}
+
+/// Estimates the soft-logic cost of a behavioral design.
+///
+/// `lut_size` is the architecture's LUT input count. When `mul_on_dsp` is true, the
+/// (single) multiplication is assumed to be implemented by a DSP block and costs no
+/// LUTs; otherwise it is implemented as an array multiplier in soft logic.
+pub fn estimate_soft_logic(prog: &Prog, lut_size: u32, mul_on_dsp: bool) -> SoftLogicEstimate {
+    let mut estimate = SoftLogicEstimate::default();
+    let per_lut_inputs = lut_size.max(2) as usize;
+    for (id, node) in prog.nodes() {
+        let width = prog.width(id) as usize;
+        match node {
+            Node::Reg { init, .. } => estimate.registers += init.width() as usize,
+            Node::Op(op, _) => match op {
+                BvOp::And | BvOp::Or | BvOp::Xor | BvOp::Not | BvOp::Neg => {
+                    // One 2-input function per bit; LUTs can absorb several.
+                    estimate.logic_elements += width.div_ceil(per_lut_inputs / 2).max(1);
+                }
+                BvOp::Add | BvOp::Sub => {
+                    // Carry-chain style: roughly one LE per bit.
+                    estimate.logic_elements += width;
+                }
+                BvOp::Mul => {
+                    if !mul_on_dsp {
+                        // Array multiplier: ~w^2 / 2 LEs.
+                        estimate.logic_elements += (width * width) / 2;
+                    }
+                }
+                BvOp::Ite => estimate.logic_elements += width,
+                BvOp::Eq | BvOp::Ult | BvOp::Ule | BvOp::Slt | BvOp::Sle => {
+                    estimate.logic_elements += width.div_ceil(per_lut_inputs / 2).max(1);
+                }
+                BvOp::Shl | BvOp::Lshr | BvOp::Ashr | BvOp::Udiv | BvOp::Urem => {
+                    estimate.logic_elements += width * 2;
+                }
+                // Pure wiring costs nothing.
+                BvOp::Concat
+                | BvOp::Extract { .. }
+                | BvOp::ZeroExt { .. }
+                | BvOp::SignExt { .. }
+                | BvOp::RedAnd
+                | BvOp::RedOr
+                | BvOp::RedXor => {}
+            },
+            _ => {}
+        }
+    }
+    estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_ir::ProgBuilder;
+
+    #[test]
+    fn registered_logic_costs_registers_and_lut() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 16);
+        let x = b.input("b", 16);
+        let and = b.op2(BvOp::And, a, x);
+        let r = b.reg(and, 16);
+        let prog = b.finish(r);
+        let est = estimate_soft_logic(&prog, 6, false);
+        assert_eq!(est.registers, 16);
+        assert!(est.logic_elements >= 4);
+    }
+
+    #[test]
+    fn soft_multiplier_is_much_bigger_than_dsp_multiplier() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 16);
+        let x = b.input("b", 16);
+        let m = b.op2(BvOp::Mul, a, x);
+        let prog = b.finish(m);
+        let soft = estimate_soft_logic(&prog, 6, false);
+        let hard = estimate_soft_logic(&prog, 6, true);
+        assert!(soft.logic_elements > 50);
+        assert_eq!(hard.logic_elements, 0);
+    }
+
+    #[test]
+    fn wiring_is_free() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 16);
+        let hi = b.extract(a, 15, 8);
+        let lo = b.extract(a, 7, 0);
+        let swapped = b.op2(BvOp::Concat, lo, hi);
+        let prog = b.finish(swapped);
+        let est = estimate_soft_logic(&prog, 4, false);
+        assert_eq!(est.logic_elements, 0);
+        assert_eq!(est.registers, 0);
+    }
+
+    #[test]
+    fn adders_cost_one_le_per_bit() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 12);
+        let x = b.input("b", 12);
+        let s = b.op2(BvOp::Add, a, x);
+        let prog = b.finish(s);
+        assert_eq!(estimate_soft_logic(&prog, 4, false).logic_elements, 12);
+    }
+}

@@ -1,0 +1,77 @@
+//! B5: ablation benchmarks for the design choices called out in DESIGN.md §6:
+//! constructor-time rewriting (on/off) and CEGIS vs. brute-force enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lr_bv::BitVec;
+use lr_ir::{BvOp, HoleDomain, ProgBuilder};
+use lr_smt::{BvSolver, SatResult, TermPool};
+use lr_synth::enumerate::synthesize_by_enumeration;
+use lr_synth::{synthesize, SynthesisConfig, SynthesisTask};
+
+/// The verification query of a correct DSP-style candidate: with rewriting the query
+/// collapses before the SAT solver runs; without it the solver must prove a widened
+/// multiply equal to a narrow one.
+fn verify_query(simplify: bool) -> SatResult {
+    let mut pool = if simplify { TermPool::new() } else { TermPool::without_simplification() };
+    let a = pool.var("a", 8);
+    let b = pool.var("b", 8);
+    // Narrow spec: (a * b) at 8 bits.
+    let spec = pool.mk_op(BvOp::Mul, vec![a, b]);
+    // Widened candidate: extract[7:0](zext(a, 36) * zext(b, 36)).
+    let aw = pool.mk_op(BvOp::ZeroExt { width: 36 }, vec![a]);
+    let bw = pool.mk_op(BvOp::ZeroExt { width: 36 }, vec![b]);
+    let prod = pool.mk_op(BvOp::Mul, vec![aw, bw]);
+    let cand = pool.mk_op(BvOp::Extract { hi: 7, lo: 0 }, vec![prod]);
+    let eq = pool.mk_op(BvOp::Eq, vec![spec, cand]);
+    let ne = pool.mk_op(BvOp::Not, vec![eq]);
+    let mut solver = BvSolver::new();
+    solver.assert_true(&pool, ne);
+    solver.check(&pool)
+}
+
+fn bench_rewriting_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rewriting");
+    group.sample_size(10);
+    group.bench_function("verify_with_rewriting", |b| {
+        b.iter(|| assert_eq!(verify_query(true), SatResult::Unsat))
+    });
+    group.bench_function("verify_without_rewriting", |b| {
+        b.iter(|| assert_eq!(verify_query(false), SatResult::Unsat))
+    });
+    group.finish();
+}
+
+fn bench_cegis_vs_enumeration(c: &mut Criterion) {
+    // spec: out = a + 173 over 8 bits; one 8-bit AnyConstant hole.
+    let mut b = ProgBuilder::new("spec");
+    let a = b.input("a", 8);
+    let k = b.constant(BitVec::from_u64(173, 8));
+    let out = b.op2(BvOp::Add, a, k);
+    let spec = b.finish(out);
+    let mut b = ProgBuilder::new("sketch");
+    let a = b.input("a", 8);
+    let h = b.hole("k", 8, HoleDomain::AnyConstant);
+    let out = b.op2(BvOp::Add, a, h);
+    let sketch = b.finish(out);
+
+    let mut group = c.benchmark_group("ablation_search");
+    group.sample_size(10);
+    group.bench_function("cegis", |bch| {
+        bch.iter(|| {
+            let task = SynthesisTask::at(&spec, &sketch, 0);
+            let outcome = synthesize(&task, &SynthesisConfig::default()).unwrap();
+            assert!(outcome.is_success());
+        })
+    });
+    group.bench_function("enumeration", |bch| {
+        bch.iter(|| {
+            let task = SynthesisTask::at(&spec, &sketch, 0);
+            let outcome = synthesize_by_enumeration(&task, 1 << 16, 6).unwrap();
+            assert!(outcome.is_success());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting_ablation, bench_cegis_vs_enumeration);
+criterion_main!(benches);

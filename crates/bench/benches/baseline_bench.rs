@@ -1,0 +1,37 @@
+//! B6: micro-benchmarks of the baseline pattern recognizer and soft-logic estimator
+//! over the full Xilinx microbenchmark suite (these are the fast syntactic passes
+//! that the paper's Figure 6 timing table shows running in seconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lakeroad::suite::full_suite;
+use lr_arch::ArchName;
+use lr_baselines::{estimate, BaselineTool};
+
+fn bench_baselines(c: &mut Criterion) {
+    let suite = full_suite(ArchName::XilinxUltraScalePlus);
+    let specs: Vec<_> = suite.iter().take(200).map(|b| b.build()).collect();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("sota_model_200_designs", |b| {
+        b.iter(|| {
+            let total: usize = specs
+                .iter()
+                .map(|s| estimate(BaselineTool::SotaLike, ArchName::XilinxUltraScalePlus, s).dsps)
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("yosys_model_200_designs", |b| {
+        b.iter(|| {
+            let total: usize = specs
+                .iter()
+                .map(|s| estimate(BaselineTool::YosysLike, ArchName::XilinxUltraScalePlus, s).dsps)
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

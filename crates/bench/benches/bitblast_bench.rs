@@ -1,0 +1,51 @@
+//! B2: micro-benchmarks of bit-blasting and QF_BV solving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lr_bv::BitVec;
+use lr_smt::{BvSolver, SatResult, TermPool};
+
+fn factor_query(width: u32, target: u64) -> (TermPool, lr_smt::TermId) {
+    let mut pool = TermPool::new();
+    let a = pool.var("a", width);
+    let b = pool.var("b", width);
+    let prod = pool.mul(a, b);
+    let t = pool.constant(BitVec::from_u64(target, width));
+    let eq = pool.eq(prod, t);
+    let one = pool.constant(BitVec::from_u64(1, width));
+    let a_gt_1 = pool.ult(one, a);
+    let b_gt_1 = pool.ult(one, b);
+    let both = pool.and(a_gt_1, b_gt_1);
+    let q = pool.and(eq, both);
+    (pool, q)
+}
+
+fn bench_bitblast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast");
+    group.sample_size(10);
+    group.bench_function("factor_8bit", |b| {
+        b.iter(|| {
+            let (pool, q) = factor_query(8, 143);
+            let mut solver = BvSolver::new();
+            solver.assert_true(&pool, q);
+            assert_eq!(solver.check(&pool), SatResult::Sat);
+        })
+    });
+    group.bench_function("add_commutes_10bit_unsat", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::without_simplification();
+            let x = pool.var("x", 10);
+            let y = pool.var("y", 10);
+            let xy = pool.mk_op(lr_smt::BvOp::Add, vec![x, y]);
+            let yx = pool.mk_op(lr_smt::BvOp::Add, vec![y, x]);
+            let eq = pool.mk_op(lr_smt::BvOp::Eq, vec![xy, yx]);
+            let ne = pool.mk_op(lr_smt::BvOp::Not, vec![eq]);
+            let mut solver = BvSolver::new();
+            solver.assert_true(&pool, ne);
+            assert_eq!(solver.check(&pool), SatResult::Unsat);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitblast);
+criterion_main!(benches);

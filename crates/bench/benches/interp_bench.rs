@@ -1,0 +1,53 @@
+//! B3: micro-benchmarks of the ℒlr interpreter on the DSP48E2 primitive model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lr_arch::primitives::dsp48e2_semantics;
+use lr_bv::BitVec;
+use lr_ir::StreamInputs;
+
+fn dsp_env() -> StreamInputs {
+    StreamInputs::from_constants(
+        [
+            ("A", 3u64, 30u32),
+            ("B", 5, 18),
+            ("C", 100, 48),
+            ("D", 7, 27),
+            ("CARRYIN", 0, 1),
+            ("INMODE", 0, 5),
+            ("OPMODE", 0b0_011_00_01, 9),
+            ("ALUMODE", 0, 4),
+            ("AREG", 1, 1),
+            ("BREG", 1, 1),
+            ("CREG", 1, 1),
+            ("DREG", 1, 1),
+            ("ADREG", 0, 1),
+            ("MREG", 1, 1),
+            ("PREG", 1, 1),
+            ("AMULTSEL", 1, 1),
+        ]
+        .into_iter()
+        .map(|(n, v, w)| (n.to_string(), BitVec::from_u64(v, w))),
+    )
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let prog = dsp48e2_semantics();
+    let env = dsp_env();
+    let mut group = c.benchmark_group("interp");
+    group.bench_function("dsp48e2_cycle0", |b| {
+        b.iter(|| std::hint::black_box(prog.interp(&env, 0).unwrap()))
+    });
+    group.bench_function("dsp48e2_cycle5", |b| {
+        b.iter(|| std::hint::black_box(prog.interp(&env, 5).unwrap()))
+    });
+    group.bench_function("dsp48e2_symbolic_cycle2", |b| {
+        b.iter(|| {
+            let mut pool = lr_smt::TermPool::new();
+            std::hint::black_box(prog.to_term(&mut pool, 2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

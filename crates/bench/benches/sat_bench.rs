@@ -1,0 +1,42 @@
+//! B1: micro-benchmarks of the CDCL SAT substrate (pigeonhole instances).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lr_sat::{Lit, Solver, Var};
+
+fn pigeonhole(n: usize, m: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&clause);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    group.sample_size(10);
+    group.bench_function("pigeonhole_6_into_5_unsat", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(6, 5);
+            std::hint::black_box(s.solve())
+        })
+    });
+    group.bench_function("pigeonhole_8_into_8_sat", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(8, 8);
+            std::hint::black_box(s.solve())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

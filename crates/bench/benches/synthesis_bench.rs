@@ -1,0 +1,67 @@
+//! B4: end-to-end synthesis benchmarks — one `lakeroad::map_design` call per
+//! architecture on a representative microbenchmark (the per-run cost underlying
+//! Figure 6's timing table).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lakeroad::{map_design, MapConfig, Template};
+use lr_arch::Architecture;
+use lr_ir::{BvOp, Prog, ProgBuilder};
+
+fn add_mul_and(width: u32, stages: u32) -> Prog {
+    let mut b = ProgBuilder::new("add_mul_and");
+    let a = b.input("a", width);
+    let bb = b.input("b", width);
+    let c = b.input("c", width);
+    let d = b.input("d", width);
+    let sum = b.op2(BvOp::Add, a, bb);
+    let prod = b.op2(BvOp::Mul, sum, c);
+    let mut out = b.op2(BvOp::And, prod, d);
+    for _ in 0..stages {
+        out = b.reg(out, width);
+    }
+    b.finish(out)
+}
+
+fn mul(width: u32) -> Prog {
+    let mut b = ProgBuilder::new("mul");
+    let a = b.input("a", width);
+    let bb = b.input("b", width);
+    let out = b.op2(BvOp::Mul, a, bb);
+    b.finish(out)
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let config = MapConfig::single_solver().with_timeout(Duration::from_secs(60));
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.bench_function("xilinx_add_mul_and_w8_s1", |b| {
+        let spec = add_mul_and(8, 1);
+        let arch = Architecture::xilinx_ultrascale_plus();
+        b.iter(|| {
+            let outcome = map_design(&spec, Template::Dsp, &arch, &config).unwrap();
+            assert!(outcome.is_success());
+        })
+    });
+    group.bench_function("lattice_mul_w8", |b| {
+        let spec = mul(8);
+        let arch = Architecture::lattice_ecp5();
+        b.iter(|| {
+            let outcome = map_design(&spec, Template::Dsp, &arch, &config).unwrap();
+            assert!(outcome.is_success());
+        })
+    });
+    group.bench_function("intel_mul_w8", |b| {
+        let spec = mul(8);
+        let arch = Architecture::intel_cyclone10lp();
+        b.iter(|| {
+            let outcome = map_design(&spec, Template::Dsp, &arch, &config).unwrap();
+            assert!(outcome.is_success());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Runs every experiment and prints every table/figure of the paper's evaluation.
+//! Scale is selected with `--quick` (default), `--smoke`, or `--full`.
+
+use lr_arch::Architecture;
+use lr_bench::{
+    print_completeness, print_extensibility, print_histogram, print_portfolio,
+    print_primitives_table, print_resources, run_all, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Lakeroad reproduction: full evaluation at {scale:?} scale");
+    let results = run_all(scale);
+    for (name, arch_results) in &results {
+        let arch = Architecture::load(*name);
+        print_completeness(&arch, arch_results);
+        print_histogram(&arch, arch_results, scale.timeout(*name));
+        print_resources(&arch, arch_results);
+    }
+    print_portfolio(&results);
+    print_primitives_table();
+    print_extensibility();
+}

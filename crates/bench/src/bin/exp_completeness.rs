@@ -1,0 +1,13 @@
+//! Experiment E1/E2 — Figure 6: completeness of DSP mapping per architecture and
+//! tool, plus mapping-time summaries. Scale: `--quick` (default), `--smoke`, `--full`.
+
+use lr_arch::Architecture;
+use lr_bench::{print_completeness, run_all, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E1/E2 (Figure 6): completeness and timing, {scale:?} scale");
+    for (name, results) in run_all(scale) {
+        print_completeness(&Architecture::load(name), &results);
+    }
+}

@@ -1,0 +1,9 @@
+//! Experiment E7 — §5.2 extensibility: the size of each architecture description,
+//! compared against the figures the paper reports.
+
+use lr_bench::print_extensibility;
+
+fn main() {
+    println!("E7: extensibility (architecture description sizes)");
+    print_extensibility();
+}

@@ -1,0 +1,11 @@
+//! Experiment E5 — §5.1 solver portfolio: which portfolio member finished first for
+//! each terminating Lakeroad run (the paper's Bitwuzla/STP/Yices2/cvc5 counts).
+
+use lr_bench::{print_portfolio, run_all, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E5: solver portfolio win counts, {scale:?} scale");
+    let results = run_all(scale);
+    print_portfolio(&results);
+}

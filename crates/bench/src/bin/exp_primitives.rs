@@ -1,0 +1,9 @@
+//! Experiment E6 — Table 1: the primitives whose semantics the tool imports, with
+//! the size of each primitive model.
+
+use lr_bench::print_primitives_table;
+
+fn main() {
+    println!("E6 (Table 1): imported primitive models");
+    print_primitives_table();
+}

@@ -1,0 +1,13 @@
+//! Experiment E4 — §5.1 resource reduction: average logic elements and registers
+//! saved by Lakeroad relative to the modelled SOTA and Yosys baselines.
+
+use lr_arch::Architecture;
+use lr_bench::{print_resources, run_all, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E4: resource reduction vs. baselines, {scale:?} scale");
+    for (name, results) in run_all(scale) {
+        print_resources(&Architecture::load(name), &results);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment E3 — Figure 7: histogram of Lakeroad synthesis runtimes per
+//! architecture, with the timeout threshold marked.
+
+use lr_arch::Architecture;
+use lr_bench::{print_histogram, run_all, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E3 (Figure 7): synthesis runtime histograms, {scale:?} scale");
+    for (name, results) in run_all(scale) {
+        print_histogram(&Architecture::load(name), &results, scale.timeout(name));
+    }
+}

@@ -1,0 +1,210 @@
+//! Formatting and parsing of [`BitVec`] values.
+//!
+//! The textual forms follow Verilog sized-literal syntax (`16'h00ff`, `4'b1010`,
+//! `8'd255`), which is what both the mini-HDL frontend and the structural Verilog
+//! emitter use.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::BitVec;
+
+/// An error produced when parsing a bitvector literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVecError {
+    message: String,
+}
+
+impl ParseBitVecError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseBitVecError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseBitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bitvector literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseBitVecError {}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{}", self.width(), self.to_hex_string())
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{}", self.width(), self.to_hex_string())
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex_string())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bin_string())
+    }
+}
+
+impl BitVec {
+    /// Hexadecimal digits of the value, most significant first, with enough digits
+    /// to cover the full width.
+    pub fn to_hex_string(&self) -> String {
+        let digits = (self.width() as usize + 3) / 4;
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let lo = (d * 4) as u32;
+            let hi = ((d * 4 + 3) as u32).min(self.width() - 1);
+            let nibble = self.extract(hi, lo).low_u64();
+            s.push(char::from_digit(nibble as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Binary digits of the value, most significant first.
+    pub fn to_bin_string(&self) -> String {
+        (0..self.width())
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Renders as a Verilog sized hexadecimal literal, e.g. `16'h00ff`.
+    pub fn to_verilog_literal(&self) -> String {
+        format!("{}'h{}", self.width(), self.to_hex_string())
+    }
+
+    /// Parses a Verilog sized literal (`<width>'<base><digits>`, bases `b`/`d`/`h`).
+    ///
+    /// # Errors
+    /// Returns an error if the syntax is malformed, the width is zero, or a digit is
+    /// invalid for the base.
+    pub fn parse_verilog(text: &str) -> Result<BitVec, ParseBitVecError> {
+        let text = text.trim().replace('_', "");
+        let Some(tick) = text.find('\'') else {
+            return Err(ParseBitVecError::new(format!("missing ' in `{text}`")));
+        };
+        let width: u32 = text[..tick]
+            .parse()
+            .map_err(|_| ParseBitVecError::new(format!("bad width in `{text}`")))?;
+        if width == 0 {
+            return Err(ParseBitVecError::new("zero width"));
+        }
+        let rest = &text[tick + 1..];
+        let mut chars = rest.chars();
+        let base = chars
+            .next()
+            .ok_or_else(|| ParseBitVecError::new("missing base"))?
+            .to_ascii_lowercase();
+        let digits: String = chars.collect();
+        if digits.is_empty() {
+            return Err(ParseBitVecError::new("missing digits"));
+        }
+        match base {
+            'b' => Self::parse_radix(&digits, 1, width),
+            'h' => Self::parse_radix(&digits, 4, width),
+            'd' => {
+                let mut acc = BitVec::zeros(width);
+                let ten = BitVec::from_u64(10, width);
+                for ch in digits.chars() {
+                    let d = ch
+                        .to_digit(10)
+                        .ok_or_else(|| ParseBitVecError::new(format!("bad decimal digit `{ch}`")))?;
+                    acc = acc.mul(&ten).add(&BitVec::from_u64(d as u64, width));
+                }
+                Ok(acc)
+            }
+            other => Err(ParseBitVecError::new(format!("unknown base `{other}`"))),
+        }
+    }
+
+    fn parse_radix(digits: &str, bits_per_digit: u32, width: u32) -> Result<BitVec, ParseBitVecError> {
+        let radix = 1u32 << bits_per_digit;
+        let mut acc = BitVec::zeros(width);
+        for ch in digits.chars() {
+            // Treat Verilog x/z digits as zero: the paper's semantics-extraction pass
+            // likewise requires converting x/z to two-state logic (§4.4).
+            let d = if ch == 'x' || ch == 'z' || ch == 'X' || ch == 'Z' {
+                0
+            } else {
+                ch.to_digit(radix)
+                    .ok_or_else(|| ParseBitVecError::new(format!("bad digit `{ch}` for radix {radix}")))?
+            };
+            acc = acc.shl_const(bits_per_digit);
+            acc = acc.or(&BitVec::from_u64(d as u64, width));
+        }
+        Ok(acc)
+    }
+}
+
+impl FromStr for BitVec {
+    type Err = ParseBitVecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BitVec::parse_verilog(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_string() {
+        assert_eq!(BitVec::from_u64(0xABCD, 16).to_hex_string(), "abcd");
+        assert_eq!(BitVec::from_u64(0x5, 3).to_hex_string(), "5");
+        assert_eq!(BitVec::from_u64(0, 9).to_hex_string(), "000");
+    }
+
+    #[test]
+    fn bin_string() {
+        assert_eq!(BitVec::from_u64(0b1010, 4).to_bin_string(), "1010");
+    }
+
+    #[test]
+    fn verilog_literal_roundtrip() {
+        let bv = BitVec::from_u64(0x1234, 16);
+        let lit = bv.to_verilog_literal();
+        assert_eq!(lit, "16'h1234");
+        assert_eq!(BitVec::parse_verilog(&lit).unwrap(), bv);
+    }
+
+    #[test]
+    fn parse_bases() {
+        assert_eq!(BitVec::parse_verilog("4'b1010").unwrap(), BitVec::from_u64(10, 4));
+        assert_eq!(BitVec::parse_verilog("8'd255").unwrap(), BitVec::from_u64(255, 8));
+        assert_eq!(BitVec::parse_verilog("12'hABC").unwrap(), BitVec::from_u64(0xABC, 12));
+        assert_eq!(BitVec::parse_verilog("16'h00_ff").unwrap(), BitVec::from_u64(0xFF, 16));
+    }
+
+    #[test]
+    fn parse_x_z_as_zero() {
+        assert_eq!(BitVec::parse_verilog("4'bxx10").unwrap(), BitVec::from_u64(0b0010, 4));
+        assert_eq!(BitVec::parse_verilog("8'hzz").unwrap(), BitVec::from_u64(0, 8));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BitVec::parse_verilog("abc").is_err());
+        assert!(BitVec::parse_verilog("0'h0").is_err());
+        assert!(BitVec::parse_verilog("4'q1").is_err());
+        assert!(BitVec::parse_verilog("4'b").is_err());
+        assert!(BitVec::parse_verilog("4'b2").is_err());
+    }
+
+    #[test]
+    fn display_and_fromstr() {
+        let bv: BitVec = "8'hff".parse().unwrap();
+        assert_eq!(format!("{bv}"), "8'hff");
+        assert_eq!(format!("{bv:?}"), "8'hff");
+        assert_eq!(format!("{bv:x}"), "ff");
+        assert_eq!(format!("{bv:b}"), "11111111");
+    }
+}

@@ -1,0 +1,507 @@
+//! Arithmetic, logical, shift, comparison, and structural operations on [`BitVec`].
+//!
+//! Every binary operation panics if the operand widths differ (except `concat`,
+//! `mul_full`, and the shift-by-bitvector forms, which are width-polymorphic by
+//! definition). This matches SMT-LIB QF_BV, which is the theory the synthesis
+//! queries are ultimately expressed in.
+
+use crate::{limbs_for, BitVec};
+
+impl BitVec {
+    fn assert_same_width(&self, other: &BitVec, op: &str) {
+        assert_eq!(
+            self.width, other.width,
+            "{op}: width mismatch ({} vs {})",
+            self.width, other.width
+        );
+    }
+
+    // ----- bitwise -----
+
+    /// Bitwise AND.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "and");
+        let mut out = self.clone();
+        for (a, b) in out.limbs_mut().iter_mut().zip(other.limbs()) {
+            *a &= *b;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "or");
+        let mut out = self.clone();
+        for (a, b) in out.limbs_mut().iter_mut().zip(other.limbs()) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "xor");
+        let mut out = self.clone();
+        for (a, b) in out.limbs_mut().iter_mut().zip(other.limbs()) {
+            *a ^= *b;
+        }
+        out
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> BitVec {
+        let mut out = self.clone();
+        for a in out.limbs_mut().iter_mut() {
+            *a = !*a;
+        }
+        out.mask_top();
+        out
+    }
+
+    // ----- arithmetic -----
+
+    /// Wrapping addition.
+    pub fn add(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "add");
+        let mut out = BitVec::zeros(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs().len() {
+            let (s1, c1) = self.limbs()[i].overflowing_add(other.limbs()[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs_mut()[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction (`self - other`).
+    pub fn sub(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "sub");
+        self.add(&other.neg())
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> BitVec {
+        self.not().add(&BitVec::from_u64(1, self.width))
+    }
+
+    /// Wrapping multiplication, result has the same width as the operands.
+    pub fn mul(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "mul");
+        self.mul_full(other).extract(self.width - 1, 0)
+    }
+
+    /// Full-precision unsigned multiplication; the result width is the sum of the
+    /// operand widths. (Used by DSP models whose multipliers widen.)
+    pub fn mul_full(&self, other: &BitVec) -> BitVec {
+        let out_width = self.width + other.width;
+        let mut acc = vec![0u64; limbs_for(out_width) + 1];
+        for (i, &a) in self.limbs().iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs().iter().enumerate() {
+                if i + j >= acc.len() {
+                    continue;
+                }
+                let cur = acc[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs().len();
+            while carry > 0 && k < acc.len() {
+                let cur = acc[k] as u128 + carry;
+                acc[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut out = BitVec::zeros(out_width);
+        let n = out.limbs().len();
+        out.limbs_mut().copy_from_slice(&acc[..n]);
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division; division by zero yields all-ones (SMT-LIB convention).
+    pub fn udiv(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "udiv");
+        if other.is_zero() {
+            return BitVec::ones(self.width);
+        }
+        self.divmod(other).0
+    }
+
+    /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB convention).
+    pub fn urem(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other, "urem");
+        if other.is_zero() {
+            return self.clone();
+        }
+        self.divmod(other).1
+    }
+
+    fn divmod(&self, other: &BitVec) -> (BitVec, BitVec) {
+        // Simple bit-at-a-time long division; widths in this project are small
+        // (<= ~96 bits for DSP accumulators), so this is plenty fast.
+        let mut quotient = BitVec::zeros(self.width);
+        let mut remainder = BitVec::zeros(self.width);
+        for i in (0..self.width).rev() {
+            remainder = remainder.shl_const(1);
+            remainder = remainder.with_bit(0, self.bit(i));
+            if !remainder.ult(other) {
+                remainder = remainder.sub(other);
+                quotient = quotient.with_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    // ----- shifts -----
+
+    /// Logical left shift by a constant amount. Shifts >= width produce zero.
+    pub fn shl_const(&self, amount: u32) -> BitVec {
+        if amount >= self.width {
+            return BitVec::zeros(self.width);
+        }
+        let bits: Vec<bool> = (0..self.width)
+            .map(|i| if i < amount { false } else { self.bit(i - amount) })
+            .collect();
+        BitVec::from_bits_lsb_first(&bits)
+    }
+
+    /// Logical right shift by a constant amount. Shifts >= width produce zero.
+    pub fn lshr_const(&self, amount: u32) -> BitVec {
+        if amount >= self.width {
+            return BitVec::zeros(self.width);
+        }
+        let bits: Vec<bool> = (0..self.width)
+            .map(|i| {
+                let src = i + amount;
+                if src < self.width {
+                    self.bit(src)
+                } else {
+                    false
+                }
+            })
+            .collect();
+        BitVec::from_bits_lsb_first(&bits)
+    }
+
+    /// Arithmetic right shift by a constant amount.
+    pub fn ashr_const(&self, amount: u32) -> BitVec {
+        let sign = self.msb();
+        let amount = amount.min(self.width);
+        let bits: Vec<bool> = (0..self.width)
+            .map(|i| {
+                let src = i as u64 + amount as u64;
+                if src < self.width as u64 {
+                    self.bit(src as u32)
+                } else {
+                    sign
+                }
+            })
+            .collect();
+        BitVec::from_bits_lsb_first(&bits)
+    }
+
+    /// Logical left shift where the amount is itself a bitvector (any width).
+    pub fn shl(&self, amount: &BitVec) -> BitVec {
+        match amount.to_u64() {
+            Some(a) if a < self.width as u64 => self.shl_const(a as u32),
+            _ => BitVec::zeros(self.width),
+        }
+    }
+
+    /// Logical right shift where the amount is itself a bitvector (any width).
+    pub fn lshr(&self, amount: &BitVec) -> BitVec {
+        match amount.to_u64() {
+            Some(a) if a < self.width as u64 => self.lshr_const(a as u32),
+            _ => BitVec::zeros(self.width),
+        }
+    }
+
+    /// Arithmetic right shift where the amount is itself a bitvector (any width).
+    pub fn ashr(&self, amount: &BitVec) -> BitVec {
+        match amount.to_u64() {
+            Some(a) if a < self.width as u64 => self.ashr_const(a as u32),
+            _ => {
+                if self.msb() {
+                    BitVec::ones(self.width)
+                } else {
+                    BitVec::zeros(self.width)
+                }
+            }
+        }
+    }
+
+    // ----- comparisons -----
+
+    /// Unsigned less-than.
+    pub fn ult(&self, other: &BitVec) -> bool {
+        self.assert_same_width(other, "ult");
+        for i in (0..self.limbs().len()).rev() {
+            if self.limbs()[i] != other.limbs()[i] {
+                return self.limbs()[i] < other.limbs()[i];
+            }
+        }
+        false
+    }
+
+    /// Unsigned less-than-or-equal.
+    pub fn ule(&self, other: &BitVec) -> bool {
+        !other.ult(self)
+    }
+
+    /// Unsigned greater-than.
+    pub fn ugt(&self, other: &BitVec) -> bool {
+        other.ult(self)
+    }
+
+    /// Unsigned greater-than-or-equal.
+    pub fn uge(&self, other: &BitVec) -> bool {
+        !self.ult(other)
+    }
+
+    /// Signed less-than.
+    pub fn slt(&self, other: &BitVec) -> bool {
+        self.assert_same_width(other, "slt");
+        match (self.msb(), other.msb()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self.ult(other),
+        }
+    }
+
+    /// Signed less-than-or-equal.
+    pub fn sle(&self, other: &BitVec) -> bool {
+        !other.slt(self)
+    }
+
+    /// Signed greater-than.
+    pub fn sgt(&self, other: &BitVec) -> bool {
+        other.slt(self)
+    }
+
+    /// Signed greater-than-or-equal.
+    pub fn sge(&self, other: &BitVec) -> bool {
+        !self.slt(other)
+    }
+
+    // ----- structural -----
+
+    /// Concatenation: `self` occupies the high bits, `other` the low bits
+    /// (Verilog `{self, other}` / SMT-LIB `concat`).
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let width = self.width + other.width;
+        let mut bits = Vec::with_capacity(width as usize);
+        bits.extend(other.bits_lsb_first());
+        bits.extend(self.bits_lsb_first());
+        BitVec::from_bits_lsb_first(&bits)
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive, `hi >= lo`) into a new bitvector of width
+    /// `hi - lo + 1`.
+    ///
+    /// # Panics
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    pub fn extract(&self, hi: u32, lo: u32) -> BitVec {
+        assert!(hi >= lo, "extract: hi ({hi}) < lo ({lo})");
+        assert!(hi < self.width, "extract: hi ({hi}) out of range for width {}", self.width);
+        let bits: Vec<bool> = (lo..=hi).map(|i| self.bit(i)).collect();
+        BitVec::from_bits_lsb_first(&bits)
+    }
+
+    /// Zero-extends to `new_width`.
+    ///
+    /// # Panics
+    /// Panics if `new_width < self.width()`.
+    pub fn zext(&self, new_width: u32) -> BitVec {
+        assert!(new_width >= self.width, "zext: cannot shrink {} -> {new_width}", self.width);
+        let mut out = BitVec::zeros(new_width);
+        for (i, limb) in self.limbs().iter().enumerate() {
+            out.limbs_mut()[i] = *limb;
+        }
+        out
+    }
+
+    /// Sign-extends to `new_width`.
+    pub fn sext(&self, new_width: u32) -> BitVec {
+        assert!(new_width >= self.width, "sext: cannot shrink {} -> {new_width}", self.width);
+        if !self.msb() {
+            return self.zext(new_width);
+        }
+        let mut bits: Vec<bool> = self.bits_lsb_first().collect();
+        bits.resize(new_width as usize, true);
+        BitVec::from_bits_lsb_first(&bits)
+    }
+
+    /// Truncates or zero-extends to exactly `new_width`.
+    pub fn resize_zext(&self, new_width: u32) -> BitVec {
+        if new_width <= self.width {
+            self.extract(new_width - 1, 0)
+        } else {
+            self.zext(new_width)
+        }
+    }
+
+    /// Truncates or sign-extends to exactly `new_width`.
+    pub fn resize_sext(&self, new_width: u32) -> BitVec {
+        if new_width <= self.width {
+            self.extract(new_width - 1, 0)
+        } else {
+            self.sext(new_width)
+        }
+    }
+
+    // ----- reductions -----
+
+    /// Reduction OR: 1-bit result, true if any bit is set.
+    pub fn reduce_or(&self) -> BitVec {
+        BitVec::from_bool(!self.is_zero())
+    }
+
+    /// Reduction AND: 1-bit result, true if all bits are set.
+    pub fn reduce_and(&self) -> BitVec {
+        BitVec::from_bool(self.is_all_ones())
+    }
+
+    /// Reduction XOR: 1-bit result, the parity of the popcount.
+    pub fn reduce_xor(&self) -> BitVec {
+        let ones: u32 = self.limbs().iter().map(|l| l.count_ones()).sum();
+        BitVec::from_bool(ones % 2 == 1)
+    }
+
+    /// Number of set bits.
+    pub fn popcount(&self) -> u32 {
+        self.limbs().iter().map(|l| l.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(v: u64, w: u32) -> BitVec {
+        BitVec::from_u64(v, w)
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(bv(0b1100, 4).and(&bv(0b1010, 4)), bv(0b1000, 4));
+        assert_eq!(bv(0b1100, 4).or(&bv(0b1010, 4)), bv(0b1110, 4));
+        assert_eq!(bv(0b1100, 4).xor(&bv(0b1010, 4)), bv(0b0110, 4));
+        assert_eq!(bv(0b1100, 4).not(), bv(0b0011, 4));
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(bv(0xFF, 8).add(&bv(1, 8)), bv(0, 8));
+        assert_eq!(bv(200, 8).add(&bv(100, 8)), bv(44, 8));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BitVec::from_u128(u64::MAX as u128, 80);
+        let b = BitVec::from_u64(1, 80);
+        assert_eq!(a.add(&b).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(bv(5, 8).sub(&bv(7, 8)), bv(254, 8));
+        assert_eq!(bv(0, 8).neg(), bv(0, 8));
+        assert_eq!(bv(1, 8).neg(), bv(255, 8));
+    }
+
+    #[test]
+    fn mul_wraps_and_widens() {
+        assert_eq!(bv(20, 8).mul(&bv(20, 8)), bv(144, 8));
+        assert_eq!(bv(20, 8).mul_full(&bv(20, 8)), bv(400, 16));
+        let a = BitVec::from_u64(0xFFFF_FFFF_FFFF_FFFF, 64);
+        let full = a.mul_full(&a);
+        assert_eq!(full.width(), 128);
+        assert_eq!(full.to_u128(), Some(0xFFFF_FFFF_FFFF_FFFFu128 * 0xFFFF_FFFF_FFFF_FFFFu128));
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(bv(100, 8).udiv(&bv(7, 8)), bv(14, 8));
+        assert_eq!(bv(100, 8).urem(&bv(7, 8)), bv(2, 8));
+        assert_eq!(bv(100, 8).udiv(&bv(0, 8)), BitVec::ones(8));
+        assert_eq!(bv(100, 8).urem(&bv(0, 8)), bv(100, 8));
+    }
+
+    #[test]
+    fn shifts_const() {
+        assert_eq!(bv(0b0011, 4).shl_const(2), bv(0b1100, 4));
+        assert_eq!(bv(0b1100, 4).lshr_const(2), bv(0b0011, 4));
+        assert_eq!(bv(0b1000, 4).ashr_const(2), bv(0b1110, 4));
+        assert_eq!(bv(0b0100, 4).ashr_const(2), bv(0b0001, 4));
+        assert_eq!(bv(0b1111, 4).shl_const(4), bv(0, 4));
+        assert_eq!(bv(0b1111, 4).lshr_const(10), bv(0, 4));
+    }
+
+    #[test]
+    fn shifts_by_bitvec() {
+        assert_eq!(bv(1, 8).shl(&bv(3, 4)), bv(8, 8));
+        assert_eq!(bv(0x80, 8).lshr(&bv(7, 8)), bv(1, 8));
+        assert_eq!(bv(0x80, 8).ashr(&bv(200, 8)), bv(0xFF, 8));
+        assert_eq!(bv(0x40, 8).ashr(&bv(200, 8)), bv(0, 8));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(bv(3, 8).ult(&bv(5, 8)));
+        assert!(!bv(5, 8).ult(&bv(5, 8)));
+        assert!(bv(5, 8).ule(&bv(5, 8)));
+        assert!(bv(0xFF, 8).ugt(&bv(1, 8)));
+        // 0xFF is -1 signed.
+        assert!(bv(0xFF, 8).slt(&bv(1, 8)));
+        assert!(bv(1, 8).sgt(&bv(0xFF, 8)));
+        assert!(bv(0x80, 8).slt(&bv(0x7F, 8)));
+        assert!(bv(5, 8).sge(&bv(5, 8)));
+    }
+
+    #[test]
+    fn concat_extract() {
+        let hi = bv(0xAB, 8);
+        let lo = bv(0xCD, 8);
+        let c = hi.concat(&lo);
+        assert_eq!(c, bv(0xABCD, 16));
+        assert_eq!(c.extract(15, 8), hi);
+        assert_eq!(c.extract(7, 0), lo);
+        assert_eq!(c.extract(11, 4), bv(0xBC, 8));
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(bv(0x80, 8).zext(16), bv(0x0080, 16));
+        assert_eq!(bv(0x80, 8).sext(16), bv(0xFF80, 16));
+        assert_eq!(bv(0x7F, 8).sext(16), bv(0x007F, 16));
+        assert_eq!(bv(0xABCD, 16).resize_zext(8), bv(0xCD, 8));
+        assert_eq!(bv(0x00CD, 16).resize_sext(8), bv(0xCD, 8));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(bv(0, 8).reduce_or(), BitVec::from_bool(false));
+        assert_eq!(bv(4, 8).reduce_or(), BitVec::from_bool(true));
+        assert_eq!(bv(0xFF, 8).reduce_and(), BitVec::from_bool(true));
+        assert_eq!(bv(0xFE, 8).reduce_and(), BitVec::from_bool(false));
+        assert_eq!(bv(0b0111, 4).reduce_xor(), BitVec::from_bool(true));
+        assert_eq!(bv(0b0110, 4).reduce_xor(), BitVec::from_bool(false));
+        assert_eq!(bv(0b0110, 4).popcount(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        bv(1, 4).add(&bv(1, 8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_extract_panics() {
+        bv(1, 4).extract(1, 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for `lr-bv`: bitvector operations are checked against a
+//! reference semantics over `u128` for widths up to 64 bits, and against structural
+//! identities for wider vectors.
+
+use lr_bv::BitVec;
+use proptest::prelude::*;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+prop_compose! {
+    fn width_and_two_values()(width in 1u32..=64)(
+        width in Just(width),
+        a in 0u64..=u64::MAX,
+        b in 0u64..=u64::MAX,
+    ) -> (u32, u64, u64) {
+        (width, a, b)
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_reference((width, a, b) in width_and_two_values()) {
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        let expect = ((a as u128 & mask(width)) + (b as u128 & mask(width))) & mask(width);
+        prop_assert_eq!(x.add(&y).to_u128().unwrap(), expect);
+    }
+
+    #[test]
+    fn sub_matches_reference((width, a, b) in width_and_two_values()) {
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        let expect = (a as u128 & mask(width)).wrapping_sub(b as u128 & mask(width)) & mask(width);
+        prop_assert_eq!(x.sub(&y).to_u128().unwrap(), expect);
+    }
+
+    #[test]
+    fn mul_matches_reference((width, a, b) in width_and_two_values()) {
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        let expect = ((a as u128 & mask(width)) * (b as u128 & mask(width))) & mask(width);
+        prop_assert_eq!(x.mul(&y).to_u128().unwrap(), expect);
+    }
+
+    #[test]
+    fn mul_full_matches_reference((width, a, b) in width_and_two_values()) {
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        let expect = (a as u128 & mask(width)) * (b as u128 & mask(width));
+        prop_assert_eq!(x.mul_full(&y).to_u128().unwrap(), expect);
+    }
+
+    #[test]
+    fn div_rem_matches_reference((width, a, b) in width_and_two_values()) {
+        let am = (a as u128) & mask(width);
+        let bm = (b as u128) & mask(width);
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        if bm != 0 {
+            prop_assert_eq!(x.udiv(&y).to_u128().unwrap(), am / bm);
+            prop_assert_eq!(x.urem(&y).to_u128().unwrap(), am % bm);
+        } else {
+            prop_assert!(x.udiv(&y).is_all_ones());
+            prop_assert_eq!(x.urem(&y), x);
+        }
+    }
+
+    #[test]
+    fn logic_matches_reference((width, a, b) in width_and_two_values()) {
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        let (am, bm) = (a as u128 & mask(width), b as u128 & mask(width));
+        prop_assert_eq!(x.and(&y).to_u128().unwrap(), am & bm);
+        prop_assert_eq!(x.or(&y).to_u128().unwrap(), am | bm);
+        prop_assert_eq!(x.xor(&y).to_u128().unwrap(), am ^ bm);
+        prop_assert_eq!(x.not().to_u128().unwrap(), !am & mask(width));
+    }
+
+    #[test]
+    fn compares_match_reference((width, a, b) in width_and_two_values()) {
+        let x = BitVec::from_u64(a, width);
+        let y = BitVec::from_u64(b, width);
+        let (am, bm) = (a as u128 & mask(width), b as u128 & mask(width));
+        prop_assert_eq!(x.ult(&y), am < bm);
+        prop_assert_eq!(x.ule(&y), am <= bm);
+        prop_assert_eq!(x.slt(&y), x.to_i64().unwrap() < y.to_i64().unwrap());
+        prop_assert_eq!(x.sle(&y), x.to_i64().unwrap() <= y.to_i64().unwrap());
+    }
+
+    #[test]
+    fn shifts_match_reference(width in 1u32..=64, a in 0u64..=u64::MAX, sh in 0u32..80) {
+        let x = BitVec::from_u64(a, width);
+        let am = a as u128 & mask(width);
+        let shl = if sh >= width { 0 } else { (am << sh) & mask(width) };
+        let lshr = if sh >= width { 0 } else { am >> sh };
+        prop_assert_eq!(x.shl_const(sh).to_u128().unwrap(), shl);
+        prop_assert_eq!(x.lshr_const(sh).to_u128().unwrap(), lshr);
+    }
+
+    #[test]
+    fn ashr_preserves_sign(width in 2u32..=64, a in 0u64..=u64::MAX, sh in 0u32..80) {
+        let x = BitVec::from_u64(a, width);
+        let shifted = x.ashr_const(sh);
+        if sh > 0 {
+            prop_assert_eq!(shifted.msb(), x.msb());
+        }
+        if sh >= width {
+            if x.msb() {
+                prop_assert!(shifted.is_all_ones());
+            } else {
+                prop_assert!(shifted.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn concat_then_extract_is_identity(wa in 1u32..=48, wb in 1u32..=48, a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let x = BitVec::from_u64(a, wa);
+        let y = BitVec::from_u64(b, wb);
+        let c = x.concat(&y);
+        prop_assert_eq!(c.width(), wa + wb);
+        prop_assert_eq!(c.extract(wa + wb - 1, wb), x);
+        prop_assert_eq!(c.extract(wb - 1, 0), y);
+    }
+
+    #[test]
+    fn sext_zext_agree_on_nonnegative(width in 2u32..=63, a in 0u64..=u64::MAX, extra in 1u32..32) {
+        let x = BitVec::from_u64(a & !(1 << (width - 1)), width);
+        prop_assert_eq!(x.sext(width + extra), x.zext(width + extra));
+    }
+
+    #[test]
+    fn verilog_literal_roundtrips(width in 1u32..=96, a in 0u64..=u64::MAX) {
+        let x = BitVec::from_u64(a, width.min(64)).zext(width);
+        let lit = x.to_verilog_literal();
+        prop_assert_eq!(BitVec::parse_verilog(&lit).unwrap(), x);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(width in 1u32..=96, a in 0u64..=u64::MAX) {
+        let x = BitVec::from_u64(a, width.min(64)).zext(width);
+        prop_assert!(x.add(&x.neg()).is_zero());
+    }
+
+    #[test]
+    fn wide_add_commutes_and_associates(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX, c in 0u64..=u64::MAX) {
+        let w = 200;
+        let x = BitVec::from_u64(a, 64).zext(w);
+        let y = BitVec::from_u64(b, 64).zext(w);
+        let z = BitVec::from_u64(c, 64).zext(w);
+        prop_assert_eq!(x.add(&y), y.add(&x));
+        prop_assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+    }
+}

@@ -1,0 +1,146 @@
+//! The `lakeroad` command-line tool — the interface shown in the paper's §2.2:
+//!
+//! ```text
+//! $ lakeroad --template dsp --arch-desc xilinx-ultrascale-plus add_mul_and.v
+//! ```
+//!
+//! Reads a behavioral mini-Verilog module, maps it onto the requested architecture
+//! with the requested sketch template, and writes the synthesized structural Verilog
+//! to stdout (or `--output <file>`).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lakeroad::{map_verilog, MapConfig, MapOutcome, Template};
+use lr_arch::{ArchName, Architecture};
+
+struct Options {
+    template: Template,
+    arch: Architecture,
+    input: String,
+    output: Option<String>,
+    timeout: Duration,
+}
+
+fn usage() -> String {
+    "usage: lakeroad --template <dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
+     \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
+     \x20               [--timeout <seconds>] [--output <file>] <design.v>"
+        .to_string()
+}
+
+fn parse_arch(name: &str) -> Option<Architecture> {
+    let name = name.trim_end_matches(".yml").trim_end_matches(".yaml");
+    let arch = match name {
+        "xilinx-ultrascale-plus" | "xilinx" => ArchName::XilinxUltraScalePlus,
+        "lattice-ecp5" | "lattice" | "ecp5" => ArchName::LatticeEcp5,
+        "intel-cyclone10lp" | "intel" | "cyclone10lp" => ArchName::IntelCyclone10Lp,
+        "sofa" => ArchName::Sofa,
+        _ => return None,
+    };
+    Some(Architecture::load(arch))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut template = None;
+    let mut arch = None;
+    let mut input = None;
+    let mut output = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--template" => {
+                i += 1;
+                let name = args.get(i).ok_or("--template needs a value")?;
+                template =
+                    Some(Template::from_cli_name(name).ok_or(format!("unknown template `{name}`"))?);
+            }
+            "--arch-desc" => {
+                i += 1;
+                let name = args.get(i).ok_or("--arch-desc needs a value")?;
+                arch = Some(parse_arch(name).ok_or(format!("unknown architecture `{name}`"))?);
+            }
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout expects a number of seconds".to_string())?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--output" | "-o" => {
+                i += 1;
+                output = Some(args.get(i).ok_or("--output needs a value")?.clone());
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        template: template.ok_or(format!("missing --template\n{}", usage()))?,
+        arch: arch.ok_or(format!("missing --arch-desc\n{}", usage()))?,
+        input: input.ok_or(format!("missing input design\n{}", usage()))?,
+        output,
+        timeout,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let verilog = match std::fs::read_to_string(&options.input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", options.input);
+            return ExitCode::from(2);
+        }
+    };
+    let config = MapConfig::default().with_timeout(options.timeout);
+    match map_verilog(&verilog, options.template, &options.arch, &config) {
+        Ok(MapOutcome::Success(mapped)) => {
+            eprintln!(
+                "mapped onto {} in {:.2?}: {} DSP, {} LEs, {} registers",
+                options.arch.name(),
+                mapped.elapsed,
+                mapped.resources.dsps,
+                mapped.resources.logic_elements,
+                mapped.resources.registers
+            );
+            match options.output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &mapped.verilog) {
+                        eprintln!("cannot write `{path}`: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                None => println!("{}", mapped.verilog),
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(MapOutcome::Unsat { elapsed, .. }) => {
+            eprintln!(
+                "UNSAT after {elapsed:.2?}: no configuration of the {} sketch implements this design",
+                options.template
+            );
+            ExitCode::FAILURE
+        }
+        Ok(MapOutcome::Timeout { elapsed }) => {
+            eprintln!("timeout after {elapsed:.2?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! # lakeroad: FPGA technology mapping using sketch-guided program synthesis
+//!
+//! This is the core crate of the reproduction: it glues together the behavioral
+//! frontend (`lr-hdl`), the architecture descriptions and primitive semantics
+//! (`lr-arch`), the sketch templates (`lr-sketch`), and the synthesis engine
+//! (`lr-synth`) into the tool the paper describes — the equivalent of
+//!
+//! ```text
+//! $ lakeroad --template dsp --arch-desc xilinx-ultrascale-plus.yml add_mul_and.v
+//! ```
+//!
+//! The main entry points are [`map_design`] (map an ℒbeh design) and
+//! [`map_verilog`] (map a behavioral mini-Verilog module). The
+//! [`suite`] module regenerates the paper's microbenchmark suites (§5.1), and
+//! [`report`] provides the aggregation used by the experiment binaries.
+//!
+//! ```no_run
+//! use lakeroad::{map_verilog, MapConfig, Template};
+//! use lr_arch::Architecture;
+//!
+//! let verilog = r#"
+//! module mul8(input clk, input [7:0] a, b, output [7:0] out);
+//!   assign out = a * b;
+//! endmodule
+//! "#;
+//! let arch = Architecture::xilinx_ultrascale_plus();
+//! let outcome = map_verilog(verilog, Template::Dsp, &arch, &MapConfig::default()).unwrap();
+//! assert!(outcome.is_success());
+//! ```
+
+pub mod report;
+pub mod suite;
+
+use std::time::Duration;
+
+use lr_arch::Architecture;
+use lr_ir::{Node, Prog};
+use lr_synth::portfolio::synthesize_portfolio_with;
+use lr_synth::{SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisTask};
+
+pub use lr_sketch::{generate_sketch, SketchError, Template};
+
+/// Configuration for one mapping run.
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    /// Wall-clock budget for synthesis (the paper uses 120 s / 40 s / 20 s per
+    /// architecture).
+    pub timeout: Duration,
+    /// Extra clock cycles of bounded model checking beyond the design's pipeline
+    /// depth (the `c` of 𝑓*lr).
+    pub bmc_window: u32,
+    /// Solver configurations to race; defaults to the four-member portfolio.
+    pub solvers: Vec<SolverConfig>,
+    /// Maximum CEGIS iterations per solver.
+    pub max_iterations: usize,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            timeout: Duration::from_secs(120),
+            bmc_window: 2,
+            solvers: SolverConfig::portfolio(),
+            max_iterations: 64,
+        }
+    }
+}
+
+impl MapConfig {
+    /// A configuration using a single default solver (useful for deterministic tests
+    /// and the ablation benchmarks).
+    pub fn single_solver() -> Self {
+        MapConfig { solvers: vec![SolverConfig::default()], ..Default::default() }
+    }
+
+    /// Sets the synthesis timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Resource usage of a mapped (or baseline-mapped) design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// Number of DSP blocks.
+    pub dsps: usize,
+    /// Number of logic elements (LUTs / muxes / carry slices).
+    pub logic_elements: usize,
+    /// Number of register bits.
+    pub registers: usize,
+}
+
+impl Resources {
+    /// Whether the design fits in exactly one DSP and nothing else — the paper's
+    /// success criterion for the completeness experiment.
+    pub fn is_single_dsp(&self) -> bool {
+        self.dsps == 1 && self.logic_elements == 0 && self.registers == 0
+    }
+}
+
+/// Counts the resources used by a structural ℒlr program (after simplification):
+/// primitive instances by interface, plus top-level register bits.
+pub fn count_resources(prog: &Prog) -> Resources {
+    let mut r = Resources::default();
+    for (_, node) in prog.nodes() {
+        match node {
+            Node::Prim(p) => {
+                if p.interface == "DSP" {
+                    r.dsps += 1;
+                } else {
+                    r.logic_elements += 1;
+                }
+            }
+            Node::Reg { init, .. } => r.registers += init.width() as usize,
+            _ => {}
+        }
+    }
+    r
+}
+
+/// A successful mapping.
+#[derive(Debug, Clone)]
+pub struct MappedDesign {
+    /// The structural implementation (holes filled, selection logic folded).
+    pub implementation: Prog,
+    /// Structural Verilog for the implementation.
+    pub verilog: String,
+    /// Resources used by the implementation.
+    pub resources: Resources,
+    /// Total synthesis wall-clock time.
+    pub elapsed: Duration,
+    /// Which portfolio member produced the verdict.
+    pub winning_solver: Option<String>,
+    /// CEGIS iterations of the winning run.
+    pub iterations: usize,
+}
+
+/// The verdict of a mapping run.
+#[derive(Debug, Clone)]
+pub enum MapOutcome {
+    /// Mapping succeeded.
+    Success(Box<MappedDesign>),
+    /// The solver proved no configuration of the sketch implements the design.
+    Unsat {
+        /// Synthesis wall-clock time.
+        elapsed: Duration,
+        /// Which portfolio member produced the verdict.
+        winning_solver: Option<String>,
+    },
+    /// The time/iteration budget was exhausted.
+    Timeout {
+        /// Synthesis wall-clock time.
+        elapsed: Duration,
+    },
+}
+
+impl MapOutcome {
+    /// Whether mapping succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, MapOutcome::Success(_))
+    }
+
+    /// Whether the verdict was UNSAT.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, MapOutcome::Unsat { .. })
+    }
+
+    /// Whether the run timed out.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, MapOutcome::Timeout { .. })
+    }
+
+    /// The successful mapping, if any.
+    pub fn success(self) -> Option<MappedDesign> {
+        match self {
+            MapOutcome::Success(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// The synthesis wall-clock time, regardless of verdict.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            MapOutcome::Success(m) => m.elapsed,
+            MapOutcome::Unsat { elapsed, .. } | MapOutcome::Timeout { elapsed } => *elapsed,
+        }
+    }
+}
+
+/// Errors that prevent a mapping run from being posed at all.
+#[derive(Debug, Clone)]
+pub enum MapError {
+    /// Sketch generation failed (missing interface, unsupported shape).
+    Sketch(SketchError),
+    /// The synthesis task was malformed.
+    Synthesis(SynthesisError),
+    /// The behavioral frontend failed to parse/elaborate the design.
+    Frontend(String),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Sketch(e) => write!(f, "sketch generation failed: {e}"),
+            MapError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            MapError::Frontend(e) => write!(f, "frontend failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<SketchError> for MapError {
+    fn from(e: SketchError) -> Self {
+        MapError::Sketch(e)
+    }
+}
+
+impl From<SynthesisError> for MapError {
+    fn from(e: SynthesisError) -> Self {
+        MapError::Synthesis(e)
+    }
+}
+
+/// The number of pipeline stages of a behavioral design: the maximum number of
+/// registers on any path from an input to the root. This is the clock cycle `t` at
+/// which the synthesized implementation must match the design (𝑓lr's `t`).
+pub fn pipeline_depth(prog: &Prog) -> u32 {
+    fn depth(prog: &Prog, id: lr_ir::NodeId, memo: &mut std::collections::HashMap<lr_ir::NodeId, u32>) -> u32 {
+        if let Some(&d) = memo.get(&id) {
+            return d;
+        }
+        // Break feedback cycles (which must pass through registers) conservatively.
+        memo.insert(id, 0);
+        let d = match prog.node(id).expect("node exists") {
+            Node::Reg { data, .. } => 1 + depth(prog, *data, memo),
+            Node::Op(_, args) => args.iter().map(|&a| depth(prog, a, memo)).max().unwrap_or(0),
+            Node::Prim(p) => {
+                p.bindings.values().map(|&a| depth(prog, a, memo)).max().unwrap_or(0)
+            }
+            _ => 0,
+        };
+        memo.insert(id, d);
+        d
+    }
+    let mut memo = std::collections::HashMap::new();
+    depth(prog, prog.root(), &mut memo)
+}
+
+/// Maps a behavioral ℒlr design onto `arch` using `template`.
+///
+/// # Errors
+/// Returns [`MapError`] if the sketch cannot be generated or the synthesis task is
+/// malformed; solver-level failures (UNSAT, timeout) are reported in the
+/// [`MapOutcome`] instead.
+pub fn map_design(
+    spec: &Prog,
+    template: Template,
+    arch: &Architecture,
+    config: &MapConfig,
+) -> Result<MapOutcome, MapError> {
+    let sketch = generate_sketch(template, arch, spec)?;
+    let t = pipeline_depth(spec);
+    let task = SynthesisTask::over_window(spec, &sketch, t, config.bmc_window);
+    let synth_config = SynthesisConfig {
+        solver: SolverConfig::default(),
+        max_iterations: config.max_iterations,
+        timeout: Some(config.timeout),
+        ..Default::default()
+    };
+    let result = synthesize_portfolio_with(&task, &synth_config, &config.solvers)?;
+    let winner = result.winner.clone();
+    Ok(match result.outcome {
+        SynthesisOutcome::Success(s) => {
+            let implementation = s.implementation.simplified().with_name(format!("{}_impl", spec.name()));
+            let resources = count_resources(&implementation);
+            let verilog = lr_hdl::emit_verilog(&implementation);
+            MapOutcome::Success(Box::new(MappedDesign {
+                implementation,
+                verilog,
+                resources,
+                elapsed: s.stats.elapsed,
+                winning_solver: winner,
+                iterations: s.stats.iterations,
+            }))
+        }
+        SynthesisOutcome::Unsat { stats } => {
+            MapOutcome::Unsat { elapsed: stats.elapsed, winning_solver: winner }
+        }
+        SynthesisOutcome::Timeout { stats } => MapOutcome::Timeout { elapsed: stats.elapsed },
+    })
+}
+
+/// Maps a behavioral mini-Verilog module (the partial-design-mapping workflow of
+/// §2.2: put the module in its own file, run Lakeroad on it).
+///
+/// # Errors
+/// See [`map_design`]; additionally returns [`MapError::Frontend`] if the Verilog
+/// does not parse or elaborate.
+pub fn map_verilog(
+    verilog: &str,
+    template: Template,
+    arch: &Architecture,
+    config: &MapConfig,
+) -> Result<MapOutcome, MapError> {
+    let spec =
+        lr_hdl::parse_and_elaborate(verilog).map_err(|e| MapError::Frontend(e.to_string()))?;
+    map_design(&spec, template, arch, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_bv::BitVec;
+    use lr_ir::{BvOp, ProgBuilder, StreamInputs};
+
+    fn quick_config() -> MapConfig {
+        MapConfig::single_solver().with_timeout(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn pipeline_depth_counts_register_stages() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let sum = b.op2(BvOp::Add, a, bb);
+        let r1 = b.reg(sum, 8);
+        let r2 = b.reg(r1, 8);
+        let prog = b.finish(r2);
+        assert_eq!(pipeline_depth(&prog), 2);
+
+        let mut b = ProgBuilder::new("comb");
+        let a = b.input("a", 8);
+        let prog = b.finish(a);
+        assert_eq!(pipeline_depth(&prog), 0);
+    }
+
+    #[test]
+    fn resources_classify_single_dsp() {
+        let r = Resources { dsps: 1, logic_elements: 0, registers: 0 };
+        assert!(r.is_single_dsp());
+        let r = Resources { dsps: 1, logic_elements: 4, registers: 16 };
+        assert!(!r.is_single_dsp());
+    }
+
+    #[test]
+    fn maps_a_multiply_to_one_intel_dsp() {
+        let mut b = ProgBuilder::new("mul8");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let out = b.op2(BvOp::Mul, a, bb);
+        let spec = b.finish(out);
+        let arch = Architecture::intel_cyclone10lp();
+        let outcome = map_design(&spec, Template::Dsp, &arch, &quick_config()).unwrap();
+        let mapped = outcome.success().expect("multiply should map to the Intel DSP");
+        assert!(mapped.resources.is_single_dsp(), "resources: {:?}", mapped.resources);
+        assert!(mapped.verilog.contains("cyclone10lp_mac_mult"));
+        // Cross-check the implementation against the spec on a few inputs.
+        for (av, bv) in [(0u64, 0u64), (3, 5), (255, 255), (17, 200)] {
+            let env = StreamInputs::from_constants([
+                ("a".to_string(), BitVec::from_u64(av, 8)),
+                ("b".to_string(), BitVec::from_u64(bv, 8)),
+            ]);
+            assert_eq!(
+                spec.interp(&env, 0).unwrap(),
+                mapped.implementation.interp(&env, 0).unwrap(),
+                "a={av} b={bv}"
+            );
+        }
+    }
+
+    #[test]
+    fn maps_the_running_example_to_one_dsp48e2() {
+        // (a + b) * c & d with one pipeline stage, 8 bits.
+        let mut b = ProgBuilder::new("add_mul_and");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let c = b.input("c", 8);
+        let d = b.input("d", 8);
+        let sum = b.op2(BvOp::Add, a, bb);
+        let prod = b.op2(BvOp::Mul, sum, c);
+        let masked = b.op2(BvOp::And, prod, d);
+        let r = b.reg(masked, 8);
+        let spec = b.finish(r);
+
+        let arch = Architecture::xilinx_ultrascale_plus();
+        let outcome = map_design(&spec, Template::Dsp, &arch, &quick_config()).unwrap();
+        let mapped = outcome.success().expect("add_mul_and should map to one DSP48E2");
+        assert!(mapped.resources.is_single_dsp(), "resources: {:?}", mapped.resources);
+        assert!(mapped.verilog.contains("DSP48E2"));
+        let env = StreamInputs::from_constants([
+            ("a".to_string(), BitVec::from_u64(3, 8)),
+            ("b".to_string(), BitVec::from_u64(5, 8)),
+            ("c".to_string(), BitVec::from_u64(7, 8)),
+            ("d".to_string(), BitVec::from_u64(0x3F, 8)),
+        ]);
+        for t in 1..4 {
+            assert_eq!(
+                spec.interp(&env, t).unwrap(),
+                mapped.implementation.interp(&env, t).unwrap(),
+                "cycle {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmappable_design_reports_unsat_or_timeout() {
+        // A three-operand chain with two multiplications cannot fit one DSP.
+        let mut b = ProgBuilder::new("mul_mul");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let c = b.input("c", 8);
+        let p1 = b.op2(BvOp::Mul, a, bb);
+        let p2 = b.op2(BvOp::Mul, p1, c);
+        let spec = b.finish(p2);
+        let arch = Architecture::intel_cyclone10lp();
+        let mut config = quick_config();
+        config.timeout = Duration::from_secs(20);
+        let outcome = map_design(&spec, Template::Dsp, &arch, &config).unwrap();
+        assert!(!outcome.is_success(), "two chained multiplies cannot be one mac_mult");
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        let err = map_verilog(
+            "module broken(",
+            Template::Dsp,
+            &Architecture::xilinx_ultrascale_plus(),
+            &quick_config(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::Frontend(_)));
+    }
+}

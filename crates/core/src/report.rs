@@ -1,0 +1,178 @@
+//! Aggregation helpers used by the experiment binaries: outcome tallies, timing
+//! summaries (median / min / max, as in Figure 6 bottom), and runtime histograms
+//! (Figure 7).
+
+use std::time::Duration;
+
+/// The classification the completeness experiment uses for one run of one tool on
+/// one microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunClass {
+    /// Mapped to a single DSP.
+    Success,
+    /// The tool returned a mapping, but it uses more than a single DSP.
+    Fail,
+    /// Lakeroad proved no single-DSP mapping exists.
+    Unsat,
+    /// The tool timed out.
+    Timeout,
+}
+
+/// A tally of run classifications for one (architecture, tool) pair — one bar of
+/// Figure 6 (top).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Successful single-DSP mappings.
+    pub success: usize,
+    /// Mappings that used more than one DSP's worth of resources.
+    pub fail: usize,
+    /// UNSAT verdicts.
+    pub unsat: usize,
+    /// Timeouts.
+    pub timeout: usize,
+}
+
+impl Tally {
+    /// Records one run.
+    pub fn record(&mut self, class: RunClass) {
+        match class {
+            RunClass::Success => self.success += 1,
+            RunClass::Fail => self.fail += 1,
+            RunClass::Unsat => self.unsat += 1,
+            RunClass::Timeout => self.timeout += 1,
+        }
+    }
+
+    /// Total number of runs recorded.
+    pub fn total(&self) -> usize {
+        self.success + self.fail + self.unsat + self.timeout
+    }
+
+    /// Fraction of runs that mapped to a single DSP.
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.success as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Timing summary (median / min / max), as reported in Figure 6 (bottom).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSummary {
+    /// Median run time in seconds.
+    pub median_s: f64,
+    /// Minimum run time in seconds.
+    pub min_s: f64,
+    /// Maximum run time in seconds.
+    pub max_s: f64,
+}
+
+/// Summarizes a set of durations. Returns `None` for an empty set.
+pub fn summarize_timing(durations: &[Duration]) -> Option<TimingSummary> {
+    if durations.is_empty() {
+        return None;
+    }
+    let mut secs: Vec<f64> = durations.iter().map(Duration::as_secs_f64).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if secs.len() % 2 == 1 {
+        secs[secs.len() / 2]
+    } else {
+        (secs[secs.len() / 2 - 1] + secs[secs.len() / 2]) / 2.0
+    };
+    Some(TimingSummary { median_s: median, min_s: secs[0], max_s: *secs.last().unwrap() })
+}
+
+/// A histogram over run times (Figure 7): fixed-width buckets in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket width in seconds.
+    pub bucket_width_s: f64,
+    /// Counts per bucket (bucket `i` covers `[i*w, (i+1)*w)`).
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with the given bucket width covering all the samples.
+    pub fn build(durations: &[Duration], bucket_width_s: f64, max_s: f64) -> Histogram {
+        let buckets = (max_s / bucket_width_s).ceil().max(1.0) as usize;
+        let mut counts = vec![0usize; buckets];
+        for d in durations {
+            let idx = ((d.as_secs_f64() / bucket_width_s) as usize).min(buckets - 1);
+            counts[idx] += 1;
+        }
+        Histogram { bucket_width_s, counts }
+    }
+
+    /// Renders the histogram as rows of `lo..hi: count  ###`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &count) in self.counts.iter().enumerate() {
+            let lo = i as f64 * self.bucket_width_s;
+            let hi = lo + self.bucket_width_s;
+            let bar = "#".repeat((count * 40).div_ceil(max).min(40));
+            out.push_str(&format!("{lo:6.1}-{hi:6.1} s | {count:5} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Renders an ASCII bar for a proportion (used for the Figure 6 top bars).
+pub fn proportion_bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), "░".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_and_rates() {
+        let mut t = Tally::default();
+        t.record(RunClass::Success);
+        t.record(RunClass::Success);
+        t.record(RunClass::Fail);
+        t.record(RunClass::Unsat);
+        assert_eq!(t.total(), 4);
+        assert!((t.success_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(Tally::default().success_rate(), 0.0);
+    }
+
+    #[test]
+    fn timing_summary_median() {
+        let durations: Vec<Duration> =
+            [1.0f64, 3.0, 2.0].iter().map(|s| Duration::from_secs_f64(*s)).collect();
+        let s = summarize_timing(&durations).unwrap();
+        assert_eq!(s.median_s, 2.0);
+        assert_eq!(s.min_s, 1.0);
+        assert_eq!(s.max_s, 3.0);
+        let even: Vec<Duration> =
+            [1.0f64, 2.0, 3.0, 4.0].iter().map(|s| Duration::from_secs_f64(*s)).collect();
+        assert_eq!(summarize_timing(&even).unwrap().median_s, 2.5);
+        assert!(summarize_timing(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_buckets_and_rendering() {
+        let durations: Vec<Duration> =
+            [0.1f64, 0.2, 1.5, 9.0].iter().map(|s| Duration::from_secs_f64(*s)).collect();
+        let h = Histogram::build(&durations, 1.0, 4.0);
+        assert_eq!(h.counts.len(), 4);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[3], 1); // clamped into the last bucket
+        let rendered = h.render();
+        assert!(rendered.lines().count() == 4);
+        assert!(rendered.contains('#'));
+    }
+
+    #[test]
+    fn proportion_bars_have_fixed_width() {
+        assert_eq!(proportion_bar(0.0, 10).chars().count(), 10);
+        assert_eq!(proportion_bar(1.0, 10).chars().count(), 10);
+        assert_eq!(proportion_bar(0.5, 10).chars().count(), 10);
+    }
+}

@@ -1,0 +1,289 @@
+//! The §5.1 microbenchmark suites.
+//!
+//! For each DSP-bearing architecture the paper enumerates the designs that should be
+//! mappable to a single DSP according to the vendor documentation:
+//!
+//! * **Xilinx UltraScale+**: all permutations of `((a ± b) * c) ⊙ d` with
+//!   `⊙ ∈ {&, |, +, -, ^}`, plus `a * b` and `(a * b) ± c`; 0–3 pipeline stages;
+//!   bitwidths 8–18 → 1320 microbenchmarks.
+//! * **Lattice ECP5**: `(a * b) ⊙ c` with `⊙ ∈ {&, |, ^, +, -}` plus `a * b`;
+//!   0–2 stages; widths 8–18 → 396 microbenchmarks.
+//! * **Intel Cyclone 10 LP**: `a * b`; 0–2 stages; widths 8–18 → 66 microbenchmarks.
+
+use lr_arch::ArchName;
+use lr_ir::{BvOp, NodeId, Prog, ProgBuilder};
+
+/// The binary operator applied after the multiply (`⊙` in the paper's grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PostOp {
+    /// No post-operation (`a * b` or `(a ± b) * c`).
+    None,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+}
+
+impl PostOp {
+    fn apply(self, b: &mut ProgBuilder, lhs: NodeId, rhs: NodeId) -> NodeId {
+        match self {
+            PostOp::None => lhs,
+            PostOp::And => b.op2(BvOp::And, lhs, rhs),
+            PostOp::Or => b.op2(BvOp::Or, lhs, rhs),
+            PostOp::Xor => b.op2(BvOp::Xor, lhs, rhs),
+            PostOp::Add => b.op2(BvOp::Add, lhs, rhs),
+            PostOp::Sub => b.op2(BvOp::Sub, lhs, rhs),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            PostOp::None => "",
+            PostOp::And => "and",
+            PostOp::Or => "or",
+            PostOp::Xor => "xor",
+            PostOp::Add => "add",
+            PostOp::Sub => "sub",
+        }
+    }
+}
+
+/// The overall shape of a microbenchmark design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignShape {
+    /// `a * b`
+    Mul,
+    /// `(a * b) ⊙ c`
+    MulThen(PostOp),
+    /// `(a + b) * c` then optionally `⊙ d`
+    PreAddMulThen(PostOp),
+    /// `(a - b) * c` then optionally `⊙ d`
+    PreSubMulThen(PostOp),
+}
+
+/// One microbenchmark: a design shape at a bitwidth with a number of pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Microbenchmark {
+    /// A stable, human-readable name (used in reports).
+    pub name: String,
+    /// The design shape.
+    pub shape: DesignShape,
+    /// Operand bitwidth.
+    pub width: u32,
+    /// Number of pipeline stages (registers after the combinational expression).
+    pub stages: u32,
+    /// Whether the source design declares its operands `$signed`. At equal operand
+    /// and result widths the low result bits of signed and unsigned arithmetic
+    /// coincide, so the behavioural ℒlr program is the same; the flag matters to the
+    /// syntactic baseline mappers (whose pattern rules distinguish the two) and keeps
+    /// the suite sizes aligned with the paper's counts.
+    pub signed: bool,
+    /// The architecture suite this benchmark belongs to.
+    pub architecture: ArchName,
+}
+
+impl Microbenchmark {
+    /// Builds the behavioral ℒlr design for this microbenchmark.
+    pub fn build(&self) -> Prog {
+        let mut b = ProgBuilder::new(&self.name);
+        let w = self.width;
+        let root = match self.shape {
+            DesignShape::Mul => {
+                let a = b.input("a", w);
+                let x = b.input("b", w);
+                b.op2(BvOp::Mul, a, x)
+            }
+            DesignShape::MulThen(op) => {
+                let a = b.input("a", w);
+                let x = b.input("b", w);
+                let c = b.input("c", w);
+                let prod = b.op2(BvOp::Mul, a, x);
+                op.apply(&mut b, prod, c)
+            }
+            DesignShape::PreAddMulThen(op) | DesignShape::PreSubMulThen(op) => {
+                let a = b.input("a", w);
+                let x = b.input("b", w);
+                let c = b.input("c", w);
+                let pre = if matches!(self.shape, DesignShape::PreAddMulThen(_)) {
+                    b.op2(BvOp::Add, a, x)
+                } else {
+                    b.op2(BvOp::Sub, a, x)
+                };
+                let prod = b.op2(BvOp::Mul, pre, c);
+                if op == PostOp::None {
+                    prod
+                } else {
+                    let d = b.input("d", w);
+                    op.apply(&mut b, prod, d)
+                }
+            }
+        };
+        let mut out = root;
+        for _ in 0..self.stages {
+            out = b.reg(out, w);
+        }
+        b.finish(out)
+    }
+}
+
+/// The bitwidths the paper sweeps (8–18 bits).
+pub const FULL_WIDTHS: std::ops::RangeInclusive<u32> = 8..=18;
+
+/// The suite for one architecture, restricted to the given widths (pass
+/// [`FULL_WIDTHS`] for the paper-scale suite, or a narrower range for smoke runs).
+pub fn suite_for(arch: ArchName, widths: impl Iterator<Item = u32> + Clone) -> Vec<Microbenchmark> {
+    let mut out = Vec::new();
+    let post_ops = [PostOp::And, PostOp::Or, PostOp::Xor, PostOp::Add, PostOp::Sub];
+    match arch {
+        ArchName::XilinxUltraScalePlus => {
+            // ((a ± b) * c) ⊙ d for ⊙ in {&, |, ^, +, -}, plus (a ± b) * c,
+            // plus a * b and (a * b) ± c; 0-3 stages.
+            let mut shapes = Vec::new();
+            for op in post_ops.iter().copied().chain([PostOp::None]) {
+                shapes.push(DesignShape::PreAddMulThen(op));
+                shapes.push(DesignShape::PreSubMulThen(op));
+            }
+            shapes.push(DesignShape::Mul);
+            shapes.push(DesignShape::MulThen(PostOp::Add));
+            shapes.push(DesignShape::MulThen(PostOp::Sub));
+            for shape in shapes {
+                for stages in 0..=3 {
+                    for width in widths.clone() {
+                        for signed in [false, true] {
+                            out.push(make(arch, shape, width, stages, signed));
+                        }
+                    }
+                }
+            }
+        }
+        ArchName::LatticeEcp5 => {
+            // (a * b) ⊙ c for ⊙ in {&, |, ^, +, -}, plus a * b; 0-2 stages.
+            let mut shapes: Vec<DesignShape> =
+                post_ops.iter().map(|&op| DesignShape::MulThen(op)).collect();
+            shapes.push(DesignShape::Mul);
+            for shape in shapes {
+                for stages in 0..=2 {
+                    for width in widths.clone() {
+                        for signed in [false, true] {
+                            out.push(make(arch, shape, width, stages, signed));
+                        }
+                    }
+                }
+            }
+        }
+        ArchName::IntelCyclone10Lp => {
+            for stages in 0..=2 {
+                for width in widths.clone() {
+                    for signed in [false, true] {
+                        out.push(make(arch, DesignShape::Mul, width, stages, signed));
+                    }
+                }
+            }
+        }
+        ArchName::Sofa => {}
+    }
+    out
+}
+
+fn make(arch: ArchName, shape: DesignShape, width: u32, stages: u32, signed: bool) -> Microbenchmark {
+    let shape_name = match shape {
+        DesignShape::Mul => "mul".to_string(),
+        DesignShape::MulThen(op) => format!("mul_{}", op.name()),
+        DesignShape::PreAddMulThen(PostOp::None) => "preadd_mul".to_string(),
+        DesignShape::PreSubMulThen(PostOp::None) => "presub_mul".to_string(),
+        DesignShape::PreAddMulThen(op) => format!("preadd_mul_{}", op.name()),
+        DesignShape::PreSubMulThen(op) => format!("presub_mul_{}", op.name()),
+    };
+    let sign = if signed { "_signed" } else { "" };
+    Microbenchmark {
+        name: format!("{shape_name}_w{width}_s{stages}{sign}"),
+        shape,
+        width,
+        stages,
+        signed,
+        architecture: arch,
+    }
+}
+
+/// The full paper-scale suite for one architecture.
+pub fn full_suite(arch: ArchName) -> Vec<Microbenchmark> {
+    suite_for(arch, FULL_WIDTHS)
+}
+
+/// A scaled-down suite (one narrow width, all shapes and stages) used by the smoke
+/// experiments and the Criterion benchmarks.
+pub fn smoke_suite(arch: ArchName) -> Vec<Microbenchmark> {
+    suite_for(arch, [8u32].into_iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_bv::BitVec;
+    use lr_ir::StreamInputs;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(full_suite(ArchName::XilinxUltraScalePlus).len(), 1320);
+        assert_eq!(full_suite(ArchName::LatticeEcp5).len(), 396);
+        assert_eq!(full_suite(ArchName::IntelCyclone10Lp).len(), 66);
+        assert!(full_suite(ArchName::Sofa).is_empty());
+    }
+
+    #[test]
+    fn benchmark_names_are_unique() {
+        for arch in [
+            ArchName::XilinxUltraScalePlus,
+            ArchName::LatticeEcp5,
+            ArchName::IntelCyclone10Lp,
+        ] {
+            let suite = full_suite(arch);
+            let names: std::collections::HashSet<_> = suite.iter().map(|m| &m.name).collect();
+            assert_eq!(names.len(), suite.len(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn built_designs_behave_as_specified() {
+        let bench = make(
+            ArchName::XilinxUltraScalePlus,
+            DesignShape::PreAddMulThen(PostOp::And),
+            8,
+            2,
+            false,
+        );
+        let prog = bench.build();
+        assert!(prog.well_formed().is_ok());
+        assert!(prog.is_behavioral());
+        assert_eq!(crate::pipeline_depth(&prog), 2);
+        let env = StreamInputs::from_constants(
+            [("a", 3u64), ("b", 5), ("c", 7), ("d", 0x3F)]
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), BitVec::from_u64(v, 8))),
+        );
+        assert_eq!(
+            prog.interp(&env, 2).unwrap(),
+            BitVec::from_u64(((3 + 5) * 7) & 0x3F, 8)
+        );
+
+        let bench = make(ArchName::IntelCyclone10Lp, DesignShape::Mul, 12, 0, true);
+        let prog = bench.build();
+        let env = StreamInputs::from_constants(
+            [("a", 100u64), ("b", 30)].into_iter().map(|(n, v)| (n.to_string(), BitVec::from_u64(v, 12))),
+        );
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(3000, 12));
+    }
+
+    #[test]
+    fn smoke_suite_is_a_subset_shapewise() {
+        let smoke = smoke_suite(ArchName::LatticeEcp5);
+        assert_eq!(smoke.len(), 36); // 6 shapes x 3 stage counts x 1 width x 2 signedness
+        assert!(smoke.iter().all(|m| m.width == 8));
+    }
+}

@@ -1,0 +1,409 @@
+//! Elaboration of parsed mini-HDL modules into ℒbeh programs, including the
+//! "semantics extraction from HDL" entry point (§4.4).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lr_bv::BitVec;
+use lr_ir::{BvOp, NodeId, Prog, ProgBuilder};
+
+use crate::ast::{BinaryOp, Expr, ModuleAst, PortDir, Statement, UnaryOp};
+use crate::parser::{parse_module, ParseError};
+
+/// An error produced during elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElaborateError {
+    /// The module has no data output.
+    NoOutput,
+    /// The module's output is never assigned.
+    OutputNeverAssigned(String),
+    /// A signal is referenced before any driver for it has been elaborated.
+    UseBeforeDefinition(String),
+    /// A signal is referenced but never declared.
+    UndeclaredSignal(String),
+    /// A syntax error from the parser (for [`parse_and_elaborate`]).
+    Parse(String),
+}
+
+impl fmt::Display for ElaborateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElaborateError::NoOutput => write!(f, "module has no output port"),
+            ElaborateError::OutputNeverAssigned(s) => write!(f, "output `{s}` is never assigned"),
+            ElaborateError::UseBeforeDefinition(s) => {
+                write!(f, "signal `{s}` is used before it is driven")
+            }
+            ElaborateError::UndeclaredSignal(s) => write!(f, "signal `{s}` is not declared"),
+            ElaborateError::Parse(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ElaborateError {}
+
+impl From<ParseError> for ElaborateError {
+    fn from(e: ParseError) -> Self {
+        ElaborateError::Parse(e.to_string())
+    }
+}
+
+/// Parses and elaborates a behavioral design (parameters keep their default values).
+///
+/// # Errors
+/// Returns an error if parsing or elaboration fails.
+pub fn parse_and_elaborate(src: &str) -> Result<Prog, ElaborateError> {
+    let ast = parse_module(src)?;
+    elaborate(&ast, false)
+}
+
+/// Semantics extraction from HDL (§4.4): parses a vendor-style primitive model and
+/// elaborates it with **parameters converted to input ports**, so that parameters
+/// remain symbols the synthesis engine can solve for.
+///
+/// # Errors
+/// Returns an error if parsing or elaboration fails.
+pub fn extract_semantics(src: &str) -> Result<Prog, ElaborateError> {
+    let ast = parse_module(src)?;
+    elaborate(&ast, true)
+}
+
+/// Elaborates a parsed module into an ℒbeh program rooted at its (single) output.
+///
+/// When `params_as_inputs` is true, `parameter` declarations become free variables of
+/// the program (the extraction behaviour); otherwise their default values are used as
+/// constants.
+///
+/// # Errors
+/// Returns an error if the module has no output, a signal is undeclared, or a
+/// combinational signal is used before it is driven.
+pub fn elaborate(ast: &ModuleAst, params_as_inputs: bool) -> Result<Prog, ElaborateError> {
+    let output_name = ast.outputs.first().cloned().ok_or(ElaborateError::NoOutput)?;
+    let mut b = ProgBuilder::new(&ast.name);
+    let mut env: HashMap<String, NodeId> = HashMap::new();
+
+    // Inputs (excluding the clock, which is implicit in the IR's register semantics).
+    for sig in &ast.signals {
+        if sig.dir == Some(PortDir::Input) && sig.name != "clk" {
+            let id = b.input(&sig.name, sig.width);
+            env.insert(sig.name.clone(), id);
+        }
+    }
+    // Parameters: symbolic inputs when extracting, constants otherwise.
+    for sig in &ast.signals {
+        if sig.is_parameter {
+            let id = if params_as_inputs {
+                b.input(&sig.name, sig.width)
+            } else {
+                b.constant(sig.default.clone().unwrap_or_else(|| BitVec::zeros(sig.width)))
+            };
+            env.insert(sig.name.clone(), id);
+        }
+    }
+    // Registers driven by non-blocking assignments get placeholders up front, so they
+    // can be referenced before (or within) the statements that drive them.
+    for stmt in &ast.statements {
+        if let Statement::NonBlocking { lhs, .. } = stmt {
+            let width = ast
+                .signal(lhs)
+                .map(|s| s.width)
+                .ok_or_else(|| ElaborateError::UndeclaredSignal(lhs.clone()))?;
+            env.entry(lhs.clone()).or_insert_with(|| b.reg_placeholder(width));
+        }
+    }
+    // Elaborate statements in source order.
+    for stmt in &ast.statements {
+        match stmt {
+            Statement::Assign { lhs, rhs } => {
+                let width = ast
+                    .signal(lhs)
+                    .map(|s| s.width)
+                    .ok_or_else(|| ElaborateError::UndeclaredSignal(lhs.clone()))?;
+                let value = lower_expr(&mut b, &env, ast, rhs)?;
+                let value = resize(&mut b, value, width);
+                env.insert(lhs.clone(), value);
+            }
+            Statement::NonBlocking { lhs, rhs } => {
+                let width = ast.signal(lhs).map(|s| s.width).unwrap_or(1);
+                let value = lower_expr(&mut b, &env, ast, rhs)?;
+                let value = resize(&mut b, value, width);
+                let reg = env[lhs];
+                b.set_reg_data(reg, value);
+            }
+        }
+    }
+    let root = *env
+        .get(&output_name)
+        .ok_or(ElaborateError::OutputNeverAssigned(output_name.clone()))?;
+    Ok(b.finish(root))
+}
+
+fn width_of(b: &ProgBuilder, env: &HashMap<String, NodeId>, ast: &ModuleAst, id: NodeId) -> u32 {
+    // The builder does not expose widths before `finish`, so recompute from the AST
+    // where possible; fall back to finishing a clone (cheap for these module sizes).
+    let _ = (env, ast);
+    let prog = b.clone().finish(id);
+    prog.width(id)
+}
+
+fn resize(b: &mut ProgBuilder, id: NodeId, width: u32) -> NodeId {
+    let current = width_of(b, &HashMap::new(), &empty_ast(), id);
+    if current == width {
+        id
+    } else if current < width {
+        b.zext(id, width)
+    } else {
+        b.extract(id, width - 1, 0)
+    }
+}
+
+fn empty_ast() -> ModuleAst {
+    ModuleAst { name: String::new(), signals: vec![], statements: vec![], outputs: vec![] }
+}
+
+fn lower_expr(
+    b: &mut ProgBuilder,
+    env: &HashMap<String, NodeId>,
+    ast: &ModuleAst,
+    expr: &Expr,
+) -> Result<NodeId, ElaborateError> {
+    match expr {
+        Expr::Literal(bv) => Ok(b.constant(bv.clone())),
+        Expr::Ident(name) => {
+            if let Some(&id) = env.get(name) {
+                Ok(id)
+            } else if ast.signal(name).is_some() {
+                Err(ElaborateError::UseBeforeDefinition(name.clone()))
+            } else {
+                Err(ElaborateError::UndeclaredSignal(name.clone()))
+            }
+        }
+        Expr::Unary(op, inner) => {
+            let x = lower_expr(b, env, ast, inner)?;
+            Ok(match op {
+                UnaryOp::Not => b.op1(BvOp::Not, x),
+                UnaryOp::Neg => b.op1(BvOp::Neg, x),
+                UnaryOp::RedAnd => b.op1(BvOp::RedAnd, x),
+                UnaryOp::RedOr => b.op1(BvOp::RedOr, x),
+                UnaryOp::RedXor => b.op1(BvOp::RedXor, x),
+                UnaryOp::LogicalNot => {
+                    let any = b.op1(BvOp::RedOr, x);
+                    b.op1(BvOp::Not, any)
+                }
+            })
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let mut x = lower_expr(b, env, ast, lhs)?;
+            let mut y = lower_expr(b, env, ast, rhs)?;
+            // Widen both operands to the larger width (Verilog's context rule,
+            // restricted to our subset).
+            let wx = width_of(b, env, ast, x);
+            let wy = width_of(b, env, ast, y);
+            let w = wx.max(wy);
+            if !matches!(op, BinaryOp::Shl | BinaryOp::Shr) {
+                x = resize(b, x, w);
+                y = resize(b, y, w);
+            } else {
+                // Shift amounts keep their own width but must match for the IR op.
+                y = resize(b, y, w.max(wx));
+                x = resize(b, x, w.max(wx));
+            }
+            Ok(match op {
+                BinaryOp::Add => b.op2(BvOp::Add, x, y),
+                BinaryOp::Sub => b.op2(BvOp::Sub, x, y),
+                BinaryOp::Mul => b.op2(BvOp::Mul, x, y),
+                BinaryOp::And => b.op2(BvOp::And, x, y),
+                BinaryOp::Or => b.op2(BvOp::Or, x, y),
+                BinaryOp::Xor => b.op2(BvOp::Xor, x, y),
+                BinaryOp::Shl => b.op2(BvOp::Shl, x, y),
+                BinaryOp::Shr => b.op2(BvOp::Lshr, x, y),
+                BinaryOp::Eq => b.op2(BvOp::Eq, x, y),
+                BinaryOp::Ne => {
+                    let e = b.op2(BvOp::Eq, x, y);
+                    b.op1(BvOp::Not, e)
+                }
+                BinaryOp::Lt => b.op2(BvOp::Ult, x, y),
+                BinaryOp::Le => b.op2(BvOp::Ule, x, y),
+                BinaryOp::Gt => b.op2(BvOp::Ult, y, x),
+                BinaryOp::Ge => b.op2(BvOp::Ule, y, x),
+                BinaryOp::LogicalAnd => {
+                    let xa = b.op1(BvOp::RedOr, x);
+                    let ya = b.op1(BvOp::RedOr, y);
+                    b.op2(BvOp::And, xa, ya)
+                }
+                BinaryOp::LogicalOr => {
+                    let xa = b.op1(BvOp::RedOr, x);
+                    let ya = b.op1(BvOp::RedOr, y);
+                    b.op2(BvOp::Or, xa, ya)
+                }
+            })
+        }
+        Expr::Ternary(cond, then_, else_) => {
+            let c = lower_expr(b, env, ast, cond)?;
+            let c1 = if width_of(b, env, ast, c) == 1 { c } else { b.op1(BvOp::RedOr, c) };
+            let mut t = lower_expr(b, env, ast, then_)?;
+            let mut e = lower_expr(b, env, ast, else_)?;
+            let w = width_of(b, env, ast, t).max(width_of(b, env, ast, e));
+            t = resize(b, t, w);
+            e = resize(b, e, w);
+            Ok(b.mux(c1, t, e))
+        }
+        Expr::Concat(parts) => {
+            let mut ids: Vec<NodeId> = Vec::new();
+            for p in parts {
+                ids.push(lower_expr(b, env, ast, p)?);
+            }
+            // {a, b, c}: a is most significant. Fold left with Concat(high, low).
+            let mut acc = *ids.last().expect("concat is non-empty");
+            for &hi in ids.iter().rev().skip(1) {
+                acc = b.op2(BvOp::Concat, hi, acc);
+            }
+            Ok(acc)
+        }
+        Expr::PartSelect(inner, hi, lo) => {
+            let x = lower_expr(b, env, ast, inner)?;
+            Ok(b.extract(x, *hi, *lo))
+        }
+        Expr::BitSelect(inner, idx) => {
+            let x = lower_expr(b, env, ast, inner)?;
+            Ok(b.extract(x, *idx, *idx))
+        }
+        Expr::DynBitSelect(inner, index) => {
+            // x[i] with a non-constant index lowers to (x >> i)[0].
+            let x = lower_expr(b, env, ast, inner)?;
+            let i = lower_expr(b, env, ast, index)?;
+            let w = width_of(b, env, ast, x);
+            let i = resize(b, i, w);
+            let shifted = b.op2(BvOp::Lshr, x, i);
+            Ok(b.extract(shifted, 0, 0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_ir::StreamInputs;
+
+    fn inputs(pairs: &[(&str, u64, u32)]) -> StreamInputs {
+        StreamInputs::from_constants(
+            pairs.iter().map(|&(n, v, w)| (n.to_string(), BitVec::from_u64(v, w))),
+        )
+    }
+
+    const ADD_MUL_AND: &str = r#"
+module add_mul_and(input clk, input [15:0] a, b, c, d,
+                   output reg [15:0] out);
+  reg [15:0] r;
+  always @(posedge clk) begin
+    r <= (a+b)*c&d;
+    out <= r;
+  end
+endmodule
+"#;
+
+    #[test]
+    fn elaborates_the_running_example() {
+        let prog = parse_and_elaborate(ADD_MUL_AND).unwrap();
+        assert_eq!(prog.name(), "add_mul_and");
+        assert!(prog.is_behavioral());
+        assert!(prog.well_formed().is_ok());
+        assert_eq!(prog.width(prog.root()), 16);
+        // Two pipeline stages: result appears at cycle 2.
+        let env = inputs(&[("a", 3, 16), ("b", 5, 16), ("c", 7, 16), ("d", 0xFF, 16)]);
+        assert_eq!(prog.interp(&env, 2).unwrap(), BitVec::from_u64((3 + 5) * 7 & 0xFF, 16));
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::zeros(16));
+    }
+
+    #[test]
+    fn elaborates_combinational_assign() {
+        let prog = parse_and_elaborate(
+            "module f(input [7:0] a, b, output [7:0] y); assign y = (a ^ b) | 8'h0f; endmodule",
+        )
+        .unwrap();
+        let env = inputs(&[("a", 0x30, 8), ("b", 0x41, 8)]);
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64((0x30 ^ 0x41) | 0x0F, 8));
+    }
+
+    #[test]
+    fn parameters_become_constants_or_inputs() {
+        let src = r#"
+module lut2(input [1:0] in, output out);
+  parameter [3:0] INIT = 4'h8;
+  assign out = INIT[in];
+endmodule
+"#;
+        // Design mode: INIT = 8 = 0b1000, so out = 1 only when in = 3.
+        let design = parse_and_elaborate(src).unwrap();
+        assert_eq!(design.free_vars().len(), 1);
+        let env = inputs(&[("in", 3, 2)]);
+        assert_eq!(design.interp(&env, 0).unwrap(), BitVec::from_bool(true));
+        let env = inputs(&[("in", 1, 2)]);
+        assert_eq!(design.interp(&env, 0).unwrap(), BitVec::from_bool(false));
+
+        // Extraction mode: INIT becomes a free input (a solvable symbol).
+        let extracted = extract_semantics(src).unwrap();
+        let names: Vec<String> = extracted.free_vars().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"INIT".to_string()));
+        let env = inputs(&[("in", 2, 2), ("INIT", 0b0100, 4)]);
+        assert_eq!(extracted.interp(&env, 0).unwrap(), BitVec::from_bool(true));
+    }
+
+    #[test]
+    fn width_mismatches_are_resolved_like_verilog() {
+        // 8-bit + 32-bit literal truncates back to the 8-bit output.
+        let prog = parse_and_elaborate(
+            "module f(input [7:0] a, output [7:0] y); assign y = a + 300; endmodule",
+        )
+        .unwrap();
+        let env = inputs(&[("a", 10, 8)]);
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64((10 + 300) & 0xFF, 8));
+    }
+
+    #[test]
+    fn self_feedback_counter() {
+        let prog = parse_and_elaborate(
+            "module counter(input clk, output reg [7:0] out); always @(posedge clk) out <= out + 8'd1; endmodule",
+        )
+        .unwrap();
+        let env = StreamInputs::new();
+        assert_eq!(prog.interp(&env, 5).unwrap(), BitVec::from_u64(5, 8));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse_and_elaborate("module m(input a); assign b = a; endmodule"),
+            Err(ElaborateError::NoOutput)
+        ));
+        assert!(matches!(
+            parse_and_elaborate("module m(input a, output y); assign y = zz; endmodule"),
+            Err(ElaborateError::UndeclaredSignal(_))
+        ));
+        assert!(matches!(
+            parse_and_elaborate("module m(input a, output y); endmodule"),
+            Err(ElaborateError::OutputNeverAssigned(_))
+        ));
+        assert!(matches!(
+            parse_and_elaborate(
+                "module m(input a, output y); wire w; assign y = w; assign w = a; endmodule"
+            ),
+            Err(ElaborateError::UseBeforeDefinition(_))
+        ));
+        assert!(matches!(
+            parse_and_elaborate("module m(input a output y);"),
+            Err(ElaborateError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn ternary_and_comparisons() {
+        let prog = parse_and_elaborate(
+            "module max(input [7:0] a, b, output [7:0] y); assign y = a < b ? b : a; endmodule",
+        )
+        .unwrap();
+        let env = inputs(&[("a", 9, 8), ("b", 200, 8)]);
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(200, 8));
+        let env = inputs(&[("a", 250, 8), ("b", 200, 8)]);
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(250, 8));
+    }
+}

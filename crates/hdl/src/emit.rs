@@ -1,0 +1,236 @@
+//! Compilation of ℒlr programs to structural Verilog (§4.5).
+//!
+//! Like the original Lakeroad, this is a deliberately mechanical, one-to-one
+//! syntactic mapping: every node becomes a wire (or flip-flop), every primitive
+//! instance becomes a module instantiation, and no optimization is performed, which
+//! keeps the emitter out of the reasoning path and minimizes the chance of
+//! introducing bugs after synthesis has established correctness.
+
+use std::fmt::Write as _;
+
+use lr_ir::{BvOp, Node, NodeId, Prog};
+
+/// Emits a structural Verilog module for an ℒlr program.
+///
+/// Registers become `always @(posedge clk)` blocks (a `clk` input is added whenever
+/// the design is sequential), primitive instances become module instantiations with
+/// their parameters, and wiring operators become `assign`s.
+pub fn emit_verilog(prog: &Prog) -> String {
+    let mut wires = String::new();
+    let mut body = String::new();
+    let sequential = has_state(prog);
+
+    for (id, node) in prog.nodes() {
+        let width = prog.width(id);
+        match node {
+            Node::Reg { data, init } => {
+                let _ = writeln!(wires, "  reg [{}:0] {};", width - 1, wire(id));
+                let _ = writeln!(
+                    body,
+                    "  always @(posedge clk) {} <= {}; // init {}",
+                    wire(id),
+                    wire(*data),
+                    init.to_verilog_literal()
+                );
+            }
+            Node::BV(value) => {
+                let _ = writeln!(wires, "  wire [{}:0] {};", width - 1, wire(id));
+                let _ = writeln!(body, "  assign {} = {};", wire(id), value.to_verilog_literal());
+            }
+            Node::Var { name, .. } => {
+                let _ = writeln!(wires, "  wire [{}:0] {};", width - 1, wire(id));
+                let _ = writeln!(body, "  assign {} = {};", wire(id), name);
+            }
+            Node::Hole { name, .. } => {
+                let _ = writeln!(wires, "  wire [{}:0] {};", width - 1, wire(id));
+                let _ = writeln!(
+                    body,
+                    "  // UNFILLED HOLE `{name}` -- emit after synthesis fills it\n  assign {} = {}'d0;",
+                    wire(id),
+                    width
+                );
+            }
+            Node::Op(op, args) => {
+                let _ = writeln!(wires, "  wire [{}:0] {};", width - 1, wire(id));
+                let expr = op_expr(*op, args);
+                let _ = writeln!(body, "  assign {} = {};", wire(id), expr);
+            }
+            Node::Prim(p) => {
+                let _ = writeln!(wires, "  wire [{}:0] {};", width - 1, wire(id));
+                let mut params = Vec::new();
+                let mut ports = Vec::new();
+                for (name, &bound) in &p.bindings {
+                    if p.param_names.contains(name) {
+                        // Parameters must be constants after hole filling; fall back
+                        // to the driving wire's name in the unusual case they are not.
+                        let value = match prog.node(bound) {
+                            Some(Node::BV(bv)) => bv.to_verilog_literal(),
+                            _ => wire(bound),
+                        };
+                        params.push(format!(".{name}({value})"));
+                    } else {
+                        ports.push(format!(".{name}({})", wire(bound)));
+                    }
+                }
+                if sequential {
+                    ports.push(".CLK(clk)".to_string());
+                }
+                ports.push(format!(".{}({})", p.output_port, wire(id)));
+                let param_text = if params.is_empty() {
+                    String::new()
+                } else {
+                    format!(" #({})", params.join(", "))
+                };
+                let _ = writeln!(
+                    body,
+                    "  {}{} {}_{} ({});",
+                    p.module,
+                    param_text,
+                    p.module.to_lowercase(),
+                    id.0,
+                    ports.join(", ")
+                );
+            }
+        }
+    }
+
+    let mut header = String::new();
+    let _ = write!(header, "module {}(", prog.name());
+    let mut port_decls: Vec<String> = Vec::new();
+    if sequential {
+        port_decls.push("input clk".to_string());
+    }
+    for (name, width) in prog.declared_inputs() {
+        if *width == 1 {
+            port_decls.push(format!("input {name}"));
+        } else {
+            port_decls.push(format!("input [{}:0] {name}", width - 1));
+        }
+    }
+    let out_width = prog.width(prog.root());
+    if out_width == 1 {
+        port_decls.push("output out".to_string());
+    } else {
+        port_decls.push(format!("output [{}:0] out", out_width - 1));
+    }
+    let _ = writeln!(header, "{});", port_decls.join(", "));
+
+    format!("{header}{wires}{body}  assign out = {};\nendmodule\n", wire(prog.root()))
+}
+
+fn wire(id: NodeId) -> String {
+    format!("n{}", id.0)
+}
+
+fn has_state(prog: &Prog) -> bool {
+    prog.nodes().any(|(_, n)| matches!(n, Node::Reg { .. } | Node::Prim(_)))
+}
+
+fn op_expr(op: BvOp, args: &[NodeId]) -> String {
+    let a = |i: usize| wire(args[i]);
+    match op {
+        BvOp::Not => format!("~{}", a(0)),
+        BvOp::Neg => format!("-{}", a(0)),
+        BvOp::And => format!("{} & {}", a(0), a(1)),
+        BvOp::Or => format!("{} | {}", a(0), a(1)),
+        BvOp::Xor => format!("{} ^ {}", a(0), a(1)),
+        BvOp::Add => format!("{} + {}", a(0), a(1)),
+        BvOp::Sub => format!("{} - {}", a(0), a(1)),
+        BvOp::Mul => format!("{} * {}", a(0), a(1)),
+        BvOp::Udiv => format!("{} / {}", a(0), a(1)),
+        BvOp::Urem => format!("{} % {}", a(0), a(1)),
+        BvOp::Shl => format!("{} << {}", a(0), a(1)),
+        BvOp::Lshr => format!("{} >> {}", a(0), a(1)),
+        BvOp::Ashr => format!("$signed({}) >>> {}", a(0), a(1)),
+        BvOp::Concat => format!("{{{}, {}}}", a(0), a(1)),
+        BvOp::Extract { hi, lo } => format!("{}[{hi}:{lo}]", a(0)),
+        BvOp::ZeroExt { width } => format!("{{{{{width}{{1'b0}}}}, {}}}", a(0)),
+        BvOp::SignExt { width } => format!("{{{{{width}{{{}[0]}}}}, {}}}", a(0), a(0)),
+        BvOp::Eq => format!("{} == {}", a(0), a(1)),
+        BvOp::Ult => format!("{} < {}", a(0), a(1)),
+        BvOp::Ule => format!("{} <= {}", a(0), a(1)),
+        BvOp::Slt => format!("$signed({}) < $signed({})", a(0), a(1)),
+        BvOp::Sle => format!("$signed({}) <= $signed({})", a(0), a(1)),
+        BvOp::Ite => format!("{} ? {} : {}", a(0), a(1), a(2)),
+        BvOp::RedOr => format!("|{}", a(0)),
+        BvOp::RedAnd => format!("&{}", a(0)),
+        BvOp::RedXor => format!("^{}", a(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_bv::BitVec;
+    use lr_ir::{PrimInstance, ProgBuilder};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn emits_a_combinational_module() {
+        let mut b = ProgBuilder::new("comb");
+        let a = b.input("a", 8);
+        let c = b.constant_u64(0x0F, 8);
+        let out = b.op2(BvOp::And, a, c);
+        let prog = b.finish(out);
+        let v = emit_verilog(&prog);
+        assert!(v.starts_with("module comb("));
+        assert!(v.contains("input [7:0] a"));
+        assert!(v.contains("output [7:0] out"));
+        assert!(v.contains("8'h0f"));
+        assert!(v.contains("assign out ="));
+        assert!(!v.contains("clk"), "combinational module should not have a clock");
+    }
+
+    #[test]
+    fn emits_registers_and_clock() {
+        let mut b = ProgBuilder::new("seq");
+        let a = b.input("a", 4);
+        let r = b.reg(a, 4);
+        let prog = b.finish(r);
+        let v = emit_verilog(&prog);
+        assert!(v.contains("input clk"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("reg [3:0]"));
+    }
+
+    #[test]
+    fn emits_primitive_instances_with_parameters() {
+        let mut b = ProgBuilder::new("wrapped");
+        let a = b.input("a", 4);
+        let init = b.constant(BitVec::from_u64(0xBEEF, 16));
+        let mut sem = ProgBuilder::with_base_id("lut_sem", 100);
+        let x = sem.var("I", 4);
+        let i = sem.var("INIT", 16);
+        let xz = sem.zext(x, 16);
+        let shifted = sem.op2(BvOp::Lshr, i, xz);
+        let bit = sem.extract(shifted, 0, 0);
+        let sem = sem.finish(bit);
+        let prim = PrimInstance {
+            module: "LUT4".into(),
+            interface: "LUT4".into(),
+            bindings: BTreeMap::from([("I".to_string(), a), ("INIT".to_string(), init)]),
+            semantics: sem,
+            param_names: vec!["INIT".to_string()],
+            output_port: "O".into(),
+        };
+        let p = b.prim(prim);
+        let prog = b.finish(p);
+        let v = emit_verilog(&prog);
+        assert!(v.contains("LUT4 #(.INIT(16'hbeef)) lut4_"));
+        assert!(v.contains(".I(n0)"));
+        assert!(v.contains(".O("));
+    }
+
+    #[test]
+    fn emitted_text_mentions_every_node() {
+        let mut b = ProgBuilder::new("full");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let sum = b.op2(BvOp::Add, a, bb);
+        let prog = b.finish(sum);
+        let v = emit_verilog(&prog);
+        for (id, _) in prog.nodes() {
+            assert!(v.contains(&format!("n{}", id.0)), "missing wire n{}", id.0);
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Recursive-descent parser for the mini-HDL.
+
+use std::fmt;
+
+use lr_bv::BitVec;
+
+use crate::ast::{BinaryOp, Expr, ModuleAst, PortDir, SignalDecl, Statement, UnaryOp};
+use crate::lexer::{tokenize, Token};
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single module from mini-HDL source text.
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first syntax problem encountered.
+pub fn parse_module(src: &str) -> Result<ModuleAst, ParseError> {
+    let tokens = tokenize(src).map_err(ParseError::new)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == sym => Ok(()),
+            other => Err(ParseError::new(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s == kw => Ok(()),
+            other => Err(ParseError::new(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_symbol(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(s)) if s == sym)
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.at_symbol(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn module(&mut self) -> Result<ModuleAst, ParseError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        let mut signals: Vec<SignalDecl> = Vec::new();
+        let mut outputs: Vec<String> = Vec::new();
+        self.expect_symbol("(")?;
+        if !self.at_symbol(")") {
+            self.port_list(&mut signals, &mut outputs)?;
+        }
+        self.expect_symbol(")")?;
+        self.expect_symbol(";")?;
+
+        let mut statements = Vec::new();
+        loop {
+            if self.eat_keyword("endmodule") {
+                break;
+            }
+            if self.peek().is_none() {
+                return Err(ParseError::new("unexpected end of input (missing endmodule)"));
+            }
+            if self.at_keyword("reg") || self.at_keyword("wire") {
+                self.var_decl(&mut signals)?;
+            } else if self.at_keyword("parameter") {
+                self.parameter_decl(&mut signals)?;
+            } else if self.at_keyword("assign") {
+                self.pos += 1;
+                let lhs = self.expect_ident()?;
+                self.expect_symbol("=")?;
+                let rhs = self.expr()?;
+                self.expect_symbol(";")?;
+                statements.push(Statement::Assign { lhs, rhs });
+            } else if self.at_keyword("always") {
+                self.always_block(&mut statements)?;
+            } else {
+                return Err(ParseError::new(format!("unexpected token {:?}", self.peek())));
+            }
+        }
+        Ok(ModuleAst { name, signals, statements, outputs })
+    }
+
+    fn range(&mut self) -> Result<u32, ParseError> {
+        // "[" hi ":" lo "]" -> width hi - lo + 1
+        self.expect_symbol("[")?;
+        let hi = self.const_number()?;
+        self.expect_symbol(":")?;
+        let lo = self.const_number()?;
+        self.expect_symbol("]")?;
+        if lo != 0 {
+            return Err(ParseError::new("only [N:0] ranges are supported"));
+        }
+        Ok((hi - lo + 1) as u32)
+    }
+
+    fn const_number(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(ParseError::new(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn port_list(
+        &mut self,
+        signals: &mut Vec<SignalDecl>,
+        outputs: &mut Vec<String>,
+    ) -> Result<(), ParseError> {
+        let mut dir = PortDir::Input;
+        let mut width = 1u32;
+        let mut is_reg = false;
+        loop {
+            if self.eat_keyword("input") {
+                dir = PortDir::Input;
+                is_reg = false;
+                width = 1;
+            } else if self.eat_keyword("output") {
+                dir = PortDir::Output;
+                is_reg = false;
+                width = 1;
+            }
+            if self.eat_keyword("reg") {
+                is_reg = true;
+            }
+            if self.at_symbol("[") {
+                width = self.range()?;
+            }
+            let name = self.expect_ident()?;
+            signals.push(SignalDecl {
+                name: name.clone(),
+                width,
+                dir: Some(dir),
+                is_reg,
+                is_parameter: false,
+                default: None,
+            });
+            if dir == PortDir::Output {
+                outputs.push(name);
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn var_decl(&mut self, signals: &mut Vec<SignalDecl>) -> Result<(), ParseError> {
+        let is_reg = self.at_keyword("reg");
+        self.pos += 1; // reg or wire
+        let width = if self.at_symbol("[") { self.range()? } else { 1 };
+        loop {
+            let name = self.expect_ident()?;
+            signals.push(SignalDecl {
+                name,
+                width,
+                dir: None,
+                is_reg,
+                is_parameter: false,
+                default: None,
+            });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(";")?;
+        Ok(())
+    }
+
+    fn parameter_decl(&mut self, signals: &mut Vec<SignalDecl>) -> Result<(), ParseError> {
+        self.expect_keyword("parameter")?;
+        let width = if self.at_symbol("[") { self.range()? } else { 32 };
+        let name = self.expect_ident()?;
+        self.expect_symbol("=")?;
+        let default = match self.next() {
+            Some(Token::Number(n)) => BitVec::from_u64(n, width),
+            Some(Token::SizedLiteral(text)) => BitVec::parse_verilog(&text)
+                .map_err(|e| ParseError::new(e.to_string()))?
+                .resize_zext(width),
+            other => return Err(ParseError::new(format!("expected parameter value, found {other:?}"))),
+        };
+        self.expect_symbol(";")?;
+        signals.push(SignalDecl {
+            name,
+            width,
+            dir: None,
+            is_reg: false,
+            is_parameter: true,
+            default: Some(default),
+        });
+        Ok(())
+    }
+
+    fn always_block(&mut self, statements: &mut Vec<Statement>) -> Result<(), ParseError> {
+        self.expect_keyword("always")?;
+        self.expect_symbol("@")?;
+        self.expect_symbol("(")?;
+        self.expect_keyword("posedge")?;
+        let _clk = self.expect_ident()?;
+        self.expect_symbol(")")?;
+        let block = self.eat_keyword("begin");
+        loop {
+            if block && self.eat_keyword("end") {
+                break;
+            }
+            let lhs = self.expect_ident()?;
+            self.expect_symbol("<=")?;
+            let rhs = self.expr()?;
+            self.expect_symbol(";")?;
+            statements.push(Statement::NonBlocking { lhs, rhs });
+            if !block {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- expressions, by descending precedence -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat_symbol("?") {
+            let then_ = self.expr()?;
+            self.expect_symbol(":")?;
+            let else_ = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(then_), Box::new(else_)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat_symbol("||") {
+            let rhs = self.logical_and()?;
+            lhs = Expr::Binary(BinaryOp::LogicalOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat_symbol("&&") {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Binary(BinaryOp::LogicalAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_xor()?;
+        while self.at_symbol("|") {
+            self.pos += 1;
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_and()?;
+        while self.at_symbol("^") {
+            self.pos += 1;
+            let rhs = self.bit_and()?;
+            lhs = Expr::Binary(BinaryOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.at_symbol("&") {
+            self.pos += 1;
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            if self.eat_symbol("==") {
+                let rhs = self.relational()?;
+                lhs = Expr::Binary(BinaryOp::Eq, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_symbol("!=") {
+                let rhs = self.relational()?;
+                lhs = Expr::Binary(BinaryOp::Ne, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = if self.eat_symbol("<=") {
+                BinaryOp::Le
+            } else if self.eat_symbol(">=") {
+                BinaryOp::Ge
+            } else if self.at_symbol("<") {
+                self.pos += 1;
+                BinaryOp::Lt
+            } else if self.at_symbol(">") {
+                self.pos += 1;
+                BinaryOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.shift()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            if self.eat_symbol("<<") {
+                let rhs = self.additive()?;
+                lhs = Expr::Binary(BinaryOp::Shl, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_symbol(">>") {
+                let rhs = self.additive()?;
+                lhs = Expr::Binary(BinaryOp::Shr, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            if self.at_symbol("+") {
+                self.pos += 1;
+                let rhs = self.multiplicative()?;
+                lhs = Expr::Binary(BinaryOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.at_symbol("-") {
+                self.pos += 1;
+                let rhs = self.multiplicative()?;
+                lhs = Expr::Binary(BinaryOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.at_symbol("*") {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(BinaryOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = if self.at_symbol("~") {
+            Some(UnaryOp::Not)
+        } else if self.at_symbol("-") {
+            Some(UnaryOp::Neg)
+        } else if self.at_symbol("!") {
+            Some(UnaryOp::LogicalNot)
+        } else if self.at_symbol("&") {
+            Some(UnaryOp::RedAnd)
+        } else if self.at_symbol("|") {
+            Some(UnaryOp::RedOr)
+        } else if self.at_symbol("^") {
+            Some(UnaryOp::RedXor)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let operand = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(operand)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut base = self.primary()?;
+        while self.at_symbol("[") {
+            self.pos += 1;
+            let index = self.expr()?;
+            if self.eat_symbol(":") {
+                let hi = match index {
+                    Expr::Literal(ref bv) => bv.to_u64().unwrap_or(0) as u32,
+                    _ => return Err(ParseError::new("part-select bounds must be constants")),
+                };
+                let lo = self.const_number()? as u32;
+                self.expect_symbol("]")?;
+                base = Expr::PartSelect(Box::new(base), hi, lo);
+            } else {
+                self.expect_symbol("]")?;
+                base = match index {
+                    Expr::Literal(ref bv) => {
+                        Expr::BitSelect(Box::new(base), bv.to_u64().unwrap_or(0) as u32)
+                    }
+                    other => Expr::DynBitSelect(Box::new(base), Box::new(other)),
+                };
+            }
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::Literal(BitVec::from_u64(n, 32))),
+            Some(Token::SizedLiteral(text)) => Ok(Expr::Literal(
+                BitVec::parse_verilog(&text).map_err(|e| ParseError::new(e.to_string()))?,
+            )),
+            Some(Token::Ident(name)) => Ok(Expr::Ident(name)),
+            Some(Token::Symbol(s)) if s == "(" => {
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Token::Symbol(s)) if s == "{" => {
+                let mut parts = vec![self.expr()?];
+                while self.eat_symbol(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect_symbol("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(ParseError::new(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADD_MUL_AND: &str = r#"
+// add_mul_and.v: computes (a+b)*c&d in two clock cycles.
+module add_mul_and(input clk, input [15:0] a, b, c, d,
+                   output reg [15:0] out);
+  reg [15:0] r;
+  always @(posedge clk) begin
+    r <= (a+b)*c&d;
+    out <= r;
+  end
+endmodule
+"#;
+
+    #[test]
+    fn parses_the_papers_running_example() {
+        let m = parse_module(ADD_MUL_AND).unwrap();
+        assert_eq!(m.name, "add_mul_and");
+        assert_eq!(m.outputs, vec!["out"]);
+        assert_eq!(m.data_inputs().len(), 4);
+        assert_eq!(m.signal("a").unwrap().width, 16);
+        assert_eq!(m.signal("r").unwrap().width, 16);
+        assert!(m.signal("out").unwrap().is_reg);
+        assert_eq!(m.statements.len(), 2);
+        assert!(matches!(m.statements[0], Statement::NonBlocking { .. }));
+    }
+
+    #[test]
+    fn parses_combinational_assign() {
+        let m = parse_module(
+            "module f(input [7:0] a, b, output [7:0] y); assign y = (a ^ b) | 8'h0f; endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.statements.len(), 1);
+        match &m.statements[0] {
+            Statement::Assign { lhs, rhs } => {
+                assert_eq!(lhs, "y");
+                assert!(matches!(rhs, Expr::Binary(BinaryOp::Or, _, _)));
+            }
+            _ => panic!("expected assign"),
+        }
+    }
+
+    #[test]
+    fn parses_parameters_ternary_and_selects() {
+        let src = r#"
+module lut2(input [1:0] in, output out);
+  parameter [3:0] INIT = 4'h8;
+  assign out = INIT[in];
+endmodule
+"#;
+        let m = parse_module(src).unwrap();
+        let init = m.signal("INIT").unwrap();
+        assert!(init.is_parameter);
+        assert_eq!(init.width, 4);
+        assert_eq!(init.default.as_ref().unwrap().to_u64(), Some(8));
+        match &m.statements[0] {
+            Statement::Assign { rhs, .. } => assert!(matches!(rhs, Expr::DynBitSelect(..))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_part_selects_and_concat() {
+        let src = "module s(input [15:0] x, output [15:0] y); assign y = {x[7:0], x[15:8]}; endmodule";
+        let m = parse_module(src).unwrap();
+        match &m.statements[0] {
+            Statement::Assign { rhs: Expr::Concat(parts), .. } => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Expr::PartSelect(_, 7, 0)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_mul_before_and() {
+        // (a+b)*c&d must parse as ((a+b)*c) & d.
+        let m = parse_module(
+            "module p(input [7:0] a, b, c, d, output [7:0] y); assign y = (a+b)*c&d; endmodule",
+        )
+        .unwrap();
+        match &m.statements[0] {
+            Statement::Assign { rhs: Expr::Binary(BinaryOp::And, lhs, _), .. } => {
+                assert!(matches!(**lhs, Expr::Binary(BinaryOp::Mul, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_context() {
+        assert!(parse_module("module m(").is_err());
+        assert!(parse_module("module m(input a); assign ; endmodule").is_err());
+        assert!(parse_module("module m(input a); garbage x; endmodule").is_err());
+    }
+}

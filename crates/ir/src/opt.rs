@@ -1,0 +1,167 @@
+//! Post-synthesis cleanup: constant folding and dead-node elimination.
+//!
+//! Sketches in this reproduction may contain *selection logic* — hole-driven
+//! multiplexers that let the solver choose, e.g., which design input feeds which DSP
+//! port. Once synthesis fills the holes with constants, that logic is decidable at
+//! compile time; [`Prog::simplified`] folds it away so the final implementation is a
+//! clean structural program (a primitive instance plus wiring), which is what gets
+//! counted by resource reports and emitted as Verilog.
+
+use std::collections::BTreeMap;
+
+use lr_bv::BitVec;
+
+use crate::{Node, NodeId, Prog};
+
+impl Prog {
+    /// Returns an equivalent program with constant sub-expressions folded,
+    /// constant-condition multiplexers resolved, and unreachable nodes removed.
+    /// Primitive semantics sub-programs are left untouched.
+    pub fn simplified(&self) -> Prog {
+        let mut nodes: BTreeMap<NodeId, Node> = self.nodes.clone();
+        let mut alias: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+
+        // A few ascending passes reach a fixpoint for builder-shaped programs
+        // (operands almost always have smaller ids than their users).
+        for _ in 0..3 {
+            let ids: Vec<NodeId> = nodes.keys().copied().collect();
+            for id in ids {
+                let node = nodes[&id].clone();
+                match node {
+                    Node::Op(op, args) => {
+                        let args: Vec<NodeId> =
+                            args.iter().map(|a| resolve(&alias, *a)).collect();
+                        // Fold if-then-else with a constant condition into an alias.
+                        if op == crate::BvOp::Ite {
+                            if let Some(Node::BV(c)) = nodes.get(&args[0]) {
+                                let target = if c.is_zero() { args[2] } else { args[1] };
+                                alias.insert(id, resolve(&alias, target));
+                                continue;
+                            }
+                        }
+                        // Fold operators over all-constant operands.
+                        let const_args: Option<Vec<BitVec>> = args
+                            .iter()
+                            .map(|a| match nodes.get(a) {
+                                Some(Node::BV(bv)) => Some(bv.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        if let Some(values) = const_args {
+                            let refs: Vec<&BitVec> = values.iter().collect();
+                            nodes.insert(id, Node::BV(crate::interp::apply_public(op, &refs)));
+                        } else {
+                            nodes.insert(id, Node::Op(op, args));
+                        }
+                    }
+                    Node::Reg { data, init } => {
+                        nodes.insert(id, Node::Reg { data: resolve(&alias, data), init });
+                    }
+                    Node::Prim(mut p) => {
+                        for target in p.bindings.values_mut() {
+                            *target = resolve(&alias, *target);
+                        }
+                        nodes.insert(id, Node::Prim(p));
+                    }
+                    Node::BV(_) | Node::Var { .. } | Node::Hole { .. } => {}
+                }
+            }
+        }
+
+        let root = resolve(&alias, self.root);
+        // Dead-node elimination: keep only nodes reachable from the root.
+        let mut reachable = std::collections::BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !reachable.insert(id) {
+                continue;
+            }
+            match &nodes[&id] {
+                Node::Op(_, args) => stack.extend(args.iter().copied()),
+                Node::Reg { data, .. } => stack.push(*data),
+                Node::Prim(p) => stack.extend(p.bindings.values().copied()),
+                _ => {}
+            }
+        }
+        let nodes: BTreeMap<NodeId, Node> =
+            nodes.into_iter().filter(|(id, _)| reachable.contains(id)).collect();
+        Prog { name: self.name.clone(), root, nodes, inputs: self.inputs.clone() }
+    }
+}
+
+fn resolve(alias: &BTreeMap<NodeId, NodeId>, mut id: NodeId) -> NodeId {
+    while let Some(&next) = alias.get(&id) {
+        if next == id {
+            break;
+        }
+        id = next;
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BvOp, ProgBuilder, StreamInputs};
+
+    #[test]
+    fn folds_constant_selection_logic() {
+        // out = (1 == 1) ? a : b  with some dead arithmetic attached.
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let one = b.constant_u64(1, 4);
+        let also_one = b.constant_u64(1, 4);
+        let cond = b.op2(BvOp::Eq, one, also_one);
+        let dead = b.op2(BvOp::Mul, a, bb);
+        let _unused = b.op2(BvOp::Add, dead, a);
+        let out = b.mux(cond, a, bb);
+        let prog = b.finish(out);
+        let simplified = prog.simplified();
+        // The mux and the dead arithmetic disappear; the root is the input itself.
+        assert!(simplified.len() < prog.len());
+        assert!(simplified
+            .nodes()
+            .all(|(_, n)| !matches!(n, Node::Op(BvOp::Mul | BvOp::Ite | BvOp::Eq, _))));
+        let env = StreamInputs::from_constants([
+            ("a".to_string(), BitVec::from_u64(7, 8)),
+            ("b".to_string(), BitVec::from_u64(9, 8)),
+        ]);
+        assert_eq!(simplified.interp(&env, 0).unwrap(), BitVec::from_u64(7, 8));
+    }
+
+    #[test]
+    fn folding_preserves_semantics_with_registers() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 8);
+        let two = b.constant_u64(2, 8);
+        let three = b.constant_u64(3, 8);
+        let six = b.op2(BvOp::Mul, two, three);
+        let sum = b.op2(BvOp::Add, a, six);
+        let r = b.reg(sum, 8);
+        let prog = b.finish(r);
+        let simplified = prog.simplified();
+        assert!(simplified.well_formed().is_ok());
+        let env =
+            StreamInputs::from_constants([("a".to_string(), BitVec::from_u64(10, 8))]);
+        for t in 0..3 {
+            assert_eq!(prog.interp(&env, t).unwrap(), simplified.interp(&env, t).unwrap());
+        }
+        // The 2*3 multiplication was folded to a constant.
+        assert!(simplified
+            .nodes()
+            .all(|(_, n)| !matches!(n, Node::Op(BvOp::Mul, _))));
+    }
+
+    #[test]
+    fn already_simple_programs_are_unchanged_semantically() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 4);
+        let bbv = b.input("b", 4);
+        let x = b.op2(BvOp::Xor, a, bbv);
+        let prog = b.finish(x);
+        let s = prog.simplified();
+        assert_eq!(s.len(), prog.len());
+        assert_eq!(s.root(), prog.root());
+    }
+}

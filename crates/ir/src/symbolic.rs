@@ -1,0 +1,320 @@
+//! Symbolic interpretation of ℒlr programs into `lr-smt` terms.
+//!
+//! This is the bridge between the IR and the solver: running the Fig. 4 interpreter
+//! with *symbolic* inputs produces, for each clock cycle `t`, a QF_BV term describing
+//! the program's output at `t`. The synthesis engine (`lr-synth`) uses it twice per
+//! query — once for the behavioral specification and once for the sketch — and then
+//! asserts the two terms equal (the synthesis condition of §3.3).
+//!
+//! Naming scheme:
+//! * input `x` at cycle `t` becomes the term variable `x@t`;
+//! * hole `h` becomes the term variable `hole!h` (holes are time-invariant).
+
+use std::collections::{BTreeMap, HashMap};
+
+use lr_smt::{TermId, TermPool};
+
+use crate::interp::Inputs;
+use crate::{HoleDomain, Node, NodeId, Prog};
+
+/// Name of the term variable standing for input `name` at cycle `time`.
+pub fn input_var_name(name: &str, time: u32) -> String {
+    format!("{name}@{time}")
+}
+
+/// Name of the term variable standing for hole `name`.
+pub fn hole_var_name(name: &str) -> String {
+    format!("hole!{name}")
+}
+
+/// If `term_name` names a hole variable, the hole's name.
+pub fn parse_hole_var(term_name: &str) -> Option<&str> {
+    term_name.strip_prefix("hole!")
+}
+
+/// If `term_name` names an input variable, the `(input, time)` pair.
+pub fn parse_input_var(term_name: &str) -> Option<(&str, u32)> {
+    let (name, time) = term_name.rsplit_once('@')?;
+    time.parse().ok().map(|t| (name, t))
+}
+
+enum EnvCtx<'a> {
+    External,
+    Prim {
+        outer_prog: &'a Prog,
+        outer_env: &'a EnvCtx<'a>,
+        bindings: &'a BTreeMap<String, NodeId>,
+    },
+}
+
+/// Options controlling symbolic interpretation.
+#[derive(Clone, Default)]
+pub struct SymbolicOptions<'a> {
+    /// If provided, inputs found here are emitted as constants instead of symbolic
+    /// variables (used by the CEGIS synthesis step, where counterexample inputs are
+    /// concrete but holes stay symbolic).
+    pub concrete_inputs: Option<&'a dyn Inputs>,
+}
+
+impl std::fmt::Debug for SymbolicOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicOptions")
+            .field("concrete_inputs", &self.concrete_inputs.is_some())
+            .finish()
+    }
+}
+
+impl Prog {
+    /// Builds the QF_BV term describing the root's value at clock cycle `time`, with
+    /// all inputs symbolic.
+    pub fn to_term(&self, pool: &mut TermPool, time: u32) -> TermId {
+        self.to_term_with(pool, time, &SymbolicOptions::default())
+    }
+
+    /// Builds the QF_BV term for the root at `time` with explicit options.
+    pub fn to_term_with(
+        &self,
+        pool: &mut TermPool,
+        time: u32,
+        options: &SymbolicOptions<'_>,
+    ) -> TermId {
+        let mut memo = HashMap::new();
+        build(self, &EnvCtx::External, pool, time, self.root(), options, &mut memo)
+    }
+
+    /// Builds 1-bit constraint terms restricting every hole variable to its domain
+    /// (the map `h` of §3.1). The synthesis engine asserts these alongside the
+    /// equivalence obligations.
+    pub fn hole_domain_constraints(&self, pool: &mut TermPool) -> Vec<TermId> {
+        let mut out = Vec::new();
+        for hole in self.holes() {
+            let var = pool.var(&hole_var_name(&hole.name), hole.width);
+            match &hole.domain {
+                HoleDomain::AnyConstant => {}
+                HoleDomain::Choice(choices) => {
+                    let mut any = pool.false_();
+                    for choice in choices {
+                        let c = pool.constant(choice.clone());
+                        let eq = pool.eq(var, c);
+                        any = pool.or(any, eq);
+                    }
+                    out.push(any);
+                }
+                HoleDomain::LessThan(bound) => {
+                    let b = pool.constant(bound.clone());
+                    out.push(pool.ult(var, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The names of the symbolic input variables the term for cycle `time` may
+    /// mention (every declared/free input at every cycle up to `time`).
+    pub fn symbolic_input_names(&self, time: u32) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        for (name, width) in self.free_vars() {
+            for t in 0..=time {
+                out.push((input_var_name(&name, t), width));
+            }
+        }
+        out
+    }
+}
+
+fn build(
+    prog: &Prog,
+    env: &EnvCtx<'_>,
+    pool: &mut TermPool,
+    time: u32,
+    id: NodeId,
+    options: &SymbolicOptions<'_>,
+    memo: &mut HashMap<(NodeId, u32), TermId>,
+) -> TermId {
+    if let Some(&t) = memo.get(&(id, time)) {
+        return t;
+    }
+    let node = prog.node(id).expect("node id belongs to the program");
+    let term = match node {
+        Node::BV(bv) => pool.constant(bv.clone()),
+        Node::Hole { name, width, .. } => pool.var(&hole_var_name(name), *width),
+        Node::Var { name, width } => resolve_var(prog, env, pool, time, name, *width, options, memo),
+        Node::Reg { data, init } => {
+            if time == 0 {
+                pool.constant(init.clone())
+            } else {
+                build(prog, env, pool, time - 1, *data, options, memo)
+            }
+        }
+        Node::Op(op, args) => {
+            let arg_terms: Vec<TermId> = args
+                .iter()
+                .map(|&a| build(prog, env, pool, time, a, options, memo))
+                .collect();
+            pool.mk_op(*op, arg_terms)
+        }
+        Node::Prim(p) => {
+            let inner_env = EnvCtx::Prim { outer_prog: prog, outer_env: env, bindings: &p.bindings };
+            build(&p.semantics, &inner_env, pool, time, p.semantics.root(), options, memo)
+        }
+    };
+    memo.insert((id, time), term);
+    term
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_var(
+    prog: &Prog,
+    env: &EnvCtx<'_>,
+    pool: &mut TermPool,
+    time: u32,
+    name: &str,
+    width: u32,
+    options: &SymbolicOptions<'_>,
+    memo: &mut HashMap<(NodeId, u32), TermId>,
+) -> TermId {
+    let _ = prog;
+    match env {
+        EnvCtx::External => {
+            if let Some(inputs) = options.concrete_inputs {
+                if let Some(value) = inputs.get(name, time) {
+                    assert_eq!(value.width(), width, "concrete input `{name}` has wrong width");
+                    return pool.constant(value);
+                }
+            }
+            pool.var(&input_var_name(name, time), width)
+        }
+        EnvCtx::Prim { outer_prog, outer_env, bindings } => match bindings.get(name) {
+            Some(&outer_id) => build(outer_prog, outer_env, pool, time, outer_id, options, memo),
+            None => pool.var(&input_var_name(name, time), width),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::StreamInputs;
+    use crate::{BvOp, ProgBuilder};
+    use lr_smt::{BvSolver, SatResult};
+
+    #[test]
+    fn naming_helpers_roundtrip() {
+        assert_eq!(input_var_name("a", 3), "a@3");
+        assert_eq!(parse_input_var("a@3"), Some(("a", 3)));
+        assert_eq!(parse_input_var("nope"), None);
+        assert_eq!(hole_var_name("AREG"), "hole!AREG");
+        assert_eq!(parse_hole_var("hole!AREG"), Some("AREG"));
+        assert_eq!(parse_hole_var("a@3"), None);
+    }
+
+    #[test]
+    fn symbolic_term_matches_concrete_interp() {
+        // out = (a + b) & c with a register stage.
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let c = b.input("c", 8);
+        let sum = b.op2(BvOp::Add, a, bb);
+        let masked = b.op2(BvOp::And, sum, c);
+        let r = b.reg(masked, 8);
+        let prog = b.finish(r);
+
+        let mut env = StreamInputs::new();
+        env.set_constant("a", BitVec::from_u64(9, 8));
+        env.set_constant("b", BitVec::from_u64(6, 8));
+        env.set_constant("c", BitVec::from_u64(0x0F, 8));
+        let concrete = prog.interp(&env, 1).unwrap();
+
+        let mut pool = TermPool::new();
+        let term = prog.to_term(&mut pool, 1);
+        let smt_env: lr_smt::Env = [
+            ("a@0".to_string(), BitVec::from_u64(9, 8)),
+            ("b@0".to_string(), BitVec::from_u64(6, 8)),
+            ("c@0".to_string(), BitVec::from_u64(0x0F, 8)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(pool.eval(term, &smt_env).unwrap(), concrete);
+    }
+
+    #[test]
+    fn concrete_inputs_substitute_constants() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 8);
+        let h = b.hole("k", 8, HoleDomain::AnyConstant);
+        let sum = b.op2(BvOp::Add, a, h);
+        let prog = b.finish(sum);
+
+        let mut env = StreamInputs::new();
+        env.set_constant("a", BitVec::from_u64(5, 8));
+        let mut pool = TermPool::new();
+        let options = SymbolicOptions { concrete_inputs: Some(&env) };
+        let term = prog.to_term_with(&mut pool, 0, &options);
+        // The only free variable left should be the hole.
+        let smt_env: lr_smt::Env =
+            [("hole!k".to_string(), BitVec::from_u64(3, 8))].into_iter().collect();
+        assert_eq!(pool.eval(term, &smt_env).unwrap(), BitVec::from_u64(8, 8));
+    }
+
+    #[test]
+    fn hole_constraints_restrict_choices() {
+        let mut b = ProgBuilder::new("p");
+        let h = b.hole(
+            "mode",
+            2,
+            HoleDomain::Choice(vec![BitVec::from_u64(1, 2), BitVec::from_u64(2, 2)]),
+        );
+        let prog = b.finish(h);
+        let mut pool = TermPool::new();
+        let constraints = prog.hole_domain_constraints(&mut pool);
+        assert_eq!(constraints.len(), 1);
+        // mode == 0 should violate the constraint, mode == 2 should satisfy it.
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, constraints[0]);
+        let hole = pool.var(&hole_var_name("mode"), 2);
+        let zero = pool.zero(2);
+        let is_zero = pool.eq(hole, zero);
+        solver.assert_true(&pool, is_zero);
+        assert_eq!(solver.check(&pool), SatResult::Unsat);
+
+        let mut solver = BvSolver::new();
+        let constraints = prog.hole_domain_constraints(&mut pool);
+        solver.assert_true(&pool, constraints[0]);
+        let two = pool.constant(BitVec::from_u64(2, 2));
+        let is_two = pool.eq(hole, two);
+        solver.assert_true(&pool, is_two);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+    }
+
+    #[test]
+    fn registers_reference_earlier_cycle_inputs() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 4);
+        let r = b.reg(a, 4);
+        let prog = b.finish(r);
+        let mut pool = TermPool::new();
+        let term = prog.to_term(&mut pool, 2);
+        // The value at cycle 2 is the input at cycle 1.
+        let d = pool.display(term);
+        assert!(d.contains("a@1"), "term should reference a@1, got {d}");
+        // At cycle 0 the register shows its initial value.
+        let term0 = prog.to_term(&mut pool, 0);
+        assert_eq!(pool.as_const(term0), Some(&BitVec::zeros(4)));
+    }
+
+    #[test]
+    fn symbolic_input_names_enumerate_cycles() {
+        let mut b = ProgBuilder::new("p");
+        let a = b.input("a", 4);
+        let prog = b.finish(a);
+        let names = prog.symbolic_input_names(2);
+        assert_eq!(
+            names,
+            vec![("a@0".to_string(), 4), ("a@1".to_string(), 4), ("a@2".to_string(), 4)]
+        );
+    }
+
+    use crate::HoleDomain;
+    use lr_bv::BitVec;
+}

@@ -1,0 +1,137 @@
+//! # lr-sat: a from-scratch CDCL SAT solver
+//!
+//! This crate is the decision-procedure substrate of the Lakeroad reproduction. The
+//! original system relies on Rosette dispatching to external SMT solvers (Bitwuzla,
+//! cvc5, Yices2, STP); here the QF_BV queries produced by `lr-smt` are bit-blasted to
+//! CNF and decided by this solver.
+//!
+//! The solver implements the standard modern CDCL loop:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with clause learning and non-chronological
+//!   backjumping,
+//! * exponential VSIDS variable activities with an indexed max-heap and phase saving,
+//! * Luby restarts,
+//! * activity-driven learnt-clause database reduction,
+//! * solving under assumptions (used by the incremental CEGIS loop).
+//!
+//! [`SolverConfig`] exposes the heuristic knobs (branching polarity, restart interval,
+//! decay factors, random seed) that the portfolio in `lr-synth` varies to emulate the
+//! paper's four-solver portfolio.
+//!
+//! ```
+//! use lr_sat::{Lit, Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause(&[Lit::neg(a)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+mod solver;
+mod types;
+
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use types::{Lit, Var};
+
+/// Heuristic configuration for the solver. Different configurations form the
+/// "solver portfolio" of the synthesis engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Human-readable name, used in the portfolio experiment report.
+    pub name: String,
+    /// Default polarity assigned to a variable the first time it is branched on.
+    pub default_polarity: bool,
+    /// Whether to use saved phases after the first assignment of a variable.
+    pub phase_saving: bool,
+    /// Multiplicative decay applied to variable activities after each conflict
+    /// (the solver actually bumps by a growing increment, MiniSat-style).
+    pub var_decay: f64,
+    /// Base (unit) of the Luby restart sequence, in conflicts.
+    pub restart_base: u64,
+    /// Number of conflicts between learnt-clause database reductions.
+    pub reduce_interval: u64,
+    /// Probability (in 1/1024 units) of making a random decision instead of the
+    /// highest-activity one.
+    pub random_branch_per_1024: u32,
+    /// Seed for the solver's internal PRNG.
+    pub seed: u64,
+    /// Conflict budget; `None` means unlimited. When exhausted, `solve` returns
+    /// [`SolveResult::Unknown`].
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            name: "default".to_string(),
+            default_polarity: false,
+            phase_saving: true,
+            var_decay: 0.95,
+            restart_base: 100,
+            reduce_interval: 2000,
+            random_branch_per_1024: 16,
+            seed: 0x1a4e_40ad,
+            conflict_budget: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The four portfolio configurations used by `lr-synth`, standing in for the
+    /// paper's Bitwuzla / STP / Yices2 / cvc5 portfolio (§4.5).
+    pub fn portfolio() -> Vec<SolverConfig> {
+        vec![
+            SolverConfig { name: "bitblaze".into(), ..Default::default() },
+            SolverConfig {
+                name: "stipple".into(),
+                default_polarity: true,
+                var_decay: 0.90,
+                restart_base: 64,
+                seed: 0xfeed_beef,
+                ..Default::default()
+            },
+            SolverConfig {
+                name: "yolanda".into(),
+                phase_saving: false,
+                var_decay: 0.99,
+                restart_base: 256,
+                random_branch_per_1024: 64,
+                seed: 0x0dd_c0de,
+                ..Default::default()
+            },
+            SolverConfig {
+                name: "cinqve".into(),
+                default_polarity: true,
+                phase_saving: true,
+                var_decay: 0.80,
+                restart_base: 32,
+                reduce_interval: 1000,
+                random_branch_per_1024: 128,
+                seed: 0x5eed_5eed,
+                ..Default::default()
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portfolio_has_four_distinct_configs() {
+        let p = SolverConfig::portfolio();
+        assert_eq!(p.len(), 4);
+        let names: std::collections::HashSet<_> = p.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn default_config_is_unbounded() {
+        assert_eq!(SolverConfig::default().conflict_budget, None);
+    }
+}

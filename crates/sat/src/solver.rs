@@ -1,0 +1,928 @@
+//! The CDCL solver proper.
+
+use crate::{Lit, SolverConfig, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it back with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+const UNDEF: i8 = 0;
+const TRUE: i8 = 1;
+const FALSE: i8 = -1;
+
+/// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// Variables are created with [`Solver::new_var`]; clauses are added with
+/// [`Solver::add_clause`]; [`Solver::solve`] (or
+/// [`Solver::solve_with_assumptions`]) decides satisfiability, after which
+/// [`Solver::value`] reads the model.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    clauses: Vec<Clause>,
+    /// watches[lit.index()] = indices of clauses currently watching `lit`.
+    watches: Vec<Vec<u32>>,
+    values: Vec<i8>,
+    saved_phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // Indexed max-heap over activity for branching.
+    heap: Vec<Var>,
+    heap_pos: Vec<i32>,
+    seen: Vec<bool>,
+    unsat_at_root: bool,
+    rng_state: u64,
+    stats: SolverStats,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit heuristic configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let seed = if config.seed == 0 { 0x9e3779b97f4a7c15 } else { config.seed };
+        Solver {
+            rng_state: seed,
+            config,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            values: Vec::new(),
+            saved_phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            seen: Vec::new(),
+            unsat_at_root: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Statistics from solving so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of problem (non-learnt, non-deleted) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.values.len() as u32);
+        self.values.push(UNDEF);
+        self.saved_phase.push(self.config.default_polarity);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(-1);
+        self.heap_insert(v);
+        v
+    }
+
+    /// The current value of a variable: `Some(bool)` if assigned, `None` otherwise.
+    /// After [`SolveResult::Sat`] every variable is assigned.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.values[v.index()] {
+            TRUE => Some(true),
+            FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.values[l.var().index()];
+        if v == UNDEF {
+            UNDEF
+        } else if l.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// May be called only before [`Solver::solve`] or between solves (the solver
+    /// backtracks to the root level first). An empty clause makes the instance
+    /// trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.backtrack_to(0);
+        // Normalize: sort, dedup, drop tautologies and root-false literals.
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort_unstable();
+        lits.dedup();
+        let mut filtered = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == l.not() {
+                return; // tautology: contains both l and !l
+            }
+            match self.lit_value(l) {
+                TRUE => return, // already satisfied at root level
+                FALSE => continue,
+                _ => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => self.unsat_at_root = true,
+            1 => {
+                if !self.enqueue(filtered[0], NO_REASON) {
+                    self.unsat_at_root = true;
+                } else if self.propagate().is_some() {
+                    self.unsat_at_root = true;
+                }
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].index()].push(idx);
+        self.watches[lits[1].index()].push(idx);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        idx
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+        match self.lit_value(l) {
+            TRUE => true,
+            FALSE => false,
+            _ => {
+                let v = l.var();
+                self.values[v.index()] = if l.is_neg() { FALSE } else { TRUE };
+                self.level[v.index()] = self.decision_level();
+                self.reason[v.index()] = reason;
+                if self.config.phase_saving {
+                    self.saved_phase[v.index()] = !l.is_neg();
+                }
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.not();
+            // Take the watch list for the literal that just became false.
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                if self.clauses[ci as usize].deleted {
+                    watchers.swap_remove(i);
+                    continue;
+                }
+                // Ensure the false literal is at position 1.
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.lit_value(first) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.lit_value(lk) != FALSE {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[lk.index()].push(ci);
+                        watchers.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == FALSE {
+                    conflict = Some(ci);
+                    self.qhead = self.trail.len();
+                    // Keep remaining watchers (including this clause) attached.
+                    break;
+                } else {
+                    self.enqueue(first, ci);
+                    i += 1;
+                }
+            }
+            self.watches[false_lit.index()].extend(watchers.drain(..));
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn backtrack_to(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().unwrap();
+            let v = l.var();
+            self.values[v.index()] = UNDEF;
+            self.reason[v.index()] = NO_REASON;
+            if self.heap_pos[v.index()] < 0 {
+                self.heap_insert(v);
+            }
+        }
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ----- activity bookkeeping -----
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in self.clauses.iter_mut().filter(|c| c.learnt) {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    // ----- branching heap -----
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v.index()] >= 0 {
+            return;
+        }
+        self.heap.push(v);
+        self.heap_pos[v.index()] = (self.heap.len() - 1) as i32;
+        self.heap_up((self.heap.len() - 1) as usize);
+    }
+
+    fn heap_update(&mut self, v: Var) {
+        let pos = self.heap_pos[v.index()];
+        if pos >= 0 {
+            self.heap_up(pos as usize);
+        }
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].index()] = i as i32;
+        self.heap_pos[self.heap[j].index()] = j as i32;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.heap_swap(0, last);
+        self.heap.pop();
+        self.heap_pos[top.index()] = -1;
+        if !self.heap.is_empty() {
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        // Occasionally pick a random unassigned variable to diversify the portfolio.
+        if self.config.random_branch_per_1024 > 0
+            && (self.next_rand() % 1024) < self.config.random_branch_per_1024 as u64
+        {
+            let n = self.values.len() as u64;
+            if n > 0 {
+                let start = (self.next_rand() % n) as usize;
+                for off in 0..self.values.len() {
+                    let idx = (start + off) % self.values.len();
+                    if self.values[idx] == UNDEF {
+                        return Some(Var(idx as u32));
+                    }
+                }
+            }
+        }
+        while let Some(v) = self.heap_pop() {
+            if self.values[v.index()] == UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ----- conflict analysis -----
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting literal
+    /// first) and the backjump level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut trail_idx = self.trail.len();
+        let current_level = self.decision_level();
+
+        loop {
+            self.bump_clause(confl);
+            // Collect literals of the conflicting/reason clause.
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let skip_first = p.is_some();
+            for (k, &q) in lits.iter().enumerate() {
+                if skip_first && k == 0 {
+                    continue;
+                }
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on: last seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[trail_idx];
+            let v = pl.var();
+            self.seen[v.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = pl.not();
+                break;
+            }
+            p = Some(pl);
+            confl = self.reason[v.index()];
+            debug_assert_ne!(confl, NO_REASON, "non-decision literal must have a reason");
+        }
+
+        // Clear the `seen` flags of kept literals.
+        for &l in learnt.iter().skip(1) {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute the backjump level and move the corresponding literal to slot 1.
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backjump)
+    }
+
+    // ----- clause DB reduction -----
+
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<(u32, f64, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, c)| (i as u32, c.activity, c.lits.len()))
+            .collect();
+        if learnt.len() < 64 {
+            return;
+        }
+        learnt.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let locked: std::collections::HashSet<u32> = self
+            .reason
+            .iter()
+            .copied()
+            .filter(|&r| r != NO_REASON)
+            .collect();
+        let to_remove = learnt.len() / 2;
+        let mut removed = 0;
+        for &(ci, _, _) in learnt.iter() {
+            if removed >= to_remove {
+                break;
+            }
+            if locked.contains(&ci) {
+                continue;
+            }
+            self.clauses[ci as usize].deleted = true;
+            self.clauses[ci as usize].lits.clear();
+            removed += 1;
+            self.stats.deleted_clauses += 1;
+            self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+        }
+    }
+
+    // ----- top-level search -----
+
+    fn luby(mut x: u64) -> u64 {
+        // The Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        // Find the finite subsequence containing index `x` and its size.
+        let mut size = 1u64;
+        let mut seq = 0u64;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Decides satisfiability of the clauses added so far.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides satisfiability under the given assumption literals.
+    ///
+    /// Assumptions are treated as forced decisions at the bottom of the search tree;
+    /// they do not persist after the call.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat_at_root {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.unsat_at_root = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart =
+            Self::luby(restart_count).saturating_mul(self.config.restart_base);
+        let mut conflicts_since_restart = 0u64;
+        let mut conflicts_until_reduce = self.config.reduce_interval;
+        let budget_start = self.stats.conflicts;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.unsat_at_root = true;
+                    return SolveResult::Unsat;
+                }
+                // A conflict while some assumptions are still being (re)established
+                // below the assumption levels means UNSAT under assumptions once it
+                // reaches level <= #assumptions and analysis backjumps above it.
+                let (learnt, backjump) = self.analyze(confl);
+                // If the conflict is entirely below the assumption prefix we cannot
+                // backjump past the assumptions; treat reaching level 0 naturally.
+                self.backtrack_to(backjump.min(self.decision_level().saturating_sub(1)));
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], NO_REASON) {
+                        self.unsat_at_root = true;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.bump_clause(ci);
+                    self.enqueue(learnt[0], ci);
+                }
+                self.decay_var_activity();
+                if let Some(budget) = self.config.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return SolveResult::Unknown;
+                    }
+                }
+                if conflicts_until_reduce > 0 {
+                    conflicts_until_reduce -= 1;
+                } else {
+                    self.reduce_db();
+                    conflicts_until_reduce = self.config.reduce_interval;
+                }
+            } else {
+                // No conflict: maybe restart, then decide.
+                if conflicts_since_restart >= conflicts_until_restart {
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                    conflicts_since_restart = 0;
+                    conflicts_until_restart =
+                        Self::luby(restart_count).saturating_mul(self.config.restart_base);
+                    self.backtrack_to(0);
+                    continue;
+                }
+                // Establish assumptions first.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        TRUE => {
+                            // Already implied: open a dummy decision level so indices line up.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        FALSE => return SolveResult::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                            continue;
+                        }
+                    }
+                }
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let phase = self.saved_phase[v.index()];
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(Lit::new(v, !phase), NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i32) -> Lit {
+        let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+        Lit::new(v, i < 0)
+    }
+
+    fn make_solver(nvars: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let (mut s, v) = make_solver(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let (mut s, v) = make_solver(4);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, 4)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &x in &v {
+            assert_eq!(s.value(x), Some(true));
+        }
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let (mut s, v) = make_solver(1);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let (mut s, _) = make_solver(1);
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let (mut s, _) = make_solver(3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let n = 5;
+        let m = 4;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in p.iter() {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // A mixed instance: graph 3-coloring of a 5-cycle (satisfiable).
+        let n = 5;
+        let mut s = Solver::new();
+        let color: Vec<Vec<Var>> = (0..n).map(|_| (0..3).map(|_| s.new_var()).collect()).collect();
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for v in 0..n {
+            clauses.push(color[v].iter().map(|&x| Lit::pos(x)).collect());
+            for c1 in 0..3 {
+                for c2 in (c1 + 1)..3 {
+                    clauses.push(vec![Lit::neg(color[v][c1]), Lit::neg(color[v][c2])]);
+                }
+            }
+        }
+        for v in 0..n {
+            let w = (v + 1) % n;
+            for c in 0..3 {
+                clauses.push(vec![Lit::neg(color[v][c]), Lit::neg(color[w][c])]);
+            }
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| l.eval(s.value(l.var()).unwrap())),
+                "model violates clause {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let (mut s, v) = make_solver(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        // Without assumptions still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflicting_assumptions_unsat() {
+        let (mut s, v) = make_solver(1);
+        s.add_clause(&[lit(&v, 1), lit(&v, -1)]); // tautology, dropped
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, 1), lit(&v, -1)]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard instance with a tiny budget must return Unknown.
+        let n = 8;
+        let m = 7;
+        let mut cfg = SolverConfig::default();
+        cfg.conflict_budget = Some(3);
+        let mut s = Solver::with_config(cfg);
+        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in p.iter() {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_handled() {
+        let (mut s, v) = make_solver(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 1), lit(&v, 1)]);
+        s.add_clause(&[lit(&v, 2), lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_sat_and_unsat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsat;
+        // changing the last constraint to = 0 makes it sat.
+        fn add_xor(s: &mut Solver, a: Lit, b: Lit, value: bool) {
+            if value {
+                s.add_clause(&[a, b]);
+                s.add_clause(&[a.not(), b.not()]);
+            } else {
+                s.add_clause(&[a, b.not()]);
+                s.add_clause(&[a.not(), b]);
+            }
+        }
+        let (mut s, v) = make_solver(3);
+        add_xor(&mut s, lit(&v, 1), lit(&v, 2), true);
+        add_xor(&mut s, lit(&v, 2), lit(&v, 3), true);
+        add_xor(&mut s, lit(&v, 1), lit(&v, 3), true);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+
+        let (mut s, v) = make_solver(3);
+        add_xor(&mut s, lit(&v, 1), lit(&v, 2), true);
+        add_xor(&mut s, lit(&v, 2), lit(&v, 3), true);
+        add_xor(&mut s, lit(&v, 1), lit(&v, 3), false);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn portfolio_configs_agree_on_verdict() {
+        for cfg in SolverConfig::portfolio() {
+            let mut s = Solver::with_config(cfg.clone());
+            let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+            s.add_clause(&[Lit::pos(vars[0]), Lit::pos(vars[1])]);
+            s.add_clause(&[Lit::neg(vars[0]), Lit::pos(vars[2])]);
+            s.add_clause(&[Lit::neg(vars[1]), Lit::pos(vars[3])]);
+            s.add_clause(&[Lit::neg(vars[2]), Lit::neg(vars[3])]);
+            assert_eq!(s.solve(), SolveResult::Sat, "config {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, v) = make_solver(3);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
+        s.add_clause(&[lit(&v, -1), lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().propagations + s.stats().decisions > 0);
+    }
+}

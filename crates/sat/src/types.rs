@@ -1,0 +1,141 @@
+//! Core literal/variable types shared by the solver and its clients.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var * 2 + (negated as usize)` so that literals can directly index
+/// watch lists.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit((var.0 << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The literal with opposite polarity.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Evaluates this literal under an assignment of its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value ^ self.is_neg()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).index(), 14);
+        assert_eq!(Lit::neg(v).index(), 15);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(!Lit::pos(v).is_neg());
+        assert!(Lit::neg(v).is_neg());
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Lit::new(Var(3), true);
+        assert_eq!(l.not().not(), l);
+        assert_eq!(!!l, l);
+        assert_ne!(l.not(), l);
+        assert_eq!(l.not().var(), l.var());
+    }
+
+    #[test]
+    fn literal_eval() {
+        let v = Var(0);
+        assert!(Lit::pos(v).eval(true));
+        assert!(!Lit::pos(v).eval(false));
+        assert!(!Lit::neg(v).eval(true));
+        assert!(Lit::neg(v).eval(false));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Lit::pos(Var(2))), "v2");
+        assert_eq!(format!("{}", Lit::neg(Var(2))), "!v2");
+        assert_eq!(format!("{}", Var(9)), "v9");
+    }
+}

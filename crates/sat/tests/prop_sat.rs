@@ -1,0 +1,125 @@
+//! Property-based tests: the CDCL solver is checked against a brute-force truth-table
+//! enumeration on small random CNF instances, for every portfolio configuration.
+
+use lr_sat::{Lit, SolveResult, Solver, SolverConfig, Var};
+use proptest::prelude::*;
+
+/// A random CNF instance over `nvars` variables, as signed integers (DIMACS-style,
+/// 1-based; negative = negated).
+#[derive(Debug, Clone)]
+struct Cnf {
+    nvars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    (2..=max_vars).prop_flat_map(move |nvars| {
+        let lit = (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+        let clause = proptest::collection::vec(lit, 1..=3);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| Cnf { nvars, clauses })
+    })
+}
+
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.nvars;
+    for assignment in 0u64..(1u64 << n) {
+        let ok = cnf.clauses.iter().all(|clause| {
+            clause.iter().any(|&l| {
+                let value = (assignment >> (l.unsigned_abs() - 1)) & 1 == 1;
+                if l > 0 {
+                    value
+                } else {
+                    !value
+                }
+            })
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn run_solver(cnf: &Cnf, config: SolverConfig) -> (SolveResult, Option<Vec<bool>>) {
+    let mut solver = Solver::with_config(config);
+    let vars: Vec<Var> = (0..cnf.nvars).map(|_| solver.new_var()).collect();
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+            .collect();
+        solver.add_clause(&lits);
+    }
+    let result = solver.solve();
+    let model = if result == SolveResult::Sat {
+        Some(vars.iter().map(|&v| solver.value(v).unwrap()).collect())
+    } else {
+        None
+    };
+    (result, model)
+}
+
+fn model_satisfies(cnf: &Cnf, model: &[bool]) -> bool {
+    cnf.clauses.iter().all(|clause| {
+        clause.iter().any(|&l| {
+            let value = model[(l.unsigned_abs() - 1) as usize];
+            if l > 0 {
+                value
+            } else {
+                !value
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in cnf_strategy(8, 24)) {
+        let expected = brute_force_sat(&cnf);
+        let (result, model) = run_solver(&cnf, SolverConfig::default());
+        prop_assert_eq!(result, if expected { SolveResult::Sat } else { SolveResult::Unsat });
+        if let Some(model) = model {
+            prop_assert!(model_satisfies(&cnf, &model), "returned model does not satisfy the CNF");
+        }
+    }
+
+    #[test]
+    fn all_portfolio_configs_agree(cnf in cnf_strategy(6, 16)) {
+        let expected = brute_force_sat(&cnf);
+        for config in SolverConfig::portfolio() {
+            let name = config.name.clone();
+            let (result, model) = run_solver(&cnf, config);
+            prop_assert_eq!(
+                result,
+                if expected { SolveResult::Sat } else { SolveResult::Unsat },
+                "config {} disagrees with brute force", name
+            );
+            if let Some(model) = model {
+                prop_assert!(model_satisfies(&cnf, &model));
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_are_respected(cnf in cnf_strategy(6, 12), polarity in proptest::bool::ANY) {
+        // Solve with an assumption on variable 1 and check the model honours it.
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..cnf.nvars).map(|_| solver.new_var()).collect();
+        for clause in &cnf.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        let assumption = Lit::new(vars[0], !polarity);
+        if solver.solve_with_assumptions(&[assumption]) == SolveResult::Sat {
+            prop_assert_eq!(solver.value(vars[0]), Some(polarity));
+            let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
+            prop_assert!(model_satisfies(&cnf, &model));
+        }
+    }
+}

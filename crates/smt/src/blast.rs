@@ -1,0 +1,522 @@
+//! Tseitin bit-blasting of QF_BV terms to CNF over `lr-sat` literals.
+//!
+//! Every term is lowered to a vector of SAT literals, least-significant bit first.
+//! Word-level operators become the usual gate-level circuits: ripple-carry adders,
+//! shift-and-add multipliers, borrow-based comparators, and barrel shifters. The
+//! encoding is defined once here and validated against concrete evaluation by the
+//! property tests in `tests/prop_blast.rs`.
+
+use std::collections::HashMap;
+
+use lr_sat::{Lit, Solver};
+
+use crate::op::BvOp;
+use crate::pool::{Term, TermId, TermPool};
+
+/// Lowers terms into an [`lr_sat::Solver`], memoizing per-term literal vectors.
+#[derive(Debug, Default)]
+pub(crate) struct BitBlaster {
+    cache: HashMap<TermId, Vec<Lit>>,
+    var_bits: HashMap<String, Vec<Lit>>,
+    true_lit: Option<Lit>,
+}
+
+impl BitBlaster {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The literal vectors of every variable encountered so far (used for model
+    /// extraction).
+    pub(crate) fn var_bits(&self) -> &HashMap<String, Vec<Lit>> {
+        &self.var_bits
+    }
+
+    /// A literal constrained to be true.
+    pub(crate) fn true_lit(&mut self, sat: &mut Solver) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let l = Lit::pos(sat.new_var());
+        sat.add_clause(&[l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    fn false_lit(&mut self, sat: &mut Solver) -> Lit {
+        self.true_lit(sat).not()
+    }
+
+    fn fresh(&mut self, sat: &mut Solver) -> Lit {
+        Lit::pos(sat.new_var())
+    }
+
+    // ----- gate encodings -----
+
+    fn and_gate(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let o = self.fresh(sat);
+        sat.add_clause(&[o.not(), a]);
+        sat.add_clause(&[o.not(), b]);
+        sat.add_clause(&[o, a.not(), b.not()]);
+        o
+    }
+
+    fn or_gate(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        self.and_gate(sat, a.not(), b.not()).not()
+    }
+
+    fn xor_gate(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let o = self.fresh(sat);
+        sat.add_clause(&[o.not(), a, b]);
+        sat.add_clause(&[o.not(), a.not(), b.not()]);
+        sat.add_clause(&[o, a.not(), b]);
+        sat.add_clause(&[o, a, b.not()]);
+        o
+    }
+
+    fn mux_gate(&mut self, sat: &mut Solver, sel: Lit, then_: Lit, else_: Lit) -> Lit {
+        let o = self.fresh(sat);
+        sat.add_clause(&[sel.not(), then_.not(), o]);
+        sat.add_clause(&[sel.not(), then_, o.not()]);
+        sat.add_clause(&[sel, else_.not(), o]);
+        sat.add_clause(&[sel, else_, o.not()]);
+        o
+    }
+
+    /// Full adder: returns (sum, carry-out).
+    fn full_adder(&mut self, sat: &mut Solver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.xor_gate(sat, a, b);
+        let sum = self.xor_gate(sat, axb, cin);
+        let ab = self.and_gate(sat, a, b);
+        let c_axb = self.and_gate(sat, axb, cin);
+        let cout = self.or_gate(sat, ab, c_axb);
+        (sum, cout)
+    }
+
+    /// Ripple-carry addition; returns (sum bits, final carry-out).
+    fn adder(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit], mut carry: Lit) -> (Vec<Lit>, Lit) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b.iter()) {
+            let (s, c) = self.full_adder(sat, ai, bi, carry);
+            out.push(s);
+            carry = c;
+        }
+        (out, carry)
+    }
+
+    fn negate_bits(bits: &[Lit]) -> Vec<Lit> {
+        bits.iter().map(|l| l.not()).collect()
+    }
+
+    /// Unsigned less-than via the carry-out of `a + !b + 1`.
+    fn ult_lit(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        let not_b = Self::negate_bits(b);
+        let one = self.true_lit(sat);
+        let (_, carry) = self.adder(sat, a, &not_b, one);
+        carry.not()
+    }
+
+    fn slt_lit(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        let n = a.len();
+        if n == 1 {
+            // For 1-bit vectors: signed values are 0 and -1, so a < b iff a=1 (=-1) and b=0.
+            return self.and_gate(sat, a[0], b[0].not());
+        }
+        let a_sign = a[n - 1];
+        let b_sign = b[n - 1];
+        let ult = self.ult_lit(sat, a, b);
+        // a < b (signed) iff (a_sign & !b_sign) | ((a_sign == b_sign) & ult(a, b)).
+        let neg_pos = self.and_gate(sat, a_sign, b_sign.not());
+        let same_sign = self.xor_gate(sat, a_sign, b_sign).not();
+        let same_and_ult = self.and_gate(sat, same_sign, ult);
+        self.or_gate(sat, neg_pos, same_and_ult)
+    }
+
+    fn eq_lit(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.true_lit(sat);
+        for (&ai, &bi) in a.iter().zip(b.iter()) {
+            let same = self.xor_gate(sat, ai, bi).not();
+            acc = self.and_gate(sat, acc, same);
+        }
+        acc
+    }
+
+    fn mul_bits(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let width = a.len();
+        let f = self.false_lit(sat);
+        let mut acc: Vec<Lit> = vec![f; width];
+        for (i, &bi) in b.iter().enumerate() {
+            if i >= width {
+                break;
+            }
+            // addend = (a << i) AND-masked with b[i]
+            let mut addend: Vec<Lit> = vec![f; width];
+            for j in 0..width - i {
+                addend[i + j] = self.and_gate(sat, a[j], bi);
+            }
+            let (sum, _) = self.adder(sat, &acc, &addend, f);
+            acc = sum;
+        }
+        acc
+    }
+
+    /// Shifts `bits` by the (symbolic) amount, filling with `fill`.
+    fn barrel_shift(
+        &mut self,
+        sat: &mut Solver,
+        bits: &[Lit],
+        amount: &[Lit],
+        fill: Lit,
+        left: bool,
+    ) -> Vec<Lit> {
+        let width = bits.len();
+        let mut current: Vec<Lit> = bits.to_vec();
+        for (k, &amt_bit) in amount.iter().enumerate() {
+            let shift: u128 = 1u128 << k.min(100);
+            let mut shifted: Vec<Lit> = Vec::with_capacity(width);
+            for i in 0..width {
+                let src: i128 = if left { i as i128 - shift as i128 } else { i as i128 + shift as i128 };
+                let val = if src < 0 || src >= width as i128 { fill } else { current[src as usize] };
+                shifted.push(val);
+            }
+            current = (0..width)
+                .map(|i| self.mux_gate(sat, amt_bit, shifted[i], current[i]))
+                .collect();
+        }
+        current
+    }
+
+    // ----- the main recursion -----
+
+    /// Bit-blasts `id`, returning its literal vector (LSB first).
+    pub(crate) fn blast(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Vec<Lit> {
+        if let Some(bits) = self.cache.get(&id) {
+            return bits.clone();
+        }
+        let bits = match pool.term(id).clone() {
+            Term::Const(bv) => {
+                let t = self.true_lit(sat);
+                bv.bits_lsb_first().map(|b| if b { t } else { t.not() }).collect()
+            }
+            Term::Var { name, width } => {
+                if let Some(bits) = self.var_bits.get(&name) {
+                    bits.clone()
+                } else {
+                    let bits: Vec<Lit> = (0..width).map(|_| self.fresh(sat)).collect();
+                    self.var_bits.insert(name.clone(), bits.clone());
+                    bits
+                }
+            }
+            Term::Op { op, args, width } => {
+                let arg_bits: Vec<Vec<Lit>> =
+                    args.iter().map(|&a| self.blast(pool, sat, a)).collect();
+                self.blast_op(pool, sat, op, &args, &arg_bits, width)
+            }
+        };
+        self.cache.insert(id, bits.clone());
+        bits
+    }
+
+    fn blast_op(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut Solver,
+        op: BvOp,
+        args: &[TermId],
+        arg_bits: &[Vec<Lit>],
+        width: u32,
+    ) -> Vec<Lit> {
+        let f = self.false_lit(sat);
+        match op {
+            BvOp::Not => Self::negate_bits(&arg_bits[0]),
+            BvOp::Neg => {
+                let inverted = Self::negate_bits(&arg_bits[0]);
+                let zero: Vec<Lit> = vec![f; inverted.len()];
+                let one = self.true_lit(sat);
+                let (sum, _) = self.adder(sat, &inverted, &zero, one);
+                sum
+            }
+            BvOp::And => arg_bits[0]
+                .iter()
+                .zip(&arg_bits[1])
+                .map(|(&a, &b)| self.and_gate(sat, a, b))
+                .collect(),
+            BvOp::Or => arg_bits[0]
+                .iter()
+                .zip(&arg_bits[1])
+                .map(|(&a, &b)| self.or_gate(sat, a, b))
+                .collect(),
+            BvOp::Xor => arg_bits[0]
+                .iter()
+                .zip(&arg_bits[1])
+                .map(|(&a, &b)| self.xor_gate(sat, a, b))
+                .collect(),
+            BvOp::Add => {
+                let (sum, _) = self.adder(sat, &arg_bits[0], &arg_bits[1], f);
+                sum
+            }
+            BvOp::Sub => {
+                let not_b = Self::negate_bits(&arg_bits[1]);
+                let one = self.true_lit(sat);
+                let (sum, _) = self.adder(sat, &arg_bits[0], &not_b, one);
+                sum
+            }
+            BvOp::Mul => self.mul_bits(sat, &arg_bits[0], &arg_bits[1]),
+            BvOp::Udiv | BvOp::Urem => {
+                self.blast_division(sat, op, &arg_bits[0], &arg_bits[1])
+            }
+            BvOp::Shl => self.barrel_shift(sat, &arg_bits[0], &arg_bits[1], f, true),
+            BvOp::Lshr => self.barrel_shift(sat, &arg_bits[0], &arg_bits[1], f, false),
+            BvOp::Ashr => {
+                let sign = *arg_bits[0].last().expect("non-empty");
+                self.barrel_shift(sat, &arg_bits[0], &arg_bits[1], sign, false)
+            }
+            BvOp::Concat => {
+                // args[0] is the high part: result (LSB first) = bits(args[1]) ++ bits(args[0]).
+                let mut out = arg_bits[1].clone();
+                out.extend_from_slice(&arg_bits[0]);
+                out
+            }
+            BvOp::Extract { hi, lo } => arg_bits[0][lo as usize..=hi as usize].to_vec(),
+            BvOp::ZeroExt { .. } => {
+                let mut out = arg_bits[0].clone();
+                out.resize(width as usize, f);
+                out
+            }
+            BvOp::SignExt { .. } => {
+                let sign = *arg_bits[0].last().expect("non-empty");
+                let mut out = arg_bits[0].clone();
+                out.resize(width as usize, sign);
+                out
+            }
+            BvOp::Eq => vec![self.eq_lit(sat, &arg_bits[0], &arg_bits[1])],
+            BvOp::Ult => vec![self.ult_lit(sat, &arg_bits[0], &arg_bits[1])],
+            BvOp::Ule => {
+                let gt = self.ult_lit(sat, &arg_bits[1], &arg_bits[0]);
+                vec![gt.not()]
+            }
+            BvOp::Slt => vec![self.slt_lit(sat, &arg_bits[0], &arg_bits[1])],
+            BvOp::Sle => {
+                let gt = self.slt_lit(sat, &arg_bits[1], &arg_bits[0]);
+                vec![gt.not()]
+            }
+            BvOp::Ite => {
+                let cond = arg_bits[0][0];
+                arg_bits[1]
+                    .iter()
+                    .zip(&arg_bits[2])
+                    .map(|(&t, &e)| self.mux_gate(sat, cond, t, e))
+                    .collect()
+            }
+            BvOp::RedOr => {
+                let mut acc = f;
+                for &b in &arg_bits[0] {
+                    acc = self.or_gate(sat, acc, b);
+                }
+                vec![acc]
+            }
+            BvOp::RedAnd => {
+                let mut acc = self.true_lit(sat);
+                for &b in &arg_bits[0] {
+                    acc = self.and_gate(sat, acc, b);
+                }
+                vec![acc]
+            }
+            BvOp::RedXor => {
+                let mut acc = f;
+                for &b in &arg_bits[0] {
+                    acc = self.xor_gate(sat, acc, b);
+                }
+                vec![acc]
+            }
+            // `pool` is only needed for ops that recurse on term structure; silence unused warnings.
+            #[allow(unreachable_patterns)]
+            _ => {
+                let _ = (pool, args);
+                unreachable!("unhandled operator {op}")
+            }
+        }
+    }
+
+    /// Division/remainder via the defining constraints:
+    /// if `b != 0` then `q * b + r == a` and `r < b`; if `b == 0` then `q == ~0`, `r == a`.
+    fn blast_division(
+        &mut self,
+        sat: &mut Solver,
+        op: BvOp,
+        a: &[Lit],
+        b: &[Lit],
+    ) -> Vec<Lit> {
+        let width = a.len();
+        let f = self.false_lit(sat);
+        let q: Vec<Lit> = (0..width).map(|_| self.fresh(sat)).collect();
+        let r: Vec<Lit> = (0..width).map(|_| self.fresh(sat)).collect();
+        // b_is_zero
+        let mut b_nonzero = f;
+        for &bit in b {
+            b_nonzero = self.or_gate(sat, b_nonzero, bit);
+        }
+        // q*b + r == a, computed at double width so that a wrapping (q, r) pair cannot
+        // masquerade as a valid division result.
+        let widen = |bits: &[Lit]| -> Vec<Lit> {
+            let mut wide = bits.to_vec();
+            wide.resize(2 * width, f);
+            wide
+        };
+        let (q2, b2, r2, a2) = (widen(&q), widen(b), widen(&r), widen(a));
+        let qb = self.mul_bits(sat, &q2, &b2);
+        let (qbr, _) = self.adder(sat, &qb, &r2, f);
+        let product_ok = self.eq_lit(sat, &qbr, &a2);
+        let r_lt_b = self.ult_lit(sat, &r, b);
+        let both = self.and_gate(sat, product_ok, r_lt_b);
+        // b != 0 -> (product_ok && r < b)
+        sat.add_clause(&[b_nonzero.not(), both]);
+        // b == 0 -> q == ~0 and r == a
+        let q_all_ones = {
+            let mut acc = self.true_lit(sat);
+            for &bit in &q {
+                acc = self.and_gate(sat, acc, bit);
+            }
+            acc
+        };
+        let r_eq_a = self.eq_lit(sat, &r, a);
+        sat.add_clause(&[b_nonzero, q_all_ones]);
+        sat.add_clause(&[b_nonzero, r_eq_a]);
+        match op {
+            BvOp::Udiv => q,
+            BvOp::Urem => r,
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_bv::BitVec;
+    use lr_sat::SolveResult;
+
+    /// Asserts a 1-bit term and checks the expected SAT verdict.
+    fn check_formula(build: impl FnOnce(&mut TermPool) -> TermId, expect_sat: bool) {
+        let mut pool = TermPool::new();
+        let t = build(&mut pool);
+        let mut sat = Solver::new();
+        let mut blaster = BitBlaster::new();
+        let bits = blaster.blast(&pool, &mut sat, t);
+        assert_eq!(bits.len(), 1);
+        sat.add_clause(&[bits[0]]);
+        let result = sat.solve();
+        assert_eq!(result, if expect_sat { SolveResult::Sat } else { SolveResult::Unsat });
+    }
+
+    #[test]
+    fn simple_equation_is_sat() {
+        check_formula(
+            |pool| {
+                let x = pool.var("x", 8);
+                let five = pool.constant(BitVec::from_u64(5, 8));
+                let sum = pool.add(x, five);
+                let twelve = pool.constant(BitVec::from_u64(12, 8));
+                pool.eq(sum, twelve)
+            },
+            true,
+        );
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        check_formula(
+            |pool| {
+                let x = pool.var("x", 8);
+                let y = pool.var("y", 8);
+                let eq = pool.eq(x, y);
+                let ne = pool.ne(x, y);
+                pool.and(eq, ne)
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn addition_is_commutative_by_sat() {
+        // !(x + y == y + x) must be UNSAT. Use a non-simplifying pool so the check
+        // actually exercises the adder encoding.
+        let mut pool = TermPool::without_simplification();
+        let x = pool.var("x", 6);
+        let y = pool.var("y", 6);
+        let xy = pool.mk_op(BvOp::Add, vec![x, y]);
+        let yx = pool.mk_op(BvOp::Add, vec![y, x]);
+        let eq = pool.mk_op(BvOp::Eq, vec![xy, yx]);
+        let ne = pool.mk_op(BvOp::Not, vec![eq]);
+        let mut sat = Solver::new();
+        let mut blaster = BitBlaster::new();
+        let bits = blaster.blast(&pool, &mut sat, ne);
+        sat.add_clause(&[bits[0]]);
+        assert_eq!(sat.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn multiplication_distributes_by_sat() {
+        // !(a*(b+c) == a*b + a*c) must be UNSAT at 4 bits.
+        let mut pool = TermPool::without_simplification();
+        let a = pool.var("a", 4);
+        let b = pool.var("b", 4);
+        let c = pool.var("c", 4);
+        let bc = pool.mk_op(BvOp::Add, vec![b, c]);
+        let lhs = pool.mk_op(BvOp::Mul, vec![a, bc]);
+        let ab = pool.mk_op(BvOp::Mul, vec![a, b]);
+        let ac = pool.mk_op(BvOp::Mul, vec![a, c]);
+        let rhs = pool.mk_op(BvOp::Add, vec![ab, ac]);
+        let eq = pool.mk_op(BvOp::Eq, vec![lhs, rhs]);
+        let ne = pool.mk_op(BvOp::Not, vec![eq]);
+        let mut sat = Solver::new();
+        let mut blaster = BitBlaster::new();
+        let bits = blaster.blast(&pool, &mut sat, ne);
+        sat.add_clause(&[bits[0]]);
+        assert_eq!(sat.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn division_constraints_hold() {
+        // x / 3 == 4 && x % 3 == 1  has the solution x == 13.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let three = pool.constant(BitVec::from_u64(3, 8));
+        let four = pool.constant(BitVec::from_u64(4, 8));
+        let one = pool.constant(BitVec::from_u64(1, 8));
+        let q = pool.udiv(x, three);
+        let r = pool.urem(x, three);
+        let qe = pool.eq(q, four);
+        let re = pool.eq(r, one);
+        let both = pool.and(qe, re);
+
+        let mut sat = Solver::new();
+        let mut blaster = BitBlaster::new();
+        let bits = blaster.blast(&pool, &mut sat, both);
+        sat.add_clause(&[bits[0]]);
+        assert_eq!(sat.solve(), SolveResult::Sat);
+        let xbits = &blaster.var_bits()["x"];
+        let value: Vec<bool> = xbits.iter().map(|l| l.eval(sat.value(l.var()).unwrap())).collect();
+        assert_eq!(BitVec::from_bits_lsb_first(&value), BitVec::from_u64(13, 8));
+    }
+
+    #[test]
+    fn barrel_shift_matches_semantics() {
+        // (1 << s) == 8 forces s == 3.
+        let mut pool = TermPool::new();
+        let s = pool.var("s", 4);
+        let one = pool.constant(BitVec::from_u64(1, 4));
+        let eight = pool.constant(BitVec::from_u64(8, 4));
+        let shifted = pool.shl(one, s);
+        let eq = pool.eq(shifted, eight);
+        let mut sat = Solver::new();
+        let mut blaster = BitBlaster::new();
+        let bits = blaster.blast(&pool, &mut sat, eq);
+        sat.add_clause(&[bits[0]]);
+        assert_eq!(sat.solve(), SolveResult::Sat);
+        let sbits = &blaster.var_bits()["s"];
+        let value: Vec<bool> = sbits.iter().map(|l| l.eval(sat.value(l.var()).unwrap())).collect();
+        assert_eq!(BitVec::from_bits_lsb_first(&value), BitVec::from_u64(3, 4));
+    }
+}

@@ -1,0 +1,50 @@
+//! # lr-smt: a QF_BV term layer with rewriting, evaluation, and bit-blasting
+//!
+//! This crate plays the role that Rosette's symbolic evaluation plus the external
+//! SMT solvers play in the original Lakeroad: it represents quantifier-free
+//! fixed-width bitvector (QF_BV) formulas, simplifies them with a rewriting pass,
+//! evaluates them concretely, and decides satisfiability by Tseitin bit-blasting to
+//! CNF and running the [`lr_sat`] CDCL solver.
+//!
+//! The main types are:
+//!
+//! * [`TermPool`] — a hash-consed term graph. Constructors such as
+//!   [`TermPool::add`] or [`TermPool::ite`] apply local rewrite rules (constant
+//!   folding, identity elimination, commutative normalization) unless disabled, so
+//!   that structurally equal designs normalize to the same node. This is the main
+//!   reason synthesis queries in this reproduction stay tractable — exactly the role
+//!   the paper's symbolic evaluation plays.
+//! * [`TermId`] — a handle into the pool.
+//! * [`BvSolver`] — a satisfiability checker for a conjunction of 1-bit terms,
+//!   backed by bit-blasting plus `lr-sat`, with model extraction.
+//!
+//! ```
+//! use lr_bv::BitVec;
+//! use lr_smt::{TermPool, BvSolver, SatResult};
+//!
+//! let mut pool = TermPool::new();
+//! let x = pool.var("x", 8);
+//! let five = pool.constant(BitVec::from_u64(5, 8));
+//! let sum = pool.add(x, five);
+//! let target = pool.constant(BitVec::from_u64(12, 8));
+//! let eq = pool.eq(sum, target);
+//!
+//! let mut solver = BvSolver::new();
+//! solver.assert_true(&mut pool, eq);
+//! assert_eq!(solver.check(&mut pool), SatResult::Sat);
+//! let model = solver.model(&pool);
+//! assert_eq!(model.get("x"), Some(&BitVec::from_u64(7, 8)));
+//! ```
+
+mod blast;
+mod eval;
+mod op;
+mod pool;
+mod solver;
+
+pub use eval::{EvalError, Env};
+pub use op::BvOp;
+pub use pool::{PoolStats, Term, TermId, TermPool};
+pub use solver::{BvSolver, Model, SatResult};
+
+pub use lr_sat::SolverConfig;

@@ -1,0 +1,189 @@
+//! Bitvector operators of the QF_BV term language.
+
+use std::fmt;
+
+/// The operators of the term language.
+///
+/// Widths follow SMT-LIB QF_BV: bitwise and arithmetic operators require equal-width
+/// operands and produce that width; comparisons produce width 1; `Concat`, `Extract`,
+/// `ZeroExt`, and `SignExt` change widths structurally; `Ite` takes a 1-bit condition
+/// and two equal-width branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BvOp {
+    /// Bitwise NOT.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (SMT-LIB semantics for division by zero).
+    Udiv,
+    /// Unsigned remainder.
+    Urem,
+    /// Logical shift left (shift amount is the second operand).
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Concatenation: first operand forms the high bits.
+    Concat,
+    /// Extract bits `hi..=lo`.
+    Extract {
+        /// Highest bit index (inclusive).
+        hi: u32,
+        /// Lowest bit index (inclusive).
+        lo: u32,
+    },
+    /// Zero-extension to a wider width.
+    ZeroExt {
+        /// Resulting width.
+        width: u32,
+    },
+    /// Sign-extension to a wider width.
+    SignExt {
+        /// Resulting width.
+        width: u32,
+    },
+    /// Equality; produces a 1-bit result.
+    Eq,
+    /// Unsigned less-than; 1-bit result.
+    Ult,
+    /// Unsigned less-than-or-equal; 1-bit result.
+    Ule,
+    /// Signed less-than; 1-bit result.
+    Slt,
+    /// Signed less-than-or-equal; 1-bit result.
+    Sle,
+    /// If-then-else over bitvectors; the condition is 1-bit wide.
+    Ite,
+    /// Reduction OR (any bit set); 1-bit result.
+    RedOr,
+    /// Reduction AND (all bits set); 1-bit result.
+    RedAnd,
+    /// Reduction XOR (parity); 1-bit result.
+    RedXor,
+}
+
+impl BvOp {
+    /// Whether the operator is commutative in its two operands (used to normalize
+    /// argument order for hash-consing).
+    pub fn is_commutative(self) -> bool {
+        matches!(self, BvOp::And | BvOp::Or | BvOp::Xor | BvOp::Add | BvOp::Mul | BvOp::Eq)
+    }
+
+    /// Whether the operator produces a 1-bit (boolean) result regardless of operand
+    /// widths.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BvOp::Eq
+                | BvOp::Ult
+                | BvOp::Ule
+                | BvOp::Slt
+                | BvOp::Sle
+                | BvOp::RedOr
+                | BvOp::RedAnd
+                | BvOp::RedXor
+        )
+    }
+
+    /// Number of operands the operator takes.
+    pub fn arity(self) -> usize {
+        match self {
+            BvOp::Not
+            | BvOp::Neg
+            | BvOp::Extract { .. }
+            | BvOp::ZeroExt { .. }
+            | BvOp::SignExt { .. }
+            | BvOp::RedOr
+            | BvOp::RedAnd
+            | BvOp::RedXor => 1,
+            BvOp::Ite => 3,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for BvOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BvOp::Not => "bvnot",
+            BvOp::Neg => "bvneg",
+            BvOp::And => "bvand",
+            BvOp::Or => "bvor",
+            BvOp::Xor => "bvxor",
+            BvOp::Add => "bvadd",
+            BvOp::Sub => "bvsub",
+            BvOp::Mul => "bvmul",
+            BvOp::Udiv => "bvudiv",
+            BvOp::Urem => "bvurem",
+            BvOp::Shl => "bvshl",
+            BvOp::Lshr => "bvlshr",
+            BvOp::Ashr => "bvashr",
+            BvOp::Concat => "concat",
+            BvOp::Extract { hi, lo } => return write!(f, "extract[{hi}:{lo}]"),
+            BvOp::ZeroExt { width } => return write!(f, "zext[{width}]"),
+            BvOp::SignExt { width } => return write!(f, "sext[{width}]"),
+            BvOp::Eq => "=",
+            BvOp::Ult => "bvult",
+            BvOp::Ule => "bvule",
+            BvOp::Slt => "bvslt",
+            BvOp::Sle => "bvsle",
+            BvOp::Ite => "ite",
+            BvOp::RedOr => "redor",
+            BvOp::RedAnd => "redand",
+            BvOp::RedXor => "redxor",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutativity_classification() {
+        assert!(BvOp::Add.is_commutative());
+        assert!(BvOp::And.is_commutative());
+        assert!(BvOp::Eq.is_commutative());
+        assert!(!BvOp::Sub.is_commutative());
+        assert!(!BvOp::Concat.is_commutative());
+        assert!(!BvOp::Ult.is_commutative());
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BvOp::Eq.is_predicate());
+        assert!(BvOp::Slt.is_predicate());
+        assert!(BvOp::RedXor.is_predicate());
+        assert!(!BvOp::Add.is_predicate());
+        assert!(!BvOp::Ite.is_predicate());
+    }
+
+    #[test]
+    fn arity_classification() {
+        assert_eq!(BvOp::Not.arity(), 1);
+        assert_eq!(BvOp::Extract { hi: 3, lo: 0 }.arity(), 1);
+        assert_eq!(BvOp::Add.arity(), 2);
+        assert_eq!(BvOp::Ite.arity(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BvOp::Add.to_string(), "bvadd");
+        assert_eq!(BvOp::Extract { hi: 7, lo: 4 }.to_string(), "extract[7:4]");
+        assert_eq!(BvOp::ZeroExt { width: 16 }.to_string(), "zext[16]");
+    }
+}

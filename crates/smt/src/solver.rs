@@ -1,0 +1,293 @@
+//! The SAT-backed QF_BV solver facade.
+
+use std::collections::HashMap;
+
+use lr_bv::BitVec;
+use lr_sat::{SolveResult, Solver, SolverConfig, SolverStats};
+
+use crate::blast::BitBlaster;
+use crate::pool::{TermId, TermPool};
+
+/// The verdict of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SatResult {
+    /// The asserted conjunction is satisfiable; a model is available.
+    Sat,
+    /// The asserted conjunction is unsatisfiable.
+    Unsat,
+    /// The solver gave up (conflict budget exhausted).
+    Unknown,
+}
+
+/// A model: an assignment of concrete bitvector values to variable names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, BitVec>,
+}
+
+impl Model {
+    /// The value of a variable, if it appears in the model.
+    pub fn get(&self, name: &str) -> Option<&BitVec> {
+        self.values.get(name)
+    }
+
+    /// The value of a variable, or zero of the given width if it was irrelevant to
+    /// the query (and therefore unconstrained).
+    pub fn get_or_zero(&self, name: &str, width: u32) -> BitVec {
+        self.values.get(name).cloned().unwrap_or_else(|| BitVec::zeros(width))
+    }
+
+    /// Iterates over (name, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BitVec)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model binds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Inserts a binding (used by the synthesis engine to build hole assignments).
+    pub fn insert(&mut self, name: impl Into<String>, value: BitVec) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Converts into the evaluation environment type.
+    pub fn into_env(self) -> crate::eval::Env {
+        self.values
+    }
+}
+
+impl FromIterator<(String, BitVec)> for Model {
+    fn from_iter<T: IntoIterator<Item = (String, BitVec)>>(iter: T) -> Self {
+        Model { values: iter.into_iter().collect() }
+    }
+}
+
+/// A satisfiability checker for conjunctions of 1-bit QF_BV terms.
+///
+/// Assert terms with [`BvSolver::assert_true`], then call [`BvSolver::check`]. On
+/// [`SatResult::Sat`], [`BvSolver::model`] returns values for every variable that was
+/// mentioned by an asserted term.
+#[derive(Debug)]
+pub struct BvSolver {
+    sat: Solver,
+    blaster: BitBlaster,
+    asserted: Vec<TermId>,
+    last_result: Option<SatResult>,
+}
+
+impl Default for BvSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BvSolver {
+    /// Creates a solver with the default SAT configuration.
+    pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit SAT configuration (used by the portfolio).
+    pub fn with_config(config: SolverConfig) -> Self {
+        BvSolver {
+            sat: Solver::with_config(config),
+            blaster: BitBlaster::new(),
+            asserted: Vec::new(),
+            last_result: None,
+        }
+    }
+
+    /// Asserts that a 1-bit term is true.
+    ///
+    /// # Panics
+    /// Panics if the term is not 1 bit wide.
+    pub fn assert_true(&mut self, pool: &TermPool, term: TermId) {
+        assert_eq!(pool.width(term), 1, "assertions must be 1-bit terms");
+        let bits = self.blaster.blast(pool, &mut self.sat, term);
+        self.sat.add_clause(&[bits[0]]);
+        self.asserted.push(term);
+        self.last_result = None;
+    }
+
+    /// Asserts that two terms of equal width are equal.
+    pub fn assert_equal(&mut self, pool: &mut TermPool, a: TermId, b: TermId) {
+        let eq = pool.eq(a, b);
+        self.assert_true(pool, eq);
+    }
+
+    /// Checks satisfiability of the asserted conjunction.
+    pub fn check(&mut self, _pool: &TermPool) -> SatResult {
+        let result = match self.sat.solve() {
+            SolveResult::Sat => SatResult::Sat,
+            SolveResult::Unsat => SatResult::Unsat,
+            SolveResult::Unknown => SatResult::Unknown,
+        };
+        self.last_result = Some(result);
+        result
+    }
+
+    /// Underlying SAT statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.sat.stats()
+    }
+
+    /// The terms asserted so far (in order).
+    pub fn assertions(&self) -> &[TermId] {
+        &self.asserted
+    }
+
+    /// Extracts the model after a [`SatResult::Sat`] verdict.
+    ///
+    /// # Panics
+    /// Panics if the last check did not return `Sat`.
+    pub fn model(&self, _pool: &TermPool) -> Model {
+        assert_eq!(
+            self.last_result,
+            Some(SatResult::Sat),
+            "model requested without a satisfiable check"
+        );
+        let mut model = Model::default();
+        for (name, bits) in self.blaster.var_bits() {
+            let values: Vec<bool> = bits
+                .iter()
+                .map(|l| l.eval(self.sat.value(l.var()).unwrap_or(false)))
+                .collect();
+            model.insert(name.clone(), BitVec::from_bits_lsb_first(&values));
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_simple_equation() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let five = pool.constant(BitVec::from_u64(5, 8));
+        let sum = pool.add(x, five);
+        let twelve = pool.constant(BitVec::from_u64(12, 8));
+        let eq = pool.eq(sum, twelve);
+
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, eq);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+        let model = solver.model(&pool);
+        assert_eq!(model.get("x"), Some(&BitVec::from_u64(7, 8)));
+    }
+
+    #[test]
+    fn model_satisfies_assertions_by_evaluation() {
+        let mut pool = TermPool::new();
+        let a = pool.var("a", 8);
+        let b = pool.var("b", 8);
+        let prod = pool.mul(a, b);
+        let target = pool.constant(BitVec::from_u64(36, 8));
+        let eq = pool.eq(prod, target);
+        let three = pool.constant(BitVec::from_u64(3, 8));
+        let a_gt_3 = pool.ult(three, a);
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, eq);
+        solver.assert_true(&pool, a_gt_3);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+        let env = solver.model(&pool).into_env();
+        assert_eq!(pool.eval(eq, &env).unwrap(), BitVec::from_bool(true));
+        assert_eq!(pool.eval(a_gt_3, &env).unwrap(), BitVec::from_bool(true));
+    }
+
+    #[test]
+    fn unsat_conjunction() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 4);
+        let zero = pool.zero(4);
+        let lt = pool.ult(x, zero); // nothing is unsigned-less-than zero
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, lt);
+        assert_eq!(solver.check(&pool), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assert_equal_helper() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let mut solver = BvSolver::new();
+        solver.assert_equal(&mut pool, x, y);
+        let c42 = pool.constant(BitVec::from_u64(42, 8));
+        solver.assert_equal(&mut pool, x, c42);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+        let model = solver.model(&pool);
+        assert_eq!(model.get("y"), Some(&BitVec::from_u64(42, 8)));
+    }
+
+    #[test]
+    fn unconstrained_variable_defaults_to_zero() {
+        let pool = TermPool::new();
+        let model = Model::default();
+        assert_eq!(model.get_or_zero("nope", 8), BitVec::zeros(8));
+        assert!(model.is_empty());
+        let _ = pool;
+    }
+
+    #[test]
+    #[should_panic]
+    fn asserting_wide_term_panics() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn model_without_sat_panics() {
+        let pool = TermPool::new();
+        let solver = BvSolver::new();
+        let _ = solver.model(&pool);
+    }
+
+    #[test]
+    fn signed_comparison_queries() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let minus_one = pool.constant(BitVec::from_u64(0xFF, 8));
+        let zero = pool.zero(8);
+        let neg = pool.slt(x, zero);
+        let eq = pool.eq(x, minus_one);
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, neg);
+        solver.assert_true(&pool, eq);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+    }
+
+    #[test]
+    fn budgeted_config_reports_unknown_on_hard_instance() {
+        let mut config = SolverConfig::default();
+        config.conflict_budget = Some(1);
+        // A 6-bit factorization query needs more than one conflict.
+        let mut pool = TermPool::new();
+        let a = pool.var("a", 6);
+        let b = pool.var("b", 6);
+        let prod = pool.mul(a, b);
+        let target = pool.constant(BitVec::from_u64(35, 6));
+        let eq = pool.eq(prod, target);
+        let one = pool.constant(BitVec::from_u64(1, 6));
+        let a_gt_1 = pool.ult(one, a);
+        let b_gt_1 = pool.ult(one, b);
+        let mut solver = BvSolver::with_config(config);
+        solver.assert_true(&pool, eq);
+        solver.assert_true(&pool, a_gt_1);
+        solver.assert_true(&pool, b_gt_1);
+        let r = solver.check(&pool);
+        assert!(r == SatResult::Unknown || r == SatResult::Sat);
+    }
+}

@@ -1,0 +1,446 @@
+//! The CEGIS loop implementing 𝑓lr / 𝑓*lr.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lr_bv::BitVec;
+use lr_ir::symbolic::{hole_var_name, input_var_name, SymbolicOptions};
+use lr_ir::{HoleInfo, Prog, StreamInputs};
+use lr_smt::{BvSolver, SatResult, TermPool};
+
+use crate::{
+    SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisStats, SynthesisTask, Synthesized,
+};
+
+/// Runs CEGIS for the given task and configuration.
+///
+/// `cancel`, if provided, is polled between solver calls; when it becomes true the
+/// run stops early with a timeout verdict (used by the portfolio to stop losers).
+///
+/// # Errors
+/// Returns [`SynthesisError`] if the task is malformed.
+pub fn synthesize(
+    task: &SynthesisTask<'_>,
+    config: &SynthesisConfig,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<SynthesisOutcome, SynthesisError> {
+    validate(task)?;
+    let start = Instant::now();
+    let holes = task.sketch.holes();
+    let inputs = task.spec.free_vars();
+    let mut stats = SynthesisStats {
+        solver_name: config.solver.name.clone(),
+        ..SynthesisStats::default()
+    };
+
+    // Seed examples: all-zeros, all-ones, and a few pseudo-random patterns.
+    let mut examples: Vec<StreamInputs> = Vec::new();
+    examples.push(constant_example(&inputs, |_, _| 0));
+    if config.seed_examples >= 1 {
+        examples.push(constant_example(&inputs, |_, w| if w >= 64 { u64::MAX } else { (1 << w) - 1 }));
+    }
+    let mut rng_state = config.seed | 1;
+    for _ in 1..config.seed_examples {
+        examples.push(constant_example(&inputs, |_, _| {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        }));
+    }
+    stats.examples = examples.len();
+
+    let cancelled = || cancel.as_ref().map(|c| c.load(Ordering::Relaxed)).unwrap_or(false);
+    let out_of_time =
+        |start: &Instant| config.timeout.map(|t| start.elapsed() >= t).unwrap_or(false);
+
+    for iteration in 0..config.max_iterations {
+        stats.iterations = iteration + 1;
+        if cancelled() || out_of_time(&start) {
+            stats.elapsed = start.elapsed();
+            return Ok(SynthesisOutcome::Timeout { stats });
+        }
+
+        // ----- synthesis step: find hole values consistent with all examples -----
+        let candidate = match solve_for_holes(task, config, &holes, &examples) {
+            HoleSearch::Found(assignment) => assignment,
+            HoleSearch::NoneExists => {
+                stats.elapsed = start.elapsed();
+                return Ok(SynthesisOutcome::Unsat { stats });
+            }
+            HoleSearch::GaveUp => {
+                stats.elapsed = start.elapsed();
+                return Ok(SynthesisOutcome::Timeout { stats });
+            }
+        };
+
+        if cancelled() || out_of_time(&start) {
+            stats.elapsed = start.elapsed();
+            return Ok(SynthesisOutcome::Timeout { stats });
+        }
+
+        // ----- verification step: does the candidate work for *all* inputs? -----
+        let completed = task
+            .sketch
+            .fill_holes(&candidate)
+            .map_err(SynthesisError::IllFormed)?;
+        match verify(task, config, &completed, &mut stats) {
+            Verification::Equivalent => {
+                stats.elapsed = start.elapsed();
+                return Ok(SynthesisOutcome::Success(Box::new(Synthesized {
+                    implementation: completed,
+                    hole_assignment: candidate,
+                    stats,
+                })));
+            }
+            Verification::Counterexample(cex) => {
+                examples.push(cex);
+                stats.examples = examples.len();
+            }
+            Verification::GaveUp => {
+                stats.elapsed = start.elapsed();
+                return Ok(SynthesisOutcome::Timeout { stats });
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    Ok(SynthesisOutcome::Timeout { stats })
+}
+
+fn validate(task: &SynthesisTask<'_>) -> Result<(), SynthesisError> {
+    if !task.spec.is_behavioral() {
+        return Err(SynthesisError::SpecNotBehavioral);
+    }
+    task.spec
+        .well_formed()
+        .map_err(|e| SynthesisError::IllFormed(format!("spec: {e}")))?;
+    task.sketch
+        .well_formed()
+        .map_err(|e| SynthesisError::IllFormed(format!("sketch: {e}")))?;
+    let spec_inputs: Vec<String> = task.spec.free_vars().into_iter().map(|(n, _)| n).collect();
+    let sketch_inputs: Vec<String> = task.sketch.free_vars().into_iter().map(|(n, _)| n).collect();
+    if spec_inputs != sketch_inputs {
+        return Err(SynthesisError::InputMismatch { spec: spec_inputs, sketch: sketch_inputs });
+    }
+    Ok(())
+}
+
+fn constant_example(inputs: &[(String, u32)], mut value: impl FnMut(&str, u32) -> u64) -> StreamInputs {
+    let mut ex = StreamInputs::new();
+    for (name, width) in inputs {
+        ex.set_constant(name.clone(), BitVec::from_u64(value(name, *width), *width));
+    }
+    ex
+}
+
+enum HoleSearch {
+    Found(BTreeMap<String, BitVec>),
+    NoneExists,
+    GaveUp,
+}
+
+/// The CEGIS synthesis step: find hole values making the sketch match the spec on
+/// every accumulated example at every required cycle.
+fn solve_for_holes(
+    task: &SynthesisTask<'_>,
+    config: &SynthesisConfig,
+    holes: &[HoleInfo],
+    examples: &[StreamInputs],
+) -> HoleSearch {
+    let mut pool = TermPool::new();
+    let mut solver = BvSolver::with_config(config.solver.clone());
+
+    for constraint in task.sketch.hole_domain_constraints(&mut pool) {
+        solver.assert_true(&pool, constraint);
+    }
+
+    for example in examples {
+        for cycle in task.cycles() {
+            let Ok(expected) = task.spec.interp(example, cycle) else {
+                // The example does not bind every input; skip it defensively.
+                continue;
+            };
+            let options = SymbolicOptions { concrete_inputs: Some(example) };
+            let sketch_term = task.sketch.to_term_with(&mut pool, cycle, &options);
+            let expected_term = pool.constant(expected);
+            let eq = pool.eq(sketch_term, expected_term);
+            solver.assert_true(&pool, eq);
+        }
+    }
+
+    match solver.check(&pool) {
+        SatResult::Unsat => HoleSearch::NoneExists,
+        SatResult::Unknown => HoleSearch::GaveUp,
+        SatResult::Sat => {
+            let model = solver.model(&pool);
+            let mut assignment = BTreeMap::new();
+            for hole in holes {
+                let value = model.get_or_zero(&hole_var_name(&hole.name), hole.width);
+                // The domain constraint is only asserted when the hole is mentioned
+                // by some example's term; default any unconstrained hole to a legal
+                // value.
+                let value = if hole.domain.contains(&value) {
+                    value
+                } else {
+                    first_in_domain(hole)
+                };
+                assignment.insert(hole.name.clone(), value);
+            }
+            HoleSearch::Found(assignment)
+        }
+    }
+}
+
+fn first_in_domain(hole: &HoleInfo) -> BitVec {
+    match &hole.domain {
+        lr_ir::HoleDomain::AnyConstant => BitVec::zeros(hole.width),
+        lr_ir::HoleDomain::Choice(choices) => {
+            choices.first().cloned().unwrap_or_else(|| BitVec::zeros(hole.width))
+        }
+        lr_ir::HoleDomain::LessThan(_) => BitVec::zeros(hole.width),
+    }
+}
+
+enum Verification {
+    Equivalent,
+    Counterexample(StreamInputs),
+    GaveUp,
+}
+
+/// The CEGIS verification step: check `∀ inputs. spec = candidate` at all required
+/// cycles by asking for an input where they differ.
+fn verify(
+    task: &SynthesisTask<'_>,
+    config: &SynthesisConfig,
+    candidate: &Prog,
+    stats: &mut SynthesisStats,
+) -> Verification {
+    let mut pool = TermPool::new();
+    let mut differs = pool.false_();
+    for cycle in task.cycles() {
+        let spec_term = task.spec.to_term(&mut pool, cycle);
+        let cand_term = candidate.to_term(&mut pool, cycle);
+        let ne = pool.ne(spec_term, cand_term);
+        differs = pool.or(differs, ne);
+    }
+    // If rewriting alone proves the terms equal, the SAT solver never runs.
+    if let Some(value) = pool.as_const(differs) {
+        if value.is_zero() {
+            return Verification::Equivalent;
+        }
+    }
+    stats.verification_used_sat = true;
+    let mut solver = BvSolver::with_config(config.solver.clone());
+    solver.assert_true(&pool, differs);
+    match solver.check(&pool) {
+        SatResult::Unsat => Verification::Equivalent,
+        SatResult::Unknown => Verification::GaveUp,
+        SatResult::Sat => {
+            let model = solver.model(&pool);
+            let last_cycle = task.at_cycle + task.extra_cycles;
+            let mut cex = StreamInputs::new();
+            for (name, width) in task.spec.free_vars() {
+                let trace: Vec<BitVec> = (0..=last_cycle)
+                    .map(|t| model.get_or_zero(&input_var_name(&name, t), width))
+                    .collect();
+                cex.set_trace(name, trace);
+            }
+            Verification::Counterexample(cex)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_ir::{BvOp, HoleDomain, ProgBuilder};
+
+    /// spec: out = a + 5; sketch: out = a + ??
+    #[test]
+    fn synthesizes_a_constant_offset() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let five = b.constant_u64(5, 8);
+        let out = b.op2(BvOp::Add, a, five);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Add, a, k);
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let outcome = synthesize(&task, &SynthesisConfig::default(), None).unwrap();
+        let result = outcome.success().expect("synthesis should succeed");
+        assert_eq!(result.hole_assignment["k"], BitVec::from_u64(5, 8));
+        assert!(!result.implementation.has_holes());
+    }
+
+    /// spec: out = a & 0xF0; sketch: out = a & ?? — and also check the masked value
+    /// equivalence over random inputs.
+    #[test]
+    fn synthesizes_a_mask_and_result_is_equivalent() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let mask = b.constant_u64(0xF0, 8);
+        let out = b.op2(BvOp::And, a, mask);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::And, a, k);
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let outcome = synthesize(&task, &SynthesisConfig::default(), None).unwrap();
+        let result = outcome.success().expect("synthesis should succeed");
+        for value in [0u64, 1, 0x55, 0xAA, 0xFF, 0x93] {
+            let mut env = StreamInputs::new();
+            env.set_constant("a", BitVec::from_u64(value, 8));
+            assert_eq!(
+                spec.interp(&env, 0).unwrap(),
+                result.implementation.interp(&env, 0).unwrap(),
+                "mismatch at a = {value}"
+            );
+        }
+    }
+
+    /// spec: out = a * 2 at cycle 1 (registered); sketch: out = reg(a << ??).
+    #[test]
+    fn synthesizes_across_a_register() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let two = b.constant_u64(2, 8);
+        let prod = b.op2(BvOp::Mul, a, two);
+        let r = b.reg(prod, 8);
+        let spec = b.finish(r);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let sh = b.hole("shift", 8, HoleDomain::LessThan(BitVec::from_u64(8, 8)));
+        let shifted = b.op2(BvOp::Shl, a, sh);
+        let r = b.reg(shifted, 8);
+        let sketch = b.finish(r);
+
+        let task = SynthesisTask::over_window(&spec, &sketch, 1, 2);
+        let outcome = synthesize(&task, &SynthesisConfig::default(), None).unwrap();
+        let result = outcome.success().expect("synthesis should succeed");
+        assert_eq!(result.hole_assignment["shift"], BitVec::from_u64(1, 8));
+    }
+
+    /// An impossible sketch: out = a | ?? can never implement out = a & 0x0F
+    /// (ORing can only set bits, and a=0xFF requires the result 0x0F).
+    #[test]
+    fn reports_unsat_for_impossible_sketches() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let mask = b.constant_u64(0x0F, 8);
+        let out = b.op2(BvOp::And, a, mask);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Or, a, k);
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let outcome = synthesize(&task, &SynthesisConfig::default(), None).unwrap();
+        assert!(outcome.is_unsat(), "expected UNSAT, got {outcome:?}");
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let spec = b.finish(a);
+        let mut b = ProgBuilder::new("sketch");
+        let x = b.input("x", 8);
+        let sketch = b.finish(x);
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let err = synthesize(&task, &SynthesisConfig::default(), None).unwrap_err();
+        assert!(matches!(err, SynthesisError::InputMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_non_behavioral_spec() {
+        let mut b = ProgBuilder::new("spec");
+        let h = b.hole("h", 8, HoleDomain::AnyConstant);
+        let spec = b.finish(h);
+        let mut b = ProgBuilder::new("sketch");
+        let h = b.hole("h", 8, HoleDomain::AnyConstant);
+        let sketch = b.finish(h);
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let err = synthesize(&task, &SynthesisConfig::default(), None).unwrap_err();
+        assert_eq!(err, SynthesisError::SpecNotBehavioral);
+    }
+
+    #[test]
+    fn choice_domains_are_respected() {
+        // spec: out = a + 4; hole restricted to {2, 4, 8}.
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let four = b.constant_u64(4, 8);
+        let out = b.op2(BvOp::Add, a, four);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole(
+            "k",
+            8,
+            HoleDomain::Choice(vec![
+                BitVec::from_u64(2, 8),
+                BitVec::from_u64(4, 8),
+                BitVec::from_u64(8, 8),
+            ]),
+        );
+        let out = b.op2(BvOp::Add, a, k);
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let outcome = synthesize(&task, &SynthesisConfig::default(), None).unwrap();
+        let result = outcome.success().expect("synthesis should succeed");
+        assert_eq!(result.hole_assignment["k"], BitVec::from_u64(4, 8));
+    }
+
+    #[test]
+    fn cancel_flag_stops_the_run() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let spec = b.finish(a);
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Xor, a, k);
+        let sketch = b.finish(out);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let outcome =
+            synthesize(&task, &SynthesisConfig::default(), Some(cancel)).unwrap();
+        assert!(outcome.is_timeout());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 4);
+        let spec = b.finish(a);
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 4);
+        let k = b.hole("k", 4, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Xor, a, k);
+        let sketch = b.finish(out);
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let outcome = synthesize(&task, &SynthesisConfig::default(), None).unwrap();
+        let result = outcome.success().unwrap();
+        assert!(result.stats.iterations >= 1);
+        assert!(result.stats.examples >= 1);
+        assert_eq!(result.stats.solver_name, "default");
+        assert_eq!(result.hole_assignment["k"], BitVec::zeros(4));
+    }
+}

@@ -1,0 +1,192 @@
+//! Parallel solver portfolio.
+//!
+//! The paper (§4.5) runs Bitwuzla, cvc5, Yices2, and STP in parallel and takes the
+//! first answer; §5.1 reports how often each solver won. This module reproduces that
+//! behaviour with four differently-configured instances of the in-tree CDCL solver:
+//! each portfolio member runs the full CEGIS loop under its own heuristics on its own
+//! thread, and the first definite verdict (success or UNSAT) cancels the rest.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cegis;
+use crate::{SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisTask};
+
+/// The outcome of a portfolio run, including which member produced it.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The verdict (from the winning member, or a timeout if nobody finished).
+    pub outcome: SynthesisOutcome,
+    /// Name of the winning solver configuration, if any member produced a definite
+    /// verdict.
+    pub winner: Option<String>,
+    /// Names of all members that were raced.
+    pub members: Vec<String>,
+}
+
+/// Races the default four-member portfolio. See [`synthesize_portfolio_with`].
+///
+/// # Errors
+/// Returns [`SynthesisError`] if the task is malformed.
+pub fn synthesize_portfolio(
+    task: &SynthesisTask<'_>,
+    config: &SynthesisConfig,
+) -> Result<PortfolioOutcome, SynthesisError> {
+    synthesize_portfolio_with(task, config, &SolverConfig::portfolio())
+}
+
+/// Races one CEGIS run per solver configuration and returns the first definite
+/// verdict (success or UNSAT). If every member times out, the result is a timeout.
+///
+/// # Errors
+/// Returns [`SynthesisError`] if the task is malformed (the validation error from the
+/// first member is reported).
+pub fn synthesize_portfolio_with(
+    task: &SynthesisTask<'_>,
+    config: &SynthesisConfig,
+    solvers: &[SolverConfig],
+) -> Result<PortfolioOutcome, SynthesisError> {
+    assert!(!solvers.is_empty(), "portfolio must contain at least one solver");
+    let members: Vec<String> = solvers.iter().map(|s| s.name.clone()).collect();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let winner: Arc<Mutex<Option<(String, SynthesisOutcome)>>> = Arc::new(Mutex::new(None));
+    let error: Arc<Mutex<Option<SynthesisError>>> = Arc::new(Mutex::new(None));
+    let mut timeouts: Vec<SynthesisOutcome> = Vec::new();
+    let timeouts_mutex: Arc<Mutex<Vec<SynthesisOutcome>>> = Arc::new(Mutex::new(Vec::new()));
+
+    crossbeam::scope(|scope| {
+        for solver in solvers {
+            let mut member_config = config.clone();
+            member_config.solver = solver.clone();
+            let cancel = Arc::clone(&cancel);
+            let winner = Arc::clone(&winner);
+            let error = Arc::clone(&error);
+            let timeouts_mutex = Arc::clone(&timeouts_mutex);
+            let task_ref = task;
+            scope.spawn(move |_| {
+                let result = cegis::synthesize(task_ref, &member_config, Some(Arc::clone(&cancel)));
+                match result {
+                    Err(e) => {
+                        let mut guard = error.lock();
+                        if guard.is_none() {
+                            *guard = Some(e);
+                        }
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    Ok(outcome) => {
+                        if outcome.is_timeout() {
+                            timeouts_mutex.lock().push(outcome);
+                        } else {
+                            let mut guard = winner.lock();
+                            if guard.is_none() {
+                                *guard = Some((member_config.solver.name.clone(), outcome));
+                                cancel.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("portfolio threads do not panic");
+
+    if let Some(err) = error.lock().take() {
+        // A validation error is deterministic across members; surface it.
+        if winner.lock().is_none() {
+            return Err(err);
+        }
+    }
+    timeouts.extend(timeouts_mutex.lock().drain(..));
+
+    let decided = winner.lock().take();
+    match decided {
+        Some((name, outcome)) => Ok(PortfolioOutcome {
+            outcome,
+            winner: Some(name),
+            members,
+        }),
+        None => {
+            let outcome = timeouts.into_iter().next().unwrap_or(SynthesisOutcome::Timeout {
+                stats: crate::SynthesisStats::default(),
+            });
+            Ok(PortfolioOutcome { outcome, winner: None, members })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_bv::BitVec;
+    use lr_ir::{BvOp, HoleDomain, ProgBuilder};
+
+    fn offset_task() -> (lr_ir::Prog, lr_ir::Prog) {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let five = b.constant_u64(5, 8);
+        let out = b.op2(BvOp::Add, a, five);
+        let spec = b.finish(out);
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Add, a, k);
+        let sketch = b.finish(out);
+        (spec, sketch)
+    }
+
+    #[test]
+    fn portfolio_finds_the_same_answer() {
+        let (spec, sketch) = offset_task();
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let result = synthesize_portfolio(&task, &SynthesisConfig::default()).unwrap();
+        assert_eq!(result.members.len(), 4);
+        assert!(result.winner.is_some());
+        let synthesized = result.outcome.success().expect("success");
+        assert_eq!(synthesized.hole_assignment["k"], BitVec::from_u64(5, 8));
+    }
+
+    #[test]
+    fn portfolio_reports_unsat() {
+        // spec out = a & 0x0F cannot be implemented by OR-with-constant.
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let mask = b.constant_u64(0x0F, 8);
+        let out = b.op2(BvOp::And, a, mask);
+        let spec = b.finish(out);
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Or, a, k);
+        let sketch = b.finish(out);
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let result = synthesize_portfolio(&task, &SynthesisConfig::default()).unwrap();
+        assert!(result.outcome.is_unsat());
+        assert!(result.winner.is_some());
+    }
+
+    #[test]
+    fn portfolio_surfaces_validation_errors() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let spec = b.finish(a);
+        let mut b = ProgBuilder::new("sketch");
+        let x = b.input("x", 8);
+        let sketch = b.finish(x);
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let err = synthesize_portfolio(&task, &SynthesisConfig::default()).unwrap_err();
+        assert!(matches!(err, SynthesisError::InputMismatch { .. }));
+    }
+
+    #[test]
+    fn single_member_portfolio_works() {
+        let (spec, sketch) = offset_task();
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let solvers = vec![SolverConfig::default()];
+        let result =
+            synthesize_portfolio_with(&task, &SynthesisConfig::default(), &solvers).unwrap();
+        assert_eq!(result.members, vec!["default".to_string()]);
+        assert!(result.outcome.is_success());
+    }
+}

@@ -1,0 +1,52 @@
+//! Runs a slice of the Xilinx microbenchmark suite through Lakeroad and the two
+//! modelled baselines, printing a miniature version of Figure 6 (top).
+//!
+//! Run with `cargo run --release --example baseline_comparison`.
+
+use lakeroad::report::{proportion_bar, RunClass, Tally};
+use lakeroad::suite::suite_for;
+use lakeroad_suite::prelude::*;
+use lr_baselines::{estimate, BaselineTool};
+
+fn main() {
+    let arch = Architecture::xilinx_ultrascale_plus();
+    // Width-8 suite, every 11th benchmark, to keep the example quick.
+    let benchmarks: Vec<_> =
+        suite_for(ArchName::XilinxUltraScalePlus, [8u32].into_iter()).into_iter().step_by(11).collect();
+    println!("running {} Xilinx UltraScale+ microbenchmarks (width 8)\n", benchmarks.len());
+
+    let mut lakeroad_tally = Tally::default();
+    let mut sota_tally = Tally::default();
+    let mut yosys_tally = Tally::default();
+    let config = MapConfig::default().with_timeout(std::time::Duration::from_secs(20));
+
+    for bench in &benchmarks {
+        let spec = bench.build();
+        let class = match map_design(&spec, Template::Dsp, &arch, &config) {
+            Ok(MapOutcome::Success(m)) if m.resources.is_single_dsp() => RunClass::Success,
+            Ok(MapOutcome::Success(_)) => RunClass::Fail,
+            Ok(MapOutcome::Unsat { .. }) => RunClass::Unsat,
+            _ => RunClass::Timeout,
+        };
+        lakeroad_tally.record(class);
+        for (tool, tally) in [
+            (BaselineTool::SotaLike, &mut sota_tally),
+            (BaselineTool::YosysLike, &mut yosys_tally),
+        ] {
+            let r = estimate(tool, arch.name(), &spec);
+            tally.record(if r.is_single_dsp() { RunClass::Success } else { RunClass::Fail });
+        }
+    }
+
+    for (label, tally) in [
+        ("Lakeroad", &lakeroad_tally),
+        ("SOTA (modelled)", &sota_tally),
+        ("Yosys (modelled)", &yosys_tally),
+    ] {
+        println!(
+            "{label:18} {} {:5.1}% mapped to a single DSP",
+            proportion_bar(tally.success_rate(), 30),
+            100.0 * tally.success_rate()
+        );
+    }
+}

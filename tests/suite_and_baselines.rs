@@ -1,0 +1,96 @@
+//! Integration tests over the microbenchmark suite and the baseline mappers: the
+//! relative completeness ordering of Figure 6 (Lakeroad ≥ SOTA ≥ Yosys) must emerge
+//! on a sampled subset, and UNSAT verdicts must only appear where the baselines also
+//! fail to find a single-DSP mapping (the paper's observation that all three tools
+//! agree on the truly unmappable designs).
+
+use std::time::Duration;
+
+use lakeroad::report::{RunClass, Tally};
+use lakeroad::suite::{full_suite, suite_for};
+use lakeroad_suite::prelude::*;
+use lr_baselines::{estimate, BaselineTool};
+
+#[test]
+fn full_suite_counts_match_the_paper() {
+    assert_eq!(full_suite(ArchName::XilinxUltraScalePlus).len(), 1320);
+    assert_eq!(full_suite(ArchName::LatticeEcp5).len(), 396);
+    assert_eq!(full_suite(ArchName::IntelCyclone10Lp).len(), 66);
+}
+
+#[test]
+fn completeness_ordering_holds_on_a_sample() {
+    let arch = Architecture::lattice_ecp5();
+    let sample: Vec<_> = suite_for(ArchName::LatticeEcp5, [8u32].into_iter())
+        .into_iter()
+        .step_by(5)
+        .collect();
+    assert!(!sample.is_empty());
+    let config = MapConfig::default().with_timeout(Duration::from_secs(30));
+
+    let mut lakeroad_tally = Tally::default();
+    let mut sota_tally = Tally::default();
+    let mut yosys_tally = Tally::default();
+    for bench in &sample {
+        let spec = bench.build();
+        let class = match map_design(&spec, Template::Dsp, &arch, &config).unwrap() {
+            MapOutcome::Success(m) if m.resources.is_single_dsp() => RunClass::Success,
+            MapOutcome::Success(_) => RunClass::Fail,
+            MapOutcome::Unsat { .. } => RunClass::Unsat,
+            MapOutcome::Timeout { .. } => RunClass::Timeout,
+        };
+        lakeroad_tally.record(class);
+        let sota = estimate(BaselineTool::SotaLike, arch.name(), &spec);
+        sota_tally.record(if sota.is_single_dsp() { RunClass::Success } else { RunClass::Fail });
+        let yosys = estimate(BaselineTool::YosysLike, arch.name(), &spec);
+        yosys_tally.record(if yosys.is_single_dsp() { RunClass::Success } else { RunClass::Fail });
+    }
+
+    assert!(
+        lakeroad_tally.success >= sota_tally.success,
+        "Lakeroad ({}) should map at least as many designs as the SOTA model ({})",
+        lakeroad_tally.success,
+        sota_tally.success
+    );
+    assert!(
+        sota_tally.success >= yosys_tally.success,
+        "the SOTA model ({}) should map at least as many designs as the Yosys model ({})",
+        sota_tally.success,
+        yosys_tally.success
+    );
+    assert!(lakeroad_tally.success > 0, "Lakeroad should map something in the sample");
+}
+
+#[test]
+fn intel_suite_lakeroad_vs_yosys() {
+    // Paper §5.1: on Intel, Lakeroad maps all designs while Yosys maps none.
+    let arch = Architecture::intel_cyclone10lp();
+    let sample: Vec<_> =
+        suite_for(ArchName::IntelCyclone10Lp, [8u32].into_iter()).into_iter().collect();
+    let config = MapConfig::default().with_timeout(Duration::from_secs(30));
+    let mut mapped = 0usize;
+    for bench in &sample {
+        let spec = bench.build();
+        if let MapOutcome::Success(m) = map_design(&spec, Template::Dsp, &arch, &config).unwrap() {
+            if m.resources.is_single_dsp() {
+                mapped += 1;
+            }
+        }
+        let yosys = estimate(BaselineTool::YosysLike, arch.name(), &spec);
+        assert!(!yosys.is_single_dsp(), "modelled Yosys must not map Intel designs");
+    }
+    assert_eq!(mapped, sample.len(), "Lakeroad should map every width-8 Intel design");
+}
+
+#[test]
+fn baseline_resource_estimates_are_never_better_than_single_dsp() {
+    let suite = suite_for(ArchName::XilinxUltraScalePlus, [8u32, 16].into_iter());
+    for bench in suite.iter().step_by(9) {
+        let spec = bench.build();
+        for tool in [BaselineTool::SotaLike, BaselineTool::YosysLike] {
+            let r = estimate(tool, ArchName::XilinxUltraScalePlus, &spec);
+            let total = r.dsps + r.logic_elements + r.registers;
+            assert!(total >= 1, "every design costs something: {bench:?}");
+        }
+    }
+}
