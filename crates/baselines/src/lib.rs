@@ -62,14 +62,9 @@ pub fn recognize(prog: &Prog) -> Option<RecognizedPattern> {
     // Strip pipeline registers from the root.
     let mut node = prog.root();
     let mut stages = 0u32;
-    loop {
-        match prog.node(node)? {
-            Node::Reg { data, .. } => {
-                stages += 1;
-                node = *data;
-            }
-            _ => break,
-        }
+    while let Node::Reg { data, .. } = prog.node(node)? {
+        stages += 1;
+        node = *data;
     }
     let mut mul_count = 0usize;
     let mut pre_adder = false;

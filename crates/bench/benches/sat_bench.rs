@@ -11,9 +11,9 @@ fn pigeonhole(n: usize, m: usize) -> Solver {
         s.add_clause(&clause);
     }
     for j in 0..m {
-        for i1 in 0..n {
-            for i2 in (i1 + 1)..n {
-                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
             }
         }
     }

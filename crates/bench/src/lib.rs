@@ -219,7 +219,7 @@ pub fn print_portfolio(all: &[(ArchName, ArchResults)]) {
         }
     }
     let mut rows: Vec<_> = totals.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     for (name, count) in rows {
         println!("  {name:12} first to finish for {count} runs");
     }

@@ -57,7 +57,7 @@ impl BitVec {
     /// Hexadecimal digits of the value, most significant first, with enough digits
     /// to cover the full width.
     pub fn to_hex_string(&self) -> String {
-        let digits = (self.width() as usize + 3) / 4;
+        let digits = (self.width() as usize).div_ceil(4);
         let mut s = String::with_capacity(digits);
         for d in (0..digits).rev() {
             let lo = (d * 4) as u32;

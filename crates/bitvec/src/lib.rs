@@ -38,7 +38,7 @@ pub struct BitVec {
 }
 
 pub(crate) fn limbs_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 impl BitVec {

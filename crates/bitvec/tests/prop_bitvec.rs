@@ -13,6 +13,24 @@ fn mask(width: u32) -> u128 {
     }
 }
 
+/// Width 0 is rejected: a zero-width bitvector has no value representation, and
+/// `BitVec::zeros` (which `from_u64` builds on) panics rather than defining one.
+#[test]
+#[should_panic]
+fn from_u64_width_zero_is_rejected() {
+    let _ = BitVec::from_u64(0, 0);
+}
+
+/// The extreme inputs at exactly the one-limb boundary survive a round-trip.
+#[test]
+fn from_u64_width_64_boundary_values() {
+    for value in [0u64, 1, 0x8000_0000_0000_0000, u64::MAX] {
+        let bv = BitVec::from_u64(value, 64);
+        assert_eq!(bv.to_u128(), Some(value as u128));
+        assert_eq!(bv.msb(), value >> 63 == 1);
+    }
+}
+
 prop_compose! {
     fn width_and_two_values()(width in 1u32..=64)(
         width in Just(width),
@@ -62,12 +80,16 @@ proptest! {
         let bm = (b as u128) & mask(width);
         let x = BitVec::from_u64(a, width);
         let y = BitVec::from_u64(b, width);
-        if bm != 0 {
-            prop_assert_eq!(x.udiv(&y).to_u128().unwrap(), am / bm);
-            prop_assert_eq!(x.urem(&y).to_u128().unwrap(), am % bm);
-        } else {
-            prop_assert!(x.udiv(&y).is_all_ones());
-            prop_assert_eq!(x.urem(&y), x);
+        match (am.checked_div(bm), am.checked_rem(bm)) {
+            (Some(quot), Some(rem)) => {
+                prop_assert_eq!(x.udiv(&y).to_u128().unwrap(), quot);
+                prop_assert_eq!(x.urem(&y).to_u128().unwrap(), rem);
+            }
+            _ => {
+                // Division by zero: SMT-LIB semantics (all ones; remainder = dividend).
+                prop_assert!(x.udiv(&y).is_all_ones());
+                prop_assert_eq!(x.urem(&y), x);
+            }
         }
     }
 
@@ -146,6 +168,20 @@ proptest! {
     fn neg_is_additive_inverse(width in 1u32..=96, a in 0u64..=u64::MAX) {
         let x = BitVec::from_u64(a, width.min(64)).zext(width);
         prop_assert!(x.add(&x.neg()).is_zero());
+    }
+
+    #[test]
+    fn from_u64_truncates_below_width_64(value in 0u64..=u64::MAX, width in 1u32..64) {
+        let bv = BitVec::from_u64(value, width);
+        prop_assert_eq!(bv.width(), width);
+        prop_assert_eq!(bv.to_u128().unwrap(), value as u128 & mask(width));
+    }
+
+    #[test]
+    fn from_u64_width_64_is_lossless(value in 0u64..=u64::MAX) {
+        let bv = BitVec::from_u64(value, 64);
+        prop_assert_eq!(bv.width(), 64);
+        prop_assert_eq!(bv.to_u128().unwrap(), value as u128);
     }
 
     #[test]

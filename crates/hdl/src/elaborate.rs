@@ -310,7 +310,7 @@ endmodule
         assert_eq!(prog.width(prog.root()), 16);
         // Two pipeline stages: result appears at cycle 2.
         let env = inputs(&[("a", 3, 16), ("b", 5, 16), ("c", 7, 16), ("d", 0xFF, 16)]);
-        assert_eq!(prog.interp(&env, 2).unwrap(), BitVec::from_u64((3 + 5) * 7 & 0xFF, 16));
+        assert_eq!(prog.interp(&env, 2).unwrap(), BitVec::from_u64(((3 + 5) * 7) & 0xFF, 16));
         assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::zeros(16));
     }
 

@@ -307,8 +307,8 @@ mod tests {
         ]);
         let out = prog.interp(&e, 0).unwrap();
         // 1 + 0 + carry-in 1 = 0b10: s0 = 0, s1 = 1 (carry into bit 1).
-        assert_eq!(out.bit(0), false);
-        assert_eq!(out.bit(1), true);
+        assert!(!out.bit(0));
+        assert!(out.bit(1));
     }
 
     #[test]

@@ -281,7 +281,7 @@ mod tests {
         let out = b.op2(BvOp::And, prod, d);
         let prog = b.finish(out);
         let env = inputs(&[("a", 3, 16), ("b", 5, 16), ("c", 7, 16), ("d", 0xFF, 16)]);
-        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64((3 + 5) * 7 & 0xFF, 16));
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(((3 + 5) * 7) & 0xFF, 16));
     }
 
     #[test]

@@ -190,9 +190,7 @@ impl Solver {
         match filtered.len() {
             0 => self.unsat_at_root = true,
             1 => {
-                if !self.enqueue(filtered[0], NO_REASON) {
-                    self.unsat_at_root = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(filtered[0], NO_REASON) || self.propagate().is_some() {
                     self.unsat_at_root = true;
                 }
             }
@@ -293,7 +291,7 @@ impl Solver {
                     i += 1;
                 }
             }
-            self.watches[false_lit.index()].extend(watchers.drain(..));
+            self.watches[false_lit.index()].append(&mut watchers);
             if conflict.is_some() {
                 return conflict;
             }
@@ -362,7 +360,7 @@ impl Solver {
         }
         self.heap.push(v);
         self.heap_pos[v.index()] = (self.heap.len() - 1) as i32;
-        self.heap_up((self.heap.len() - 1) as usize);
+        self.heap_up(self.heap.len() - 1);
     }
 
     fn heap_update(&mut self, v: Var) {
@@ -753,13 +751,13 @@ mod tests {
         // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
         let mut s = Solver::new();
         let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
-        for i in 0..3 {
-            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
         for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }
@@ -777,9 +775,9 @@ mod tests {
             s.add_clause(&c);
         }
         for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }
@@ -794,18 +792,18 @@ mod tests {
         let mut s = Solver::new();
         let color: Vec<Vec<Var>> = (0..n).map(|_| (0..3).map(|_| s.new_var()).collect()).collect();
         let mut clauses: Vec<Vec<Lit>> = Vec::new();
-        for v in 0..n {
-            clauses.push(color[v].iter().map(|&x| Lit::pos(x)).collect());
+        for node in &color {
+            clauses.push(node.iter().map(|&x| Lit::pos(x)).collect());
             for c1 in 0..3 {
                 for c2 in (c1 + 1)..3 {
-                    clauses.push(vec![Lit::neg(color[v][c1]), Lit::neg(color[v][c2])]);
+                    clauses.push(vec![Lit::neg(node[c1]), Lit::neg(node[c2])]);
                 }
             }
         }
         for v in 0..n {
             let w = (v + 1) % n;
-            for c in 0..3 {
-                clauses.push(vec![Lit::neg(color[v][c]), Lit::neg(color[w][c])]);
+            for (cv, cw) in color[v].iter().zip(&color[w]) {
+                clauses.push(vec![Lit::neg(*cv), Lit::neg(*cw)]);
             }
         }
         for c in &clauses {
@@ -843,8 +841,7 @@ mod tests {
         // A hard instance with a tiny budget must return Unknown.
         let n = 8;
         let m = 7;
-        let mut cfg = SolverConfig::default();
-        cfg.conflict_budget = Some(3);
+        let cfg = SolverConfig { conflict_budget: Some(3), ..SolverConfig::default() };
         let mut s = Solver::with_config(cfg);
         let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
         for row in p.iter() {
@@ -852,9 +849,9 @@ mod tests {
             s.add_clause(&c);
         }
         for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }

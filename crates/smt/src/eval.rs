@@ -163,7 +163,7 @@ mod tests {
         let prod = pool.mul(sum, c);
         let out = pool.and(prod, d);
         let e = env(&[("a", 3, 16), ("b", 5, 16), ("c", 7, 16), ("d", 0xFF, 16)]);
-        assert_eq!(pool.eval(out, &e).unwrap(), BitVec::from_u64((3 + 5) * 7 & 0xFF, 16));
+        assert_eq!(pool.eval(out, &e).unwrap(), BitVec::from_u64(((3 + 5) * 7) & 0xFF, 16));
     }
 
     #[test]

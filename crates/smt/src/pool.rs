@@ -363,11 +363,10 @@ impl TermPool {
                     return Some(a);
                 }
             }
-            BvOp::Shl | BvOp::Lshr | BvOp::Ashr => {
-                if self.is_zero_const(args[1]) {
+            BvOp::Shl | BvOp::Lshr | BvOp::Ashr
+                if self.is_zero_const(args[1]) => {
                     return Some(args[0]);
                 }
-            }
             BvOp::Not => {
                 if let Term::Op { op: BvOp::Not, args: inner, .. } = self.term(args[0]) {
                     return Some(inner[0]);
@@ -378,26 +377,22 @@ impl TermPool {
                     return Some(inner[0]);
                 }
             }
-            BvOp::Eq => {
-                if args[0] == args[1] {
+            BvOp::Eq
+                if args[0] == args[1] => {
                     return Some(self.true_());
                 }
-            }
-            BvOp::Ult => {
-                if args[0] == args[1] {
+            BvOp::Ult
+                if args[0] == args[1] => {
                     return Some(self.false_());
                 }
-            }
-            BvOp::Slt => {
-                if args[0] == args[1] {
+            BvOp::Slt
+                if args[0] == args[1] => {
                     return Some(self.false_());
                 }
-            }
-            BvOp::Ule | BvOp::Sle => {
-                if args[0] == args[1] {
+            BvOp::Ule | BvOp::Sle
+                if args[0] == args[1] => {
                     return Some(self.true_());
                 }
-            }
             BvOp::Ite => {
                 let (c, t, e) = (args[0], args[1], args[2]);
                 if t == e {
@@ -463,7 +458,7 @@ impl TermPool {
                                 // the value, provided the (constant) amount still
                                 // fits in the narrowed width.
                                 if let Some(amount) = self.as_const(inner[1]).and_then(|a| a.to_u64()) {
-                                    if amount >= u64::from(hi) + 1 {
+                                    if amount > u64::from(hi) {
                                         return Some(self.zero(width));
                                     }
                                     let narrowed_amount =
@@ -514,16 +509,14 @@ impl TermPool {
                     _ => {}
                 }
             }
-            BvOp::RedOr | BvOp::RedAnd => {
-                if self.width(args[0]) == 1 {
+            BvOp::RedOr | BvOp::RedAnd
+                if self.width(args[0]) == 1 => {
                     return Some(args[0]);
                 }
-            }
-            BvOp::RedXor => {
-                if self.width(args[0]) == 1 {
+            BvOp::RedXor
+                if self.width(args[0]) == 1 => {
                     return Some(args[0]);
                 }
-            }
             _ => {}
         }
         None

@@ -271,8 +271,7 @@ mod tests {
 
     #[test]
     fn budgeted_config_reports_unknown_on_hard_instance() {
-        let mut config = SolverConfig::default();
-        config.conflict_budget = Some(1);
+        let config = SolverConfig { conflict_budget: Some(1), ..SolverConfig::default() };
         // A 6-bit factorization query needs more than one conflict.
         let mut pool = TermPool::new();
         let a = pool.var("a", 6);

@@ -7,9 +7,7 @@
 //! thread, and the first definite verdict (success or UNSAT) cancels the rest.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::cegis;
 use crate::{SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisTask};
@@ -50,26 +48,24 @@ pub fn synthesize_portfolio_with(
 ) -> Result<PortfolioOutcome, SynthesisError> {
     assert!(!solvers.is_empty(), "portfolio must contain at least one solver");
     let members: Vec<String> = solvers.iter().map(|s| s.name.clone()).collect();
+    // `cancel` is an Arc because cegis::synthesize takes ownership of its handle;
+    // the result cells are plain locals borrowed by the scoped threads.
     let cancel = Arc::new(AtomicBool::new(false));
-    let winner: Arc<Mutex<Option<(String, SynthesisOutcome)>>> = Arc::new(Mutex::new(None));
-    let error: Arc<Mutex<Option<SynthesisError>>> = Arc::new(Mutex::new(None));
-    let mut timeouts: Vec<SynthesisOutcome> = Vec::new();
-    let timeouts_mutex: Arc<Mutex<Vec<SynthesisOutcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let winner: Mutex<Option<(String, SynthesisOutcome)>> = Mutex::new(None);
+    let error: Mutex<Option<SynthesisError>> = Mutex::new(None);
+    let timeouts: Mutex<Vec<SynthesisOutcome>> = Mutex::new(Vec::new());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for solver in solvers {
             let mut member_config = config.clone();
             member_config.solver = solver.clone();
             let cancel = Arc::clone(&cancel);
-            let winner = Arc::clone(&winner);
-            let error = Arc::clone(&error);
-            let timeouts_mutex = Arc::clone(&timeouts_mutex);
-            let task_ref = task;
-            scope.spawn(move |_| {
-                let result = cegis::synthesize(task_ref, &member_config, Some(Arc::clone(&cancel)));
+            let (winner, error, timeouts) = (&winner, &error, &timeouts);
+            scope.spawn(move || {
+                let result = cegis::synthesize(task, &member_config, Some(Arc::clone(&cancel)));
                 match result {
                     Err(e) => {
-                        let mut guard = error.lock();
+                        let mut guard = error.lock().unwrap();
                         if guard.is_none() {
                             *guard = Some(e);
                         }
@@ -77,9 +73,9 @@ pub fn synthesize_portfolio_with(
                     }
                     Ok(outcome) => {
                         if outcome.is_timeout() {
-                            timeouts_mutex.lock().push(outcome);
+                            timeouts.lock().unwrap().push(outcome);
                         } else {
-                            let mut guard = winner.lock();
+                            let mut guard = winner.lock().unwrap();
                             if guard.is_none() {
                                 *guard = Some((member_config.solver.name.clone(), outcome));
                                 cancel.store(true, Ordering::Relaxed);
@@ -89,18 +85,16 @@ pub fn synthesize_portfolio_with(
                 }
             });
         }
-    })
-    .expect("portfolio threads do not panic");
+    });
 
-    if let Some(err) = error.lock().take() {
+    let decided = winner.into_inner().unwrap();
+    if let Some(err) = error.into_inner().unwrap() {
         // A validation error is deterministic across members; surface it.
-        if winner.lock().is_none() {
+        if decided.is_none() {
             return Err(err);
         }
     }
-    timeouts.extend(timeouts_mutex.lock().drain(..));
 
-    let decided = winner.lock().take();
     match decided {
         Some((name, outcome)) => Ok(PortfolioOutcome {
             outcome,
@@ -108,9 +102,9 @@ pub fn synthesize_portfolio_with(
             members,
         }),
         None => {
-            let outcome = timeouts.into_iter().next().unwrap_or(SynthesisOutcome::Timeout {
-                stats: crate::SynthesisStats::default(),
-            });
+            let outcome = timeouts.into_inner().unwrap().into_iter().next().unwrap_or(
+                SynthesisOutcome::Timeout { stats: crate::SynthesisStats::default() },
+            );
             Ok(PortfolioOutcome { outcome, winner: None, members })
         }
     }

@@ -1,0 +1,26 @@
+//! Smoke test: every `examples/*.rs` file compiles against the facade prelude.
+//!
+//! Each example is included as a module of this test crate, so `cargo test`
+//! fails to build if any example drifts out of sync with the public API — even
+//! in configurations where example targets themselves are not compiled. The
+//! examples' `main` functions are deliberately not run here (some sweep whole
+//! microbenchmark suites); CI additionally runs `cargo build --examples`.
+
+macro_rules! include_example {
+    ($name:ident, $path:literal) => {
+        #[allow(dead_code)]
+        #[path = $path]
+        mod $name;
+    };
+}
+
+include_example!(add_mul_and, "../examples/add_mul_and.rs");
+include_example!(baseline_comparison, "../examples/baseline_comparison.rs");
+include_example!(multi_arch, "../examples/multi_arch.rs");
+include_example!(partial_design_mapping, "../examples/partial_design_mapping.rs");
+include_example!(quickstart, "../examples/quickstart.rs");
+
+#[test]
+fn all_examples_compile() {
+    // The assertion is the successful compilation of the modules above.
+}

@@ -1,0 +1,578 @@
+//! A minimal, dependency-free, API-compatible subset of the `proptest` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so the real
+//! `proptest` cannot be downloaded. This shim implements exactly the surface the
+//! workspace's property tests use — `proptest!`, `prop_compose!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, integer-range strategies, tuples, `Just`,
+//! `prop_map`/`prop_flat_map`/`prop_recursive`, `collection::vec`, `bool::ANY`,
+//! and `ProptestConfig::with_cases` — with the same semantics a QuickCheck-style
+//! runner provides: generate N random cases per test and fail loudly with the
+//! offending input.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case is reported as-is (its `Debug` form is
+//!   printed) instead of being minimized.
+//! * **Deterministic seeding.** Case seeds are derived from the test name and the
+//!   case index, so failures reproduce across runs and machines. Set
+//!   `PROPTEST_SEED=<u64>` to perturb the sequence.
+//! * **Uniform generation.** Integer ranges sample uniformly; there is no bias
+//!   toward boundary values.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: tiny, fast, passes BigCrush for this purpose; each test case gets
+/// an independent stream keyed off (test name, case index).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at the sample counts involved here.
+        self.next_u64() % n
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of random values. Unlike the real proptest `Strategy`, this one
+/// produces plain values (no value trees, no shrinking).
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O + 'static,
+        Self::Value: 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, R::Value>
+    where
+        Self: Sized,
+        R: Strategy + 'static,
+        F: Fn(Self::Value) -> R + 'static,
+        Self::Value: 'static,
+    {
+        FlatMap {
+            inner: self,
+            f: Rc::new(move |v| f(v).boxed()),
+        }
+    }
+
+    /// Builds strategies for recursive data: `recurse` receives the strategy for
+    /// the previous depth level and returns one producing a deeper level. Each
+    /// level mixes in the base strategy so generated trees vary in size.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = Union::new(vec![base.clone(), deeper.clone(), deeper]).boxed();
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S: Strategy, O> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> O>,
+}
+
+impl<S: Strategy, O: Debug> Strategy for Map<S, O> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S: Strategy, T> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> BoxedStrategy<T>>,
+}
+
+impl<S: Strategy, T: Debug> Strategy for FlatMap<S, T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Picks one of several strategies uniformly per generated value (`prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
+    }
+}
+
+// Integer ranges. Arithmetic goes through i128 so `0u64..=u64::MAX` and signed
+// ranges both work without overflow.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let hi = self.end as i128; // exclusive
+                let span = (hi - lo) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                // span can only exceed u64::MAX for 128-bit-wide ranges of u64/i64,
+                // where taking the full 64 random bits is exactly uniform.
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+pub mod bool {
+    //! `proptest::bool` — strategies for `bool`.
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection` — strategies for collections.
+    use super::{Strategy, TestRng};
+
+    /// Accepted by [`vec`] as a length spec: a fixed `usize`, `lo..hi`, or `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass: a real failure, or a rejected (discarded) input.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one `proptest!`-declared test: generates `config.cases` inputs and runs
+/// the body on each. Called by the `proptest!` macro expansion, not by hand.
+pub fn run_cases<S, F>(config: ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let perturb = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let base = fnv1a(name) ^ perturb;
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(base.wrapping_add((case as u64).wrapping_mul(0xA076_1D64_78BD_642F)));
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        match test(value) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest: test `{name}` failed at case {case}/{}\n  {msg}\n  input: {shown}",
+                config.cases
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }` becomes
+/// a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(
+                $config,
+                stringify!($name),
+                ($($strat,)+),
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// Composes strategies into a named strategy-returning function. Supports the
+/// one- and two-binding-group forms of the real macro.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:tt)*)
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        ($($pat2:pat in $strat2:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($arg)*) -> impl $crate::Strategy<Value = $ret> {
+            #[allow(unused_imports)]
+            use $crate::Strategy as _;
+            ($($strat1,)+).prop_flat_map(move |($($pat1,)+)| {
+                ($($strat2,)+).prop_map(move |($($pat2,)+)| $body)
+            })
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:tt)*)
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($arg)*) -> impl $crate::Strategy<Value = $ret> {
+            #[allow(unused_imports)]
+            use $crate::Strategy as _;
+            ($($strat1,)+).prop_map(move |($($pat1,)+)| $body)
+        }
+    };
+}
+
+/// Picks among several strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        #[allow(unused_imports)]
+        use $crate::Strategy as _;
+        $crate::Union::new(vec![$($strat.boxed()),+])
+    }};
+}
+
+/// Like `assert!`, but fails the current proptest case instead of panicking
+/// directly (so the runner can attach the generated input).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+                    l, r, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// The subset of `proptest::prelude` the workspace uses.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u32..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (1u32..=64).generate(&mut rng);
+            assert!((1..=64).contains(&w));
+            let s = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&s));
+            let _full: u64 = (0u64..=u64::MAX).generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = crate::TestRng::new(11);
+        let strat = crate::collection::vec(0u64..=u64::MAX, 1..=3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+        }
+        let fixed = crate::collection::vec(0u8..=255, 8);
+        assert_eq!(fixed.generate(&mut rng).len(), 8);
+    }
+
+    #[test]
+    fn oneof_hits_every_variant() {
+        let mut rng = crate::TestRng::new(13);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_plumbing_works(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}
