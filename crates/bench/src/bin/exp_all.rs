@@ -3,6 +3,7 @@
 
 use lr_arch::Architecture;
 use lr_bench::{
+    cegis::{report_and_write, run_cegis_comparison},
     print_completeness, print_extensibility, print_histogram, print_portfolio,
     print_primitives_table, print_resources, run_all, Scale,
 };
@@ -20,4 +21,8 @@ fn main() {
     print_portfolio(&results);
     print_primitives_table();
     print_extensibility();
+
+    // Incremental-CEGIS perf tracking: rerun the sweep single-solver in both modes
+    // and leave a machine-readable record next to the textual report.
+    report_and_write(&run_cegis_comparison(scale));
 }

@@ -1,0 +1,13 @@
+//! Incremental-CEGIS comparison experiment: runs the DSP sweep once with
+//! persistent solver state and once from scratch, prints the per-benchmark
+//! speedups, and writes the machine-readable `BENCH_cegis.json` report.
+//! Scale is selected with `--quick` (default), `--smoke`, or `--full`.
+
+use lr_bench::cegis::{report_and_write, run_cegis_comparison};
+use lr_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Incremental CEGIS comparison at {scale:?} scale");
+    report_and_write(&run_cegis_comparison(scale));
+}

@@ -6,6 +6,8 @@
 //! Figure 7, the resource-reduction and solver-portfolio paragraphs, Table 1, and
 //! the §5.2 extensibility comparison).
 
+pub mod cegis;
+
 use std::collections::HashMap;
 use std::time::Duration;
 

@@ -20,12 +20,13 @@ struct Options {
     input: String,
     output: Option<String>,
     timeout: Duration,
+    incremental: bool,
 }
 
 fn usage() -> String {
     "usage: lakeroad --template <dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
      \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
-     \x20               [--timeout <seconds>] [--output <file>] <design.v>"
+     \x20               [--timeout <seconds>] [--no-incremental] [--output <file>] <design.v>"
         .to_string()
 }
 
@@ -47,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut input = None;
     let mut output = None;
     let mut timeout = Duration::from_secs(120);
+    let mut incremental = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--timeout expects a number of seconds".to_string())?;
                 timeout = Duration::from_secs(secs);
             }
+            "--no-incremental" => incremental = false,
             "--output" | "-o" => {
                 i += 1;
                 output = Some(args.get(i).ok_or("--output needs a value")?.clone());
@@ -86,6 +89,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         input: input.ok_or(format!("missing input design\n{}", usage()))?,
         output,
         timeout,
+        incremental,
     })
 }
 
@@ -105,7 +109,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let config = MapConfig::default().with_timeout(options.timeout);
+    let config = MapConfig {
+        incremental: options.incremental,
+        ..MapConfig::default().with_timeout(options.timeout)
+    };
     match map_verilog(&verilog, options.template, &options.arch, &config) {
         Ok(MapOutcome::Success(mapped)) => {
             eprintln!(

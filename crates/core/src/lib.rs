@@ -53,6 +53,10 @@ pub struct MapConfig {
     pub solvers: Vec<SolverConfig>,
     /// Maximum CEGIS iterations per solver.
     pub max_iterations: usize,
+    /// Reuse solver state across CEGIS iterations (default on; see
+    /// `lr_synth::cegis`). Turning this off restores the from-scratch loop, which
+    /// the differential tests and the `exp_cegis` benchmark use as a baseline.
+    pub incremental: bool,
 }
 
 impl Default for MapConfig {
@@ -62,6 +66,7 @@ impl Default for MapConfig {
             bmc_window: 2,
             solvers: SolverConfig::portfolio(),
             max_iterations: 64,
+            incremental: true,
         }
     }
 }
@@ -267,6 +272,7 @@ pub fn map_design(
         solver: SolverConfig::default(),
         max_iterations: config.max_iterations,
         timeout: Some(config.timeout),
+        incremental: config.incremental,
         ..Default::default()
     };
     let result = synthesize_portfolio_with(&task, &synth_config, &config.solvers)?;

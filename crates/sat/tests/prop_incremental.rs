@@ -1,0 +1,173 @@
+//! Property-based tests for *incremental* solver use: the access pattern the
+//! incremental CEGIS loop relies on. One solver instance is solved repeatedly while
+//! clauses are added between calls (so learnt clauses from earlier solves stay in
+//! the database), and queries are posed under assumptions. Every verdict must agree
+//! with a fresh solver given the same final clause set, and contradictory
+//! assumptions must yield Unsat without corrupting the trail for later solves.
+
+use lr_sat::{Lit, SolveResult, Solver, SolverConfig, Var};
+use proptest::prelude::*;
+
+/// A random CNF instance over `nvars` variables, as signed integers (DIMACS-style,
+/// 1-based; negative = negated).
+#[derive(Debug, Clone)]
+struct Cnf {
+    nvars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    (2..=max_vars).prop_flat_map(move |nvars| {
+        let lit = (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+        let clause = proptest::collection::vec(lit, 1..=3);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| Cnf { nvars, clauses })
+    })
+}
+
+/// Two clause batches over a shared variable count, added to one solver in sequence.
+fn two_batches(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (Cnf, Vec<Vec<i32>>)> {
+    cnf_strategy(max_vars, max_clauses).prop_flat_map(move |first| {
+        let nvars = first.nvars;
+        let lit = (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+        let clause = proptest::collection::vec(lit, 1..=3);
+        proptest::collection::vec(clause, 0..=max_clauses)
+            .prop_map(move |second| (first.clone(), second))
+    })
+}
+
+fn to_lits(vars: &[Var], clause: &[i32]) -> Vec<Lit> {
+    clause.iter().map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0)).collect()
+}
+
+fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
+    (0u64..(1u64 << nvars)).any(|assignment| {
+        clauses.iter().all(|clause| {
+            clause.iter().any(|&l| {
+                let value = (assignment >> (l.unsigned_abs() - 1)) & 1 == 1;
+                if l > 0 {
+                    value
+                } else {
+                    !value
+                }
+            })
+        })
+    })
+}
+
+fn model_satisfies(clauses: &[Vec<i32>], model: &[bool]) -> bool {
+    clauses.iter().all(|clause| {
+        clause.iter().any(|&l| {
+            let value = model[(l.unsigned_abs() - 1) as usize];
+            if l > 0 {
+                value
+            } else {
+                !value
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Solve, add more clauses (keeping whatever was learnt), and re-solve: the
+    /// verdict must agree with a fresh solver on the union, and the model (if any)
+    /// must satisfy every clause of both batches.
+    #[test]
+    fn reused_solver_agrees_with_fresh_solver((first, second) in two_batches(8, 16)) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..first.nvars).map(|_| solver.new_var()).collect();
+        for clause in &first.clauses {
+            solver.add_clause(&to_lits(&vars, clause));
+        }
+        let _ = solver.solve(); // populate learnt clauses / saved phases / trail
+        for clause in &second {
+            solver.add_clause(&to_lits(&vars, clause));
+        }
+        let reused = solver.solve();
+
+        let union: Vec<Vec<i32>> =
+            first.clauses.iter().chain(second.iter()).cloned().collect();
+        let expected =
+            if brute_force_sat(first.nvars, &union) { SolveResult::Sat } else { SolveResult::Unsat };
+        prop_assert_eq!(reused, expected, "reused solver disagrees on the union clause set");
+        if reused == SolveResult::Sat {
+            let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
+            prop_assert!(model_satisfies(&union, &model), "reused solver's model violates a clause");
+        }
+    }
+
+    /// Assumptions that contradict each other — or clauses the solver has already
+    /// learnt from — must return Unsat and leave the solver able to answer the
+    /// unassumed query correctly afterwards (no corrupted trail or stuck
+    /// assignment).
+    #[test]
+    fn contradictory_assumptions_do_not_corrupt_the_trail(cnf in cnf_strategy(7, 14), pivot in 0usize..7) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..cnf.nvars).map(|_| solver.new_var()).collect();
+        for clause in &cnf.clauses {
+            solver.add_clause(&to_lits(&vars, clause));
+        }
+        let expected = if brute_force_sat(cnf.nvars, &cnf.clauses) {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        // Learn something first, then pose a self-contradictory assumption pair.
+        let _ = solver.solve();
+        let v = vars[pivot % cnf.nvars];
+        prop_assert_eq!(
+            solver.solve_with_assumptions(&[Lit::pos(v), Lit::neg(v)]),
+            SolveResult::Unsat,
+            "x and !x assumed together must be Unsat"
+        );
+        // The contradiction must not persist: the unassumed query still gets the
+        // right verdict and a genuine model.
+        let after = solver.solve();
+        prop_assert_eq!(after, expected, "verdict changed after contradictory assumptions");
+        if after == SolveResult::Sat {
+            let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
+            prop_assert!(model_satisfies(&cnf.clauses, &model));
+        }
+    }
+
+    /// Solving the same instance under every single-literal assumption in turn on
+    /// one solver must agree with a fresh solver per assumption (the per-candidate
+    /// pattern of the incremental CEGIS verifier).
+    #[test]
+    fn assumption_sweep_matches_fresh_solvers(cnf in cnf_strategy(6, 12)) {
+        let mut reused = Solver::new();
+        let vars: Vec<Var> = (0..cnf.nvars).map(|_| reused.new_var()).collect();
+        for clause in &cnf.clauses {
+            reused.add_clause(&to_lits(&vars, clause));
+        }
+        for i in 0..cnf.nvars {
+            for negated in [false, true] {
+                let assumption = i as i32 + 1;
+                let assumption = if negated { -assumption } else { assumption };
+                let verdict =
+                    reused.solve_with_assumptions(&[to_lits(&vars, &[assumption])[0]]);
+
+                let mut fresh = Solver::with_config(SolverConfig::default());
+                let fvars: Vec<Var> = (0..cnf.nvars).map(|_| fresh.new_var()).collect();
+                for clause in &cnf.clauses {
+                    fresh.add_clause(&to_lits(&fvars, clause));
+                }
+                let expected =
+                    fresh.solve_with_assumptions(&[to_lits(&fvars, &[assumption])[0]]);
+                prop_assert_eq!(
+                    verdict, expected,
+                    "assumption {} disagrees between reused and fresh solver", assumption
+                );
+                if verdict == SolveResult::Sat {
+                    let model: Vec<bool> =
+                        vars.iter().map(|&v| reused.value(v).unwrap()).collect();
+                    prop_assert!(model_satisfies(&cnf.clauses, &model));
+                    let idx = i;
+                    prop_assert_eq!(model[idx], !negated, "assumption not honoured by the model");
+                }
+            }
+        }
+    }
+}

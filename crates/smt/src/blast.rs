@@ -13,12 +13,32 @@ use lr_sat::{Lit, Solver};
 use crate::op::BvOp;
 use crate::pool::{Term, TermId, TermPool};
 
+/// Counters describing how much encoding work the blaster performed and how much
+/// it answered from its memo table. Exposed through `BvSolver::blast_stats` so the
+/// incremental CEGIS loop can report clause/encoding reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlastStats {
+    /// Number of distinct terms lowered to literal vectors so far.
+    pub cached_terms: usize,
+    /// `blast` calls answered from the memo table without re-encoding.
+    pub cache_hits: u64,
+    /// `blast` calls that had to encode a new term.
+    pub cache_misses: u64,
+}
+
 /// Lowers terms into an [`lr_sat::Solver`], memoizing per-term literal vectors.
+///
+/// The memo table is append-only: once a `TermId` has been lowered, its literal
+/// vector is final. Growing the pool with new terms (as the incremental CEGIS loop
+/// does between `check` calls) can only add entries, never change existing ones —
+/// `TermId`s are never reused within a pool, so previously returned bits stay valid.
 #[derive(Debug, Default)]
 pub(crate) struct BitBlaster {
     cache: HashMap<TermId, Vec<Lit>>,
     var_bits: HashMap<String, Vec<Lit>>,
     true_lit: Option<Lit>,
+    hits: u64,
+    misses: u64,
 }
 
 impl BitBlaster {
@@ -30,6 +50,11 @@ impl BitBlaster {
     /// extraction).
     pub(crate) fn var_bits(&self) -> &HashMap<String, Vec<Lit>> {
         &self.var_bits
+    }
+
+    /// Cache counters for encoding-reuse reporting.
+    pub(crate) fn stats(&self) -> BlastStats {
+        BlastStats { cached_terms: self.cache.len(), cache_hits: self.hits, cache_misses: self.misses }
     }
 
     /// A literal constrained to be true.
@@ -192,8 +217,10 @@ impl BitBlaster {
     /// Bit-blasts `id`, returning its literal vector (LSB first).
     pub(crate) fn blast(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Vec<Lit> {
         if let Some(bits) = self.cache.get(&id) {
+            self.hits += 1;
             return bits.clone();
         }
+        self.misses += 1;
         let bits = match pool.term(id).clone() {
             Term::Const(bv) => {
                 let t = self.true_lit(sat);

@@ -16,7 +16,12 @@
 //!   the paper's symbolic evaluation plays.
 //! * [`TermId`] — a handle into the pool.
 //! * [`BvSolver`] — a satisfiability checker for a conjunction of 1-bit terms,
-//!   backed by bit-blasting plus `lr-sat`, with model extraction.
+//!   backed by bit-blasting plus `lr-sat`, with model extraction. Assertions,
+//!   learnt clauses, and the bit-blast memo table persist across checks, and
+//!   [`BvSolver::check_assuming`] poses retractable queries — the substrate of the
+//!   incremental CEGIS loop in `lr-synth`.
+//! * [`BvSession`] — a pool and solver bundled into one incremental solving
+//!   context.
 //!
 //! ```
 //! use lr_bv::BitVec;
@@ -45,6 +50,6 @@ mod solver;
 pub use eval::{EvalError, Env};
 pub use op::BvOp;
 pub use pool::{PoolStats, Term, TermId, TermPool};
-pub use solver::{BvSolver, Model, SatResult};
+pub use solver::{BlastStats, BvSession, BvSolver, Model, SatResult};
 
 pub use lr_sat::SolverConfig;

@@ -341,6 +341,38 @@ impl TermPool {
                 if self.is_zero_const(b) {
                     return Some(a);
                 }
+                // (t + c₁) + c₂ → t + (c₁ + c₂): float constants together so they
+                // fold. DSP ALU forms produce chains like ((x + 0xff) + 0x01).
+                for (c, t) in [(a, b), (b, a)] {
+                    if self.as_const(c).is_none() {
+                        continue;
+                    }
+                    match self.term(t).clone() {
+                        Term::Op { op: BvOp::Add, args: inner, .. } => {
+                            for (ci, ti) in [(inner[0], inner[1]), (inner[1], inner[0])] {
+                                if self.as_const(ci).is_some() {
+                                    let folded = self.mk_op(BvOp::Add, vec![ci, c]);
+                                    return Some(self.mk_op(BvOp::Add, vec![ti, folded]));
+                                }
+                            }
+                        }
+                        // (c₁ − u) + c₂ → (c₁ + c₂) − u.
+                        Term::Op { op: BvOp::Sub, args: inner, .. }
+                            if self.as_const(inner[0]).is_some() =>
+                        {
+                            let folded = self.mk_op(BvOp::Add, vec![inner[0], c]);
+                            return Some(self.mk_op(BvOp::Sub, vec![folded, inner[1]]));
+                        }
+                        _ => {}
+                    }
+                }
+                // x + (−y) → x − y: cancels the negate/carry-in encodings DSP ALUs
+                // use for subtraction, so candidates normalize to the spec's form.
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Term::Op { op: BvOp::Neg, args: inner, .. } = self.term(y).clone() {
+                        return Some(self.mk_op(BvOp::Sub, vec![x, inner[0]]));
+                    }
+                }
             }
             BvOp::Sub => {
                 let (a, b) = (args[0], args[1]);
@@ -349,6 +381,28 @@ impl TermPool {
                 }
                 if self.is_zero_const(b) {
                     return Some(a);
+                }
+                // 0 − x → −x.
+                if self.is_zero_const(a) {
+                    return Some(self.mk_op(BvOp::Neg, vec![b]));
+                }
+                // x − (−y) → x + y.
+                if let Term::Op { op: BvOp::Neg, args: inner, .. } = self.term(b).clone() {
+                    return Some(self.mk_op(BvOp::Add, vec![a, inner[0]]));
+                }
+                // x − c → x + (−c): subtraction of a constant joins the additive
+                // constant chains, where re-association folds it.
+                if self.as_const(b).is_some() {
+                    let negated = self.mk_op(BvOp::Neg, vec![b]);
+                    return Some(self.mk_op(BvOp::Add, vec![a, negated]));
+                }
+                // Canonical operand order: x − y → −(y − x) when the ids are out of
+                // order, so mirrored subtractions (a − b vs. b − a, as produced by
+                // swapped DSP port bindings) meet at one node and cancel via the
+                // negation rules.
+                if a > b && self.as_const(a).is_none() {
+                    let flipped = self.mk_op(BvOp::Sub, vec![b, a]);
+                    return Some(self.mk_op(BvOp::Neg, vec![flipped]));
                 }
             }
             BvOp::Mul => {
@@ -361,6 +415,14 @@ impl TermPool {
                 }
                 if self.is_one_const(b) {
                     return Some(a);
+                }
+                // (−x) · y → −(x · y): pull negations above multiplies so they meet
+                // (and cancel against) the negations the ALU forms introduce.
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Term::Op { op: BvOp::Neg, args: inner, .. } = self.term(x).clone() {
+                        let prod = self.mk_op(BvOp::Mul, vec![inner[0], y]);
+                        return Some(self.mk_op(BvOp::Neg, vec![prod]));
+                    }
                 }
             }
             BvOp::Shl | BvOp::Lshr | BvOp::Ashr
@@ -859,6 +921,92 @@ mod tests {
         assert_eq!(pool.width(trunc), 4);
         let s = pool.resize_sext(x, 12);
         assert_eq!(pool.width(s), 12);
+    }
+
+    #[test]
+    fn negation_normalization_rewrites() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let zero = pool.zero(8);
+        // 0 − x → −x.
+        let expect = pool.neg(x);
+        assert_eq!(pool.sub(zero, x), expect);
+        // x − (−y) → x + y, and x + (−y) → x − y.
+        let ny = pool.neg(y);
+        let expect = pool.add(x, y);
+        assert_eq!(pool.sub(x, ny), expect);
+        let expect = pool.sub(x, y);
+        assert_eq!(pool.add(x, ny), expect);
+        // (−x) · y → −(x · y).
+        let nx = pool.neg(x);
+        let got = pool.mul(nx, y);
+        let prod = pool.mul(x, y);
+        let expect = pool.neg(prod);
+        assert_eq!(got, expect);
+        // Mirrored subtraction: b − a normalizes to −(a − b).
+        let ab = pool.sub(x, y);
+        let ba = pool.sub(y, x);
+        let expect = pool.neg(ab);
+        assert_eq!(ba, expect);
+        let restored = pool.neg(ba);
+        assert_eq!(restored, ab);
+    }
+
+    #[test]
+    fn constant_chains_reassociate_and_fold() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        // ((x + 0xff) + 0x01) → x: the DSP ALU's subtract-via-carry encoding.
+        let ff = c(&mut pool, 0xff, 8);
+        let one = c(&mut pool, 1, 8);
+        let t = pool.add(x, ff);
+        let t = pool.add(t, one);
+        assert_eq!(t, x);
+        // x − 3 joins the additive chain: (x − 3) + 3 → x.
+        let three = c(&mut pool, 3, 8);
+        let down = pool.sub(x, three);
+        let back = pool.add(down, three);
+        assert_eq!(back, x);
+        // (0x10 − x) + 0x05 → 0x15 − x.
+        let c10 = c(&mut pool, 0x10, 8);
+        let c05 = c(&mut pool, 0x05, 8);
+        let diff = pool.sub(c10, x);
+        let got = pool.add(diff, c05);
+        let c15 = c(&mut pool, 0x15, 8);
+        let expect = pool.sub(c15, x);
+        assert_eq!(got, expect);
+    }
+
+    /// Regression for the CEGIS verification blowups: a DSP's negate-path encoding
+    /// of a multiply must normalize to the plain multiply, so the disequality
+    /// folds to false without any SAT work.
+    #[test]
+    fn dsp_negate_form_normalizes_to_plain_multiply() {
+        // 0 − ((a · (0 − b)) + 0xff + 0x01)  ≡  a · b.
+        let mut pool = TermPool::new();
+        let a = pool.var("a", 8);
+        let b = pool.var("b", 8);
+        let spec = pool.mul(a, b);
+        let zero = pool.zero(8);
+        let nb = pool.sub(zero, b);
+        let prod = pool.mul(a, nb);
+        let ff = c(&mut pool, 0xff, 8);
+        let one = c(&mut pool, 1, 8);
+        let t = pool.add(prod, ff);
+        let t = pool.add(t, one);
+        let cand = pool.sub(zero, t);
+        assert_eq!(cand, spec);
+        // And the mirrored pre-subtract form: d − (c · (b − a)) ≡ (a − b) · c + d.
+        let cc = pool.var("c", 8);
+        let d = pool.var("d", 8);
+        let amb = pool.sub(a, b);
+        let lhs_mul = pool.mul(amb, cc);
+        let spec2 = pool.add(lhs_mul, d);
+        let bma = pool.sub(b, a);
+        let mirrored = pool.mul(cc, bma);
+        let cand2 = pool.sub(d, mirrored);
+        assert_eq!(cand2, spec2);
     }
 
     #[test]

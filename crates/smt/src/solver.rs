@@ -1,11 +1,21 @@
 //! The SAT-backed QF_BV solver facade.
+//!
+//! [`BvSolver`] is *incremental by construction*: the underlying CDCL solver, the
+//! bit-blast memo table, and all learnt clauses persist across [`BvSolver::check`]
+//! calls, so asserting more terms between checks only encodes the delta. For
+//! constraints that must be retractable (e.g. pinning a candidate's hole values for
+//! one verification query), use [`BvSolver::check_assuming`]: the assumption terms
+//! are encoded permanently but *enforced* only for that single check, via SAT
+//! assumptions. [`BvSession`] bundles a [`TermPool`] with a [`BvSolver`] for callers
+//! that keep one solving context alive across many queries.
 
 use std::collections::HashMap;
 
 use lr_bv::BitVec;
-use lr_sat::{SolveResult, Solver, SolverConfig, SolverStats};
+use lr_sat::{Lit, SolveResult, Solver, SolverConfig, SolverStats};
 
 use crate::blast::BitBlaster;
+pub use crate::blast::BlastStats;
 use crate::pool::{TermId, TermPool};
 
 /// The verdict of a satisfiability check.
@@ -124,7 +134,29 @@ impl BvSolver {
 
     /// Checks satisfiability of the asserted conjunction.
     pub fn check(&mut self, _pool: &TermPool) -> SatResult {
-        let result = match self.sat.solve() {
+        self.check_assuming(_pool, &[])
+    }
+
+    /// Checks satisfiability of the asserted conjunction *under assumptions*.
+    ///
+    /// Each assumption is a 1-bit term that is forced true for this check only —
+    /// unlike [`BvSolver::assert_true`], nothing persists into later checks except
+    /// the (reusable) Tseitin encoding of the term and any clauses the solver learns.
+    /// This is the retractable-assertion half of the incremental API: the CEGIS
+    /// verifier pins a candidate's hole values with assumptions, so the next
+    /// candidate can be checked on the same solver without rebuilding anything.
+    ///
+    /// # Panics
+    /// Panics if an assumption term is not 1 bit wide.
+    pub fn check_assuming(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
+        let lits: Vec<Lit> = assumptions
+            .iter()
+            .map(|&t| {
+                assert_eq!(pool.width(t), 1, "assumptions must be 1-bit terms");
+                self.blaster.blast(pool, &mut self.sat, t)[0]
+            })
+            .collect();
+        let result = match self.sat.solve_with_assumptions(&lits) {
             SolveResult::Sat => SatResult::Sat,
             SolveResult::Unsat => SatResult::Unsat,
             SolveResult::Unknown => SatResult::Unknown,
@@ -133,9 +165,21 @@ impl BvSolver {
         result
     }
 
+    /// Bit-blasts a term and returns its literal vector (LSB first) without
+    /// asserting anything. Repeated calls for the same `TermId` return the memoized
+    /// vector; the encoding clauses are added to the solver on first use only.
+    pub fn literals(&mut self, pool: &TermPool, term: TermId) -> Vec<Lit> {
+        self.blaster.blast(pool, &mut self.sat, term)
+    }
+
     /// Underlying SAT statistics.
     pub fn stats(&self) -> SolverStats {
         self.sat.stats()
+    }
+
+    /// Bit-blast cache counters (encoding reuse across incremental checks).
+    pub fn blast_stats(&self) -> BlastStats {
+        self.blaster.stats()
     }
 
     /// The terms asserted so far (in order).
@@ -162,6 +206,80 @@ impl BvSolver {
             model.insert(name.clone(), BitVec::from_bits_lsb_first(&values));
         }
         model
+    }
+}
+
+/// An incremental QF_BV solving session: a [`TermPool`] and a [`BvSolver`] that live
+/// together across checks.
+///
+/// The pool, the bit-blast memo table, the CDCL clause database (including learnt
+/// clauses), and the variable heap all persist for the lifetime of the session, so a
+/// sequence of related queries pays for each term's encoding exactly once. Build
+/// terms through [`BvSession::pool`], make them permanent with
+/// [`BvSession::assert_true`], and pose retractable queries with
+/// [`BvSession::check_assuming`].
+#[derive(Debug, Default)]
+pub struct BvSession {
+    pool: TermPool,
+    solver: BvSolver,
+}
+
+impl BvSession {
+    /// Creates a session with the default SAT configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a session with an explicit SAT configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        BvSession { pool: TermPool::new(), solver: BvSolver::with_config(config) }
+    }
+
+    /// The session's term pool (for building terms).
+    pub fn pool(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    /// Read-only access to the session's term pool.
+    pub fn pool_ref(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Permanently asserts a 1-bit term built in this session's pool.
+    ///
+    /// # Panics
+    /// Panics if the term is not 1 bit wide.
+    pub fn assert_true(&mut self, term: TermId) {
+        self.solver.assert_true(&self.pool, term);
+    }
+
+    /// Checks satisfiability of everything asserted so far.
+    pub fn check(&mut self) -> SatResult {
+        self.solver.check(&self.pool)
+    }
+
+    /// Checks satisfiability under per-call assumptions (see
+    /// [`BvSolver::check_assuming`]).
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatResult {
+        self.solver.check_assuming(&self.pool, assumptions)
+    }
+
+    /// Extracts the model after a [`SatResult::Sat`] verdict.
+    ///
+    /// # Panics
+    /// Panics if the last check did not return `Sat`.
+    pub fn model(&self) -> Model {
+        self.solver.model(&self.pool)
+    }
+
+    /// Underlying SAT statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Bit-blast cache counters.
+    pub fn blast_stats(&self) -> BlastStats {
+        self.solver.blast_stats()
     }
 }
 
@@ -253,6 +371,71 @@ mod tests {
         let pool = TermPool::new();
         let solver = BvSolver::new();
         let _ = solver.model(&pool);
+    }
+
+    #[test]
+    fn check_assuming_is_retractable() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let five = pool.constant(BitVec::from_u64(5, 8));
+        let seven = pool.constant(BitVec::from_u64(7, 8));
+        let is_five = pool.eq(x, five);
+        let is_seven = pool.eq(x, seven);
+        let mut solver = BvSolver::new();
+        // Nothing asserted permanently: each assumption pins x for one check only.
+        assert_eq!(solver.check_assuming(&pool, &[is_five]), SatResult::Sat);
+        assert_eq!(solver.model(&pool).get("x"), Some(&BitVec::from_u64(5, 8)));
+        assert_eq!(solver.check_assuming(&pool, &[is_seven]), SatResult::Sat);
+        assert_eq!(solver.model(&pool).get("x"), Some(&BitVec::from_u64(7, 8)));
+        assert_eq!(solver.check_assuming(&pool, &[is_five, is_seven]), SatResult::Unsat);
+        // Contradictory assumptions must not poison later checks.
+        assert_eq!(solver.check_assuming(&pool, &[is_five]), SatResult::Sat);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+    }
+
+    #[test]
+    fn check_assuming_reuses_the_encoding() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let sum = pool.add(x, y);
+        let target = pool.constant(BitVec::from_u64(20, 8));
+        let eq = pool.eq(sum, target);
+        let mut solver = BvSolver::new();
+        solver.assert_true(&pool, eq);
+        assert_eq!(solver.check(&pool), SatResult::Sat);
+        let misses_after_first = solver.blast_stats().cache_misses;
+        // Re-checking under assumptions over already-blasted terms encodes nothing new.
+        let three = pool.constant(BitVec::from_u64(3, 8));
+        let pin = pool.eq(x, three);
+        assert_eq!(solver.check_assuming(&pool, &[pin]), SatResult::Sat);
+        assert_eq!(solver.model(&pool).get("y"), Some(&BitVec::from_u64(17, 8)));
+        assert_eq!(solver.check_assuming(&pool, &[pin]), SatResult::Sat);
+        let stats = solver.blast_stats();
+        assert!(stats.cache_hits > 0, "second identical query must hit the cache");
+        assert!(
+            stats.cache_misses <= misses_after_first + 2,
+            "only the pin equality (and its constant) may be newly encoded"
+        );
+    }
+
+    #[test]
+    fn session_bundles_pool_and_solver() {
+        let mut session = BvSession::new();
+        let x = session.pool().var("x", 4);
+        let three = session.pool().constant(BitVec::from_u64(3, 4));
+        let lt = session.pool().ult(x, three);
+        session.assert_true(lt);
+        assert_eq!(session.check(), SatResult::Sat);
+        let zero = session.pool().zero(4);
+        let nonzero = session.pool().ne(x, zero);
+        assert_eq!(session.check_assuming(&[nonzero]), SatResult::Sat);
+        let v = session.model().get("x").cloned().unwrap();
+        assert!(v.to_u64().unwrap() > 0 && v.to_u64().unwrap() < 3);
+        // The permanent assertion still holds without the assumption.
+        assert_eq!(session.check(), SatResult::Sat);
+        assert!(session.blast_stats().cached_terms > 0);
+        assert!(!session.pool_ref().is_empty());
     }
 
     #[test]

@@ -1,4 +1,36 @@
 //! The CEGIS loop implementing 𝑓lr / 𝑓*lr.
+//!
+//! # Incremental solving
+//!
+//! With [`SynthesisConfig::incremental`] (the default) both CEGIS queries reuse
+//! solver state across iterations instead of rebuilding it each round:
+//!
+//! * **Synthesis step** ([`SynthStep`]) — one `TermPool`/`BvSolver` pair lives for
+//!   the whole run. Its constraints are all *permanent*: the hole-domain
+//!   constraints (asserted once, before the first iteration) and one equality
+//!   constraint per (example, cycle). Examples only ever accumulate, so nothing
+//!   needs retraction — iteration `n` asserts only the constraints contributed by
+//!   the counterexample learned in iteration `n-1`, and the bit-blast cache plus
+//!   every learnt clause carry over to the next check.
+//! * **Verification step** ([`VerifyStep`]) — one pool/solver pair is shared by
+//!   every candidate. Each candidate's disequality (built with its holes filled
+//!   concretely, so rewriting can shrink it) is *assumption-guarded*: the session
+//!   permanently asserts `activationᵢ → differsᵢ` and checks it with
+//!   [`BvSolver::check_assuming`]`(&[activationᵢ])`, so the constraint binds for
+//!   exactly one query and retracts for free when the next candidate arrives. The
+//!   spec-side terms are identical every round, so their encodings are reused via
+//!   hash-consing and the bit-blast cache, and clauses learnt about the shared
+//!   circuit structure keep paying off across candidates.
+//!
+//! With `incremental: false` the original from-scratch behaviour is kept: every
+//! iteration builds fresh solvers and re-encodes every accumulated example (O(n²)
+//! total encoding work, counted by [`SynthesisStats::constraints_reencoded`]). The
+//! two modes must produce identical verdicts; the differential harness in
+//! `tests/differential_cegis.rs` enforces this over the e2e benchmark tier.
+//!
+//! In both modes a candidate is first checked by term rewriting alone (building the
+//! disequality with the holes filled concretely and asking whether it folds to
+//! `false`); the SAT solver only runs when rewriting cannot decide the query.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -8,7 +40,7 @@ use std::time::Instant;
 use lr_bv::BitVec;
 use lr_ir::symbolic::{hole_var_name, input_var_name, SymbolicOptions};
 use lr_ir::{HoleInfo, Prog, StreamInputs};
-use lr_smt::{BvSolver, SatResult, TermPool};
+use lr_smt::{BvSession, BvSolver, SatResult, TermId, TermPool};
 
 use crate::{
     SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisStats, SynthesisTask, Synthesized,
@@ -32,6 +64,7 @@ pub fn synthesize(
     let inputs = task.spec.free_vars();
     let mut stats = SynthesisStats {
         solver_name: config.solver.name.clone(),
+        incremental: config.incremental,
         ..SynthesisStats::default()
     };
 
@@ -56,6 +89,9 @@ pub fn synthesize(
     let out_of_time =
         |start: &Instant| config.timeout.map(|t| start.elapsed() >= t).unwrap_or(false);
 
+    let mut synth = SynthStep::new();
+    let mut verifier = VerifyStep::new();
+
     for iteration in 0..config.max_iterations {
         stats.iterations = iteration + 1;
         if cancelled() || out_of_time(&start) {
@@ -64,7 +100,7 @@ pub fn synthesize(
         }
 
         // ----- synthesis step: find hole values consistent with all examples -----
-        let candidate = match solve_for_holes(task, config, &holes, &examples) {
+        let candidate = match synth.solve(task, config, &holes, &examples, &mut stats)? {
             HoleSearch::Found(assignment) => assignment,
             HoleSearch::NoneExists => {
                 stats.elapsed = start.elapsed();
@@ -86,7 +122,7 @@ pub fn synthesize(
             .sketch
             .fill_holes(&candidate)
             .map_err(SynthesisError::IllFormed)?;
-        match verify(task, config, &completed, &mut stats) {
+        match verifier.verify(task, config, &completed, &mut stats) {
             Verification::Equivalent => {
                 stats.elapsed = start.elapsed();
                 return Ok(SynthesisOutcome::Success(Box::new(Synthesized {
@@ -135,61 +171,121 @@ fn constant_example(inputs: &[(String, u32)], mut value: impl FnMut(&str, u32) -
     ex
 }
 
+#[derive(Debug)]
 enum HoleSearch {
     Found(BTreeMap<String, BitVec>),
     NoneExists,
     GaveUp,
 }
 
+/// Persistent state of the synthesis-step solver: the solving session and how many
+/// of the accumulated examples have already been encoded into it.
+struct SynthState {
+    session: BvSession,
+    encoded_examples: usize,
+}
+
+impl SynthState {
+    fn new(task: &SynthesisTask<'_>, config: &SynthesisConfig) -> SynthState {
+        let mut session = BvSession::with_config(config.solver.clone());
+        // Permanent: the hole-domain constraints, asserted exactly once per session.
+        for constraint in task.sketch.hole_domain_constraints(session.pool()) {
+            session.assert_true(constraint);
+        }
+        SynthState { session, encoded_examples: 0 }
+    }
+}
+
 /// The CEGIS synthesis step: find hole values making the sketch match the spec on
 /// every accumulated example at every required cycle.
-fn solve_for_holes(
-    task: &SynthesisTask<'_>,
-    config: &SynthesisConfig,
-    holes: &[HoleInfo],
-    examples: &[StreamInputs],
-) -> HoleSearch {
-    let mut pool = TermPool::new();
-    let mut solver = BvSolver::with_config(config.solver.clone());
+struct SynthStep {
+    state: Option<SynthState>,
+    /// High-water mark of examples encoded into *any* solver instance so far; used
+    /// to count from-scratch re-encoding work.
+    ever_encoded: usize,
+}
 
-    for constraint in task.sketch.hole_domain_constraints(&mut pool) {
-        solver.assert_true(&pool, constraint);
+impl SynthStep {
+    fn new() -> SynthStep {
+        SynthStep { state: None, ever_encoded: 0 }
     }
 
-    for example in examples {
-        for cycle in task.cycles() {
-            let Ok(expected) = task.spec.interp(example, cycle) else {
-                // The example does not bind every input; skip it defensively.
-                continue;
-            };
-            let options = SymbolicOptions { concrete_inputs: Some(example) };
-            let sketch_term = task.sketch.to_term_with(&mut pool, cycle, &options);
-            let expected_term = pool.constant(expected);
-            let eq = pool.eq(sketch_term, expected_term);
-            solver.assert_true(&pool, eq);
+    fn solve(
+        &mut self,
+        task: &SynthesisTask<'_>,
+        config: &SynthesisConfig,
+        holes: &[HoleInfo],
+        examples: &[StreamInputs],
+        stats: &mut SynthesisStats,
+    ) -> Result<HoleSearch, SynthesisError> {
+        if !config.incremental {
+            // From-scratch mode: a fresh pool and solver per iteration, so every
+            // accumulated example is encoded again below.
+            self.state = None;
         }
-    }
+        let state = self.state.get_or_insert_with(|| SynthState::new(task, config));
 
-    match solver.check(&pool) {
-        SatResult::Unsat => HoleSearch::NoneExists,
-        SatResult::Unknown => HoleSearch::GaveUp,
-        SatResult::Sat => {
-            let model = solver.model(&pool);
-            let mut assignment = BTreeMap::new();
-            for hole in holes {
-                let value = model.get_or_zero(&hole_var_name(&hole.name), hole.width);
-                // The domain constraint is only asserted when the hole is mentioned
-                // by some example's term; default any unconstrained hole to a legal
-                // value.
-                let value = if hole.domain.contains(&value) {
-                    value
-                } else {
-                    first_in_domain(hole)
-                };
-                assignment.insert(hole.name.clone(), value);
+        // Permanent: one equality constraint per (new example, cycle). Examples only
+        // accumulate, so in incremental mode this encodes exactly the delta.
+        for (idx, example) in examples.iter().enumerate().skip(state.encoded_examples) {
+            for cycle in task.cycles() {
+                let expected = task.spec.interp(example, cycle).map_err(|e| {
+                    SynthesisError::MalformedExample {
+                        example: idx,
+                        cycle,
+                        reason: e.to_string(),
+                    }
+                })?;
+                let options = SymbolicOptions { concrete_inputs: Some(example) };
+                let sketch_term = task.sketch.to_term_with(state.session.pool(), cycle, &options);
+                let expected_term = state.session.pool().constant(expected);
+                let eq = state.session.pool().eq(sketch_term, expected_term);
+                state.session.assert_true(eq);
+                stats.constraints_encoded += 1;
+                if idx < self.ever_encoded {
+                    stats.constraints_reencoded += 1;
+                }
             }
-            HoleSearch::Found(assignment)
         }
+        state.encoded_examples = examples.len();
+        self.ever_encoded = self.ever_encoded.max(examples.len());
+
+        stats.learnt_clauses_reused += state.session.stats().learnt_clauses;
+        let conflicts_before = state.session.stats().conflicts;
+        let trace_start = Instant::now();
+        let verdict = state.session.check();
+        if std::env::var_os("LR_CEGIS_TRACE").is_some() {
+            eprintln!(
+                "[cegis] synth check: {:?} in {:.1} ms, {} conflicts ({} examples)",
+                verdict,
+                trace_start.elapsed().as_secs_f64() * 1e3,
+                state.session.stats().conflicts - conflicts_before,
+                examples.len(),
+            );
+        }
+        stats.conflicts += state.session.stats().conflicts - conflicts_before;
+
+        Ok(match verdict {
+            SatResult::Unsat => HoleSearch::NoneExists,
+            SatResult::Unknown => HoleSearch::GaveUp,
+            SatResult::Sat => {
+                let model = state.session.model();
+                let mut assignment = BTreeMap::new();
+                for hole in holes {
+                    let value = model.get_or_zero(&hole_var_name(&hole.name), hole.width);
+                    // The domain constraint is only asserted when the hole is mentioned
+                    // by some example's term; default any unconstrained hole to a legal
+                    // value.
+                    let value = if hole.domain.contains(&value) {
+                        value
+                    } else {
+                        first_in_domain(hole)
+                    };
+                    assignment.insert(hole.name.clone(), value);
+                }
+                HoleSearch::Found(assignment)
+            }
+        })
     }
 }
 
@@ -209,47 +305,155 @@ enum Verification {
     GaveUp,
 }
 
+/// Persistent state of the incremental verifier: one pool/solver pair shared by all
+/// candidates. Each candidate's (concrete, rewritten) disequality is asserted under
+/// a fresh activation variable — `activation → differs` is permanent, but it only
+/// binds while the activation variable is assumed, so it retracts for free when the
+/// next candidate arrives.
+struct VerifySession {
+    session: BvSession,
+    round: usize,
+    /// The live activation variable, deactivated (asserted false) next round.
+    active: Option<TermId>,
+}
+
 /// The CEGIS verification step: check `∀ inputs. spec = candidate` at all required
 /// cycles by asking for an input where they differ.
-fn verify(
-    task: &SynthesisTask<'_>,
-    config: &SynthesisConfig,
-    candidate: &Prog,
-    stats: &mut SynthesisStats,
-) -> Verification {
-    let mut pool = TermPool::new();
+struct VerifyStep {
+    session: Option<VerifySession>,
+}
+
+impl VerifyStep {
+    fn new() -> VerifyStep {
+        VerifyStep { session: None }
+    }
+
+    fn verify(
+        &mut self,
+        task: &SynthesisTask<'_>,
+        config: &SynthesisConfig,
+        candidate: &Prog,
+        stats: &mut SynthesisStats,
+    ) -> Verification {
+        if config.incremental {
+            return self.verify_incremental(task, config, candidate, stats);
+        }
+
+        // From-scratch mode: fresh pool, fresh solver. Build the disequality with
+        // the holes filled concretely; a correct candidate usually folds it to
+        // `false` without ever reaching the SAT solver.
+        let mut pool = TermPool::new();
+        let differs = build_differs(task, candidate, &mut pool);
+        if let Some(value) = pool.as_const(differs) {
+            if value.is_zero() {
+                return Verification::Equivalent;
+            }
+        }
+        stats.verification_used_sat = true;
+        let mut solver = BvSolver::with_config(config.solver.clone());
+        solver.assert_true(&pool, differs);
+        let verdict = solver.check(&pool);
+        stats.conflicts += solver.stats().conflicts;
+        match verdict {
+            SatResult::Unsat => Verification::Equivalent,
+            SatResult::Unknown => Verification::GaveUp,
+            SatResult::Sat => Verification::Counterexample(extract_cex(task, &solver.model(&pool))),
+        }
+    }
+
+    fn verify_incremental(
+        &mut self,
+        task: &SynthesisTask<'_>,
+        config: &SynthesisConfig,
+        candidate: &Prog,
+        stats: &mut SynthesisStats,
+    ) -> Verification {
+        let verify = self.session.get_or_insert_with(|| VerifySession {
+            session: BvSession::with_config(config.solver.clone()),
+            round: 0,
+            active: None,
+        });
+
+        // Retire the previous round's activation for good. Without this the phase
+        // saver remembers it as true and later searches keep re-deciding it, which
+        // re-activates stale candidates' disequalities and poisons the search.
+        if let Some(prev) = verify.active.take() {
+            let off = verify.session.pool().not(prev);
+            verify.session.assert_true(off);
+        }
+
+        // The candidate's disequality is built in the *shared* pool: the spec-side
+        // terms are identical every iteration (hash-consed and already blasted after
+        // round one), and candidate terms reuse whatever structure they share with
+        // earlier rounds. Rewriting still applies, so a correct candidate usually
+        // folds the disequality to `false` here, before any SAT work.
+        let differs = build_differs(task, candidate, verify.session.pool());
+        if let Some(value) = verify.session.pool_ref().as_const(differs) {
+            if value.is_zero() {
+                return Verification::Equivalent;
+            }
+        }
+        stats.verification_used_sat = true;
+        if std::env::var_os("LR_CEGIS_TRACE_TERMS").is_some() {
+            let d = verify.session.pool_ref().display(differs);
+            eprintln!("[cegis] unfolded differs ({} chars): {}", d.len(), &d[..d.len().min(2000)]);
+        }
+
+        // Assumption-guarded: `activation → differs` is asserted permanently, but
+        // the disequality only binds while `activation` is assumed — this check and
+        // never again. Learnt clauses about the shared circuit structure persist.
+        let activation = verify.session.pool().var(&format!("cegis!verify!{}", verify.round), 1);
+        verify.round += 1;
+        verify.active = Some(activation);
+        let guarded = verify.session.pool().implies(activation, differs);
+        verify.session.assert_true(guarded);
+
+        let conflicts_before = verify.session.stats().conflicts;
+        let trace_start = Instant::now();
+        let verdict = verify.session.check_assuming(&[activation]);
+        if std::env::var_os("LR_CEGIS_TRACE").is_some() {
+            eprintln!(
+                "[cegis] verify check (round {}): {:?} in {:.1} ms, {} conflicts",
+                verify.round,
+                verdict,
+                trace_start.elapsed().as_secs_f64() * 1e3,
+                verify.session.stats().conflicts - conflicts_before,
+            );
+        }
+        stats.conflicts += verify.session.stats().conflicts - conflicts_before;
+        match verdict {
+            SatResult::Unsat => Verification::Equivalent,
+            SatResult::Unknown => Verification::GaveUp,
+            SatResult::Sat => {
+                Verification::Counterexample(extract_cex(task, &verify.session.model()))
+            }
+        }
+    }
+}
+
+/// Builds `∃ inputs. spec ≠ candidate` over the task's cycles in `pool`.
+fn build_differs(task: &SynthesisTask<'_>, candidate: &Prog, pool: &mut TermPool) -> TermId {
     let mut differs = pool.false_();
     for cycle in task.cycles() {
-        let spec_term = task.spec.to_term(&mut pool, cycle);
-        let cand_term = candidate.to_term(&mut pool, cycle);
+        let spec_term = task.spec.to_term(pool, cycle);
+        let cand_term = candidate.to_term(pool, cycle);
         let ne = pool.ne(spec_term, cand_term);
         differs = pool.or(differs, ne);
     }
-    // If rewriting alone proves the terms equal, the SAT solver never runs.
-    if let Some(value) = pool.as_const(differs) {
-        if value.is_zero() {
-            return Verification::Equivalent;
-        }
+    differs
+}
+
+/// Reads the distinguishing input streams out of a verification model.
+fn extract_cex(task: &SynthesisTask<'_>, model: &lr_smt::Model) -> StreamInputs {
+    let last_cycle = task.at_cycle + task.extra_cycles;
+    let mut cex = StreamInputs::new();
+    for (name, width) in task.spec.free_vars() {
+        let trace: Vec<BitVec> = (0..=last_cycle)
+            .map(|t| model.get_or_zero(&input_var_name(&name, t), width))
+            .collect();
+        cex.set_trace(name, trace);
     }
-    stats.verification_used_sat = true;
-    let mut solver = BvSolver::with_config(config.solver.clone());
-    solver.assert_true(&pool, differs);
-    match solver.check(&pool) {
-        SatResult::Unsat => Verification::Equivalent,
-        SatResult::Unknown => Verification::GaveUp,
-        SatResult::Sat => {
-            let model = solver.model(&pool);
-            let last_cycle = task.at_cycle + task.extra_cycles;
-            let mut cex = StreamInputs::new();
-            for (name, width) in task.spec.free_vars() {
-                let trace: Vec<BitVec> = (0..=last_cycle)
-                    .map(|t| model.get_or_zero(&input_var_name(&name, t), width))
-                    .collect();
-                cex.set_trace(name, trace);
-            }
-            Verification::Counterexample(cex)
-        }
-    }
+    cex
 }
 
 #[cfg(test)]
@@ -441,6 +645,81 @@ mod tests {
         assert!(result.stats.iterations >= 1);
         assert!(result.stats.examples >= 1);
         assert_eq!(result.stats.solver_name, "default");
+        assert!(result.stats.incremental);
+        assert!(result.stats.constraints_encoded >= result.stats.examples);
+        assert_eq!(result.stats.constraints_reencoded, 0);
         assert_eq!(result.hole_assignment["k"], BitVec::zeros(4));
+    }
+
+    /// Both modes must agree, and only the from-scratch mode re-encodes examples.
+    #[test]
+    fn incremental_and_from_scratch_agree_and_only_one_reencodes() {
+        // spec: out = (a ^ 0x3C) + 7 — needs a couple of counterexamples with the
+        // two-hole sketch out = (a ^ j) + k.
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let m = b.constant_u64(0x3C, 8);
+        let x = b.op2(BvOp::Xor, a, m);
+        let seven = b.constant_u64(7, 8);
+        let out = b.op2(BvOp::Add, x, seven);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let j = b.hole("j", 8, HoleDomain::AnyConstant);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let x = b.op2(BvOp::Xor, a, j);
+        let out = b.op2(BvOp::Add, x, k);
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let incremental = SynthesisConfig::default();
+        let scratch = SynthesisConfig { incremental: false, ..SynthesisConfig::default() };
+
+        let inc = synthesize(&task, &incremental, None).unwrap().success().unwrap();
+        let scr = synthesize(&task, &scratch, None).unwrap().success().unwrap();
+        assert_eq!(inc.hole_assignment, scr.hole_assignment);
+        assert_eq!(inc.stats.constraints_reencoded, 0);
+        assert!(inc.stats.incremental);
+        assert!(!scr.stats.incremental);
+        if scr.stats.iterations > 1 {
+            assert!(
+                scr.stats.constraints_reencoded > 0,
+                "from-scratch mode re-encodes prior examples on every iteration"
+            );
+        }
+    }
+
+    /// Regression test for the former silent `continue` on interp failure: an
+    /// example that does not bind every input must surface as an error, because
+    /// skipping it would leave the query under-constrained and CEGIS would receive
+    /// the same counterexample forever.
+    #[test]
+    fn malformed_example_is_an_error_not_a_skip() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let spec = b.finish(a);
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Xor, a, k);
+        let sketch = b.finish(out);
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+
+        let holes = task.sketch.holes();
+        let unbound = StreamInputs::new(); // binds nothing, so `a` cannot be evaluated
+        for config in
+            [SynthesisConfig::default(), SynthesisConfig { incremental: false, ..Default::default() }]
+        {
+            let mut stats = SynthesisStats::default();
+            let mut synth = SynthStep::new();
+            let err = synth
+                .solve(&task, &config, &holes, std::slice::from_ref(&unbound), &mut stats)
+                .unwrap_err();
+            assert!(
+                matches!(err, SynthesisError::MalformedExample { example: 0, cycle: 0, .. }),
+                "got {err:?}"
+            );
+        }
     }
 }

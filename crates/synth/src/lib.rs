@@ -21,6 +21,13 @@
 //! query collapse to `false` before it ever reaches the SAT solver — this mirrors the
 //! role of symbolic evaluation in Rosette.
 //!
+//! By default both queries are solved **incrementally**: solver state (term pool,
+//! bit-blast cache, learnt clauses) persists across CEGIS iterations, with
+//! per-candidate constraints guarded by SAT assumptions so they retract for free.
+//! See [`cegis`] for the exact split between permanent and assumption-guarded
+//! constraints; [`SynthesisConfig::incremental`] switches back to the from-scratch
+//! behaviour for comparison.
+//!
 //! [`portfolio::synthesize_portfolio`] races several solver configurations in
 //! parallel (the stand-in for the paper's Bitwuzla/STP/Yices2/cvc5 portfolio), and
 //! [`enumerate`] provides a brute-force baseline used by the ablation benchmarks.
@@ -80,6 +87,11 @@ pub struct SynthesisConfig {
     pub seed_examples: usize,
     /// Seed for generating the initial examples.
     pub seed: u64,
+    /// Reuse solver state across CEGIS iterations (see [`cegis`]). When false, every
+    /// iteration rebuilds both solvers from scratch and re-encodes every accumulated
+    /// example — the original behaviour, kept for comparison and as a differential
+    /// oracle.
+    pub incremental: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -90,6 +102,7 @@ impl Default for SynthesisConfig {
             timeout: Some(Duration::from_secs(120)),
             seed_examples: 3,
             seed: 0xd5b_0001,
+            incremental: true,
         }
     }
 }
@@ -109,6 +122,21 @@ pub struct SynthesisStats {
     /// True if verification ever reached the SAT solver (false means every candidate
     /// was decided by term rewriting alone).
     pub verification_used_sat: bool,
+    /// Whether the run used incremental solver state (config echo).
+    pub incremental: bool,
+    /// SAT conflicts across every solver check of the run (synthesis and
+    /// verification steps combined).
+    pub conflicts: u64,
+    /// Example-equality constraints encoded into the synthesis solver, totalled over
+    /// all iterations.
+    pub constraints_encoded: usize,
+    /// Constraints that were encoded *again* for an example already encoded in an
+    /// earlier iteration. Always 0 in incremental mode; the from-scratch mode's
+    /// O(n²) re-encoding overhead is exactly this counter.
+    pub constraints_reencoded: usize,
+    /// Learnt clauses already present when a synthesis check began, summed over
+    /// iterations — clause reuse across iterations. Always 0 in from-scratch mode.
+    pub learnt_clauses_reused: u64,
 }
 
 /// The verdict of a synthesis run.
@@ -187,6 +215,19 @@ pub enum SynthesisError {
     },
     /// The specification or sketch is not well-formed.
     IllFormed(String),
+    /// An accumulated input example could not be evaluated against the spec (it does
+    /// not bind every input, or binds one at the wrong width). This is an internal
+    /// invariant violation: silently skipping such an example would leave the
+    /// synthesis query under-constrained and make CEGIS loop forever on the same
+    /// counterexample, so it is surfaced as an error instead.
+    MalformedExample {
+        /// Index of the offending example in the accumulated example set.
+        example: usize,
+        /// The clock cycle at which evaluation failed.
+        cycle: u32,
+        /// The interpreter error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -199,6 +240,10 @@ impl fmt::Display for SynthesisError {
                 write!(f, "spec inputs {spec:?} differ from sketch inputs {sketch:?}")
             }
             SynthesisError::IllFormed(msg) => write!(f, "ill-formed program: {msg}"),
+            SynthesisError::MalformedExample { example, cycle, reason } => write!(
+                f,
+                "example {example} cannot be evaluated against the spec at cycle {cycle}: {reason}"
+            ),
         }
     }
 }

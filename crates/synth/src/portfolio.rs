@@ -5,6 +5,10 @@
 //! behaviour with four differently-configured instances of the in-tree CDCL solver:
 //! each portfolio member runs the full CEGIS loop under its own heuristics on its own
 //! thread, and the first definite verdict (success or UNSAT) cancels the rest.
+//!
+//! Each member inherits [`SynthesisConfig::incremental`] unchanged, so a portfolio
+//! run races four *incremental* CEGIS loops by default — every member keeps its own
+//! persistent solver state across its iterations.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -171,6 +175,19 @@ mod tests {
         let task = SynthesisTask::at(&spec, &sketch, 0);
         let err = synthesize_portfolio(&task, &SynthesisConfig::default()).unwrap_err();
         assert!(matches!(err, SynthesisError::InputMismatch { .. }));
+    }
+
+    #[test]
+    fn portfolio_members_inherit_the_incremental_flag() {
+        let (spec, sketch) = offset_task();
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        for incremental in [true, false] {
+            let config = SynthesisConfig { incremental, ..SynthesisConfig::default() };
+            let result = synthesize_portfolio(&task, &config).unwrap();
+            let synthesized = result.outcome.success().expect("success");
+            assert_eq!(synthesized.stats.incremental, incremental);
+            assert_eq!(synthesized.hole_assignment["k"], BitVec::from_u64(5, 8));
+        }
     }
 
     #[test]

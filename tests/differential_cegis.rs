@@ -1,0 +1,192 @@
+//! Differential harness for the incremental CEGIS loop: run every sketch/spec pair
+//! of the e2e benchmark tier through *both* solving modes — incremental (persistent
+//! solver state, assumption-guarded candidate checks) and from-scratch (fresh
+//! solvers every iteration) — and require identical verdicts (Success/Unsat, with
+//! Timeout exempt because it is budget-dependent) plus models that actually verify
+//! against the spec by simulation. This is the safety net for the incremental
+//! solver-state machinery in `lr_synth::cegis`.
+
+use std::time::Duration;
+
+use lakeroad_suite::prelude::*;
+
+use lakeroad::suite::suite_for;
+use lakeroad::pipeline_depth;
+use lr_sketch::generate_sketch;
+use lr_synth::{
+    synthesize, SolverConfig, SynthesisConfig, SynthesisOutcome, SynthesisTask, Synthesized,
+};
+
+fn config(incremental: bool) -> SynthesisConfig {
+    // The conflict budget bounds every individual SAT check (wall-clock timeouts
+    // are only polled between checks), keeping the harness's worst case small; a
+    // blown budget surfaces as the Timeout verdict, which is budget-exempt below.
+    SynthesisConfig {
+        solver: SolverConfig { conflict_budget: Some(20_000), ..SolverConfig::default() },
+        timeout: Some(Duration::from_secs(10)),
+        incremental,
+        ..SynthesisConfig::default()
+    }
+}
+
+fn verdict_name(outcome: &SynthesisOutcome) -> &'static str {
+    match outcome {
+        SynthesisOutcome::Success(_) => "success",
+        SynthesisOutcome::Unsat { .. } => "unsat",
+        SynthesisOutcome::Timeout { .. } => "timeout",
+    }
+}
+
+/// xorshift64 seeded per (round, input); `| 1` keeps the seed non-zero.
+fn stimulus(round: u64, input_index: u64) -> u64 {
+    let mut s = (round << 32 | input_index).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..3 {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+    }
+    s
+}
+
+/// The returned model must verify: the completed implementation simulates
+/// identically to the spec on random stimulus at (and a little past) the checked
+/// cycles, and the hole assignment it claims must reproduce that implementation.
+fn assert_model_verifies(name: &str, spec: &Prog, result: &Synthesized, at_cycle: u32) {
+    assert!(!result.implementation.has_holes(), "{name}: implementation still has holes");
+    let inputs = spec.free_vars();
+    for round in 0..8u64 {
+        let mut env = StreamInputs::new();
+        for (i, (input, width)) in inputs.iter().enumerate() {
+            let value = stimulus(round, i as u64);
+            env.set_constant(input.clone(), BitVec::from_u64(value, *width));
+        }
+        for t in at_cycle..at_cycle + 3 {
+            assert_eq!(
+                spec.interp(&env, t).unwrap(),
+                result.implementation.interp(&env, t).unwrap(),
+                "{name}: model does not verify at cycle {t} (round {round})"
+            );
+        }
+    }
+}
+
+/// Runs one task through both modes and cross-checks the results. Returns the pair
+/// of verdict names for reporting.
+fn differential(
+    name: &str,
+    spec: &Prog,
+    sketch: &Prog,
+    at_cycle: u32,
+    window: u32,
+) -> (&'static str, &'static str) {
+    let task = SynthesisTask::over_window(spec, sketch, at_cycle, window);
+    let inc = synthesize(&task, &config(true)).expect("incremental run must not error");
+    let scr = synthesize(&task, &config(false)).expect("from-scratch run must not error");
+
+    // Timeout is budget-dependent; any definite verdict pair must agree exactly.
+    if !inc.is_timeout() && !scr.is_timeout() {
+        assert_eq!(
+            verdict_name(&inc),
+            verdict_name(&scr),
+            "{name}: incremental and from-scratch disagree"
+        );
+    }
+    assert_eq!(inc.stats().constraints_reencoded, 0, "{name}: incremental mode re-encoded");
+    assert!(inc.stats().incremental);
+    assert!(!scr.stats().incremental);
+
+    let names = (verdict_name(&inc), verdict_name(&scr));
+    if let SynthesisOutcome::Success(result) = inc {
+        assert_model_verifies(&format!("{name} (incremental)"), spec, &result, at_cycle);
+    }
+    if let SynthesisOutcome::Success(result) = scr {
+        assert_model_verifies(&format!("{name} (from-scratch)"), spec, &result, at_cycle);
+    }
+    names
+}
+
+/// The e2e DSP tier: the same stratified quick sample of the §5.1 microbenchmark
+/// suites the experiment driver uses, for every DSP-bearing architecture.
+#[test]
+fn dsp_tier_verdicts_agree_between_modes() {
+    let mut ran = 0usize;
+    let mut agreements: Vec<String> = Vec::new();
+    for arch in Architecture::with_dsps() {
+        // The quick tier: every 7th benchmark of the one-bitwidth smoke suite.
+        for bench in suite_for(arch.name(), [8u32].into_iter()).into_iter().step_by(7) {
+            let spec = bench.build();
+            let Ok(sketch) = generate_sketch(Template::Dsp, &arch, &spec) else {
+                continue;
+            };
+            let t = pipeline_depth(&spec);
+            let (inc, scr) = differential(&bench.name, &spec, &sketch, t, 2);
+            agreements.push(format!("{}: {inc}/{scr}", bench.name));
+            ran += 1;
+        }
+    }
+    assert!(ran >= 10, "expected a meaningful tier, ran only {ran}: {agreements:?}");
+}
+
+/// The bitwise (LUT) template half of the e2e suite, on architectures with and
+/// without DSPs.
+#[test]
+fn bitwise_tier_verdicts_agree_between_modes() {
+    let shapes = [("xor", BvOp::Xor), ("and", BvOp::And), ("or", BvOp::Or)];
+    for arch in [Architecture::sofa(), Architecture::lattice_ecp5()] {
+        for (op_name, op) in shapes {
+            let mut b = ProgBuilder::new(format!("{op_name}4"));
+            let x = b.input("a", 4);
+            let y = b.input("b", 4);
+            let out = b.op2(op, x, y);
+            let spec = b.finish(out);
+            let Ok(sketch) = generate_sketch(Template::Bitwise, &arch, &spec) else {
+                continue;
+            };
+            differential(&format!("{}/{op_name}4", arch.name()), &spec, &sketch, 0, 0);
+        }
+    }
+}
+
+/// Unsatisfiable tasks must be proven UNSAT by both modes (not just fail to find a
+/// model): a two-multiply chain cannot fit the single-multiplier Intel DSP.
+#[test]
+fn unsat_tasks_agree_between_modes() {
+    let mut b = ProgBuilder::new("mul_mul");
+    let a = b.input("a", 8);
+    let x = b.input("b", 8);
+    let c = b.input("c", 8);
+    let p1 = b.op2(BvOp::Mul, a, x);
+    let p2 = b.op2(BvOp::Mul, p1, c);
+    let spec = b.finish(p2);
+    let arch = Architecture::intel_cyclone10lp();
+    let sketch = generate_sketch(Template::Dsp, &arch, &spec).unwrap();
+    let (inc, scr) = differential("mul_mul", &spec, &sketch, 0, 2);
+    assert_eq!(inc, scr);
+}
+
+/// Multi-iteration synthesis (several counterexamples needed) must agree and both
+/// models must verify — this is the path where incremental state actually carries
+/// learnt clauses between iterations.
+#[test]
+fn multi_iteration_tasks_agree_between_modes() {
+    // spec: out = (a ^ 0x5A) + 0x21 against a two-hole sketch.
+    let mut b = ProgBuilder::new("spec");
+    let a = b.input("a", 8);
+    let m = b.constant_u64(0x5A, 8);
+    let x = b.op2(BvOp::Xor, a, m);
+    let k = b.constant_u64(0x21, 8);
+    let out = b.op2(BvOp::Add, x, k);
+    let spec = b.finish(out);
+
+    let mut b = ProgBuilder::new("sketch");
+    let a = b.input("a", 8);
+    let j = b.hole("j", 8, lr_ir::HoleDomain::AnyConstant);
+    let k = b.hole("k", 8, lr_ir::HoleDomain::AnyConstant);
+    let x = b.op2(BvOp::Xor, a, j);
+    let out = b.op2(BvOp::Add, x, k);
+    let sketch = b.finish(out);
+
+    let (inc, scr) = differential("xor_add_two_holes", &spec, &sketch, 0, 0);
+    assert_eq!(inc, "success");
+    assert_eq!(scr, "success");
+}
