@@ -1,0 +1,18 @@
+//! The equality-saturation experiment driver: monster-disequality folds, spec
+//! canonicalization over the sweep, and the CEGIS egraph-on/off ablation, written
+//! to `BENCH_egraph.json`. Scale is selected with `--quick` (default), `--smoke`,
+//! or `--full`.
+
+use lr_bench::egraph::{report_and_write, run_egraph_experiment};
+use lr_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Lakeroad reproduction: equality-saturation experiment at {scale:?} scale");
+    let report = run_egraph_experiment(scale);
+    report_and_write(&report);
+    if !report.all_monsters_fold() {
+        eprintln!("error: a monster disequality no longer folds by saturation alone");
+        std::process::exit(1);
+    }
+}

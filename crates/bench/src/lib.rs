@@ -7,6 +7,7 @@
 //! the §5.2 extensibility comparison).
 
 pub mod cegis;
+pub mod egraph;
 
 use std::collections::HashMap;
 use std::time::Duration;

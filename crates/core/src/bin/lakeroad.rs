@@ -11,22 +11,30 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use lakeroad::{map_verilog, MapConfig, MapOutcome, Template};
+use lakeroad::{map_design_auto, map_verilog, MapConfig, MapOutcome, Template};
 use lr_arch::{ArchName, Architecture};
 
+/// Which sketch template(s) to try: a named template, or `auto` — the ranking the
+/// rule-driven sketch guidance derives from the design's saturated e-graph.
+enum TemplateChoice {
+    Named(Template),
+    Auto,
+}
+
 struct Options {
-    template: Template,
+    template: TemplateChoice,
     arch: Architecture,
     input: String,
     output: Option<String>,
     timeout: Duration,
     incremental: bool,
+    egraph: bool,
 }
 
 fn usage() -> String {
-    "usage: lakeroad --template <dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
+    "usage: lakeroad --template <auto|dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
      \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
-     \x20               [--timeout <seconds>] [--no-incremental] [--output <file>] <design.v>"
+     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--output <file>] <design.v>"
         .to_string()
 }
 
@@ -49,14 +57,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut output = None;
     let mut timeout = Duration::from_secs(120);
     let mut incremental = true;
+    let mut egraph = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--template" => {
                 i += 1;
                 let name = args.get(i).ok_or("--template needs a value")?;
-                template =
-                    Some(Template::from_cli_name(name).ok_or(format!("unknown template `{name}`"))?);
+                template = Some(if name == "auto" {
+                    TemplateChoice::Auto
+                } else {
+                    TemplateChoice::Named(
+                        Template::from_cli_name(name).ok_or(format!("unknown template `{name}`"))?,
+                    )
+                });
             }
             "--arch-desc" => {
                 i += 1;
@@ -73,6 +87,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 timeout = Duration::from_secs(secs);
             }
             "--no-incremental" => incremental = false,
+            "--no-egraph" => egraph = false,
+            "--egraph" => egraph = true,
             "--output" | "-o" => {
                 i += 1;
                 output = Some(args.get(i).ok_or("--output needs a value")?.clone());
@@ -90,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         output,
         timeout,
         incremental,
+        egraph,
     })
 }
 
@@ -111,9 +128,18 @@ fn main() -> ExitCode {
     };
     let config = MapConfig {
         incremental: options.incremental,
+        egraph: options.egraph,
         ..MapConfig::default().with_timeout(options.timeout)
     };
-    match map_verilog(&verilog, options.template, &options.arch, &config) {
+    let result = match options.template {
+        TemplateChoice::Named(template) => {
+            map_verilog(&verilog, template, &options.arch, &config)
+        }
+        TemplateChoice::Auto => lr_hdl::parse_and_elaborate(&verilog)
+            .map_err(|e| lakeroad::MapError::Frontend(e.to_string()))
+            .and_then(|spec| map_design_auto(&spec, &options.arch, &config)),
+    };
+    match result {
         Ok(MapOutcome::Success(mapped)) => {
             eprintln!(
                 "mapped onto {} in {:.2?}: {} DSP, {} LEs, {} registers",
@@ -135,10 +161,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(MapOutcome::Unsat { elapsed, .. }) => {
-            eprintln!(
-                "UNSAT after {elapsed:.2?}: no configuration of the {} sketch implements this design",
-                options.template
-            );
+            let what = match options.template {
+                TemplateChoice::Named(t) => format!("the {t} sketch"),
+                TemplateChoice::Auto => "any ranked sketch".to_string(),
+            };
+            eprintln!("UNSAT after {elapsed:.2?}: no configuration of {what} implements this design");
             ExitCode::FAILURE
         }
         Ok(MapOutcome::Timeout { elapsed }) => {

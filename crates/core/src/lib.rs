@@ -57,6 +57,12 @@ pub struct MapConfig {
     /// `lr_synth::cegis`). Turning this off restores the from-scratch loop, which
     /// the differential tests and the `exp_cegis` benchmark use as a baseline.
     pub incremental: bool,
+    /// Use equality saturation (`lr_egraph`, default on): canonicalize the spec
+    /// with [`lr_ir::Prog::saturated`] before sketch generation, and pre-fold
+    /// CEGIS verification disequalities that one-shot rewriting cannot decide.
+    /// Turning this off restores the pool-rewriting-only pipeline, kept measurable
+    /// for the `exp_egraph` ablation.
+    pub egraph: bool,
 }
 
 impl Default for MapConfig {
@@ -67,6 +73,7 @@ impl Default for MapConfig {
             solvers: SolverConfig::portfolio(),
             max_iterations: 64,
             incremental: true,
+            egraph: true,
         }
     }
 }
@@ -265,6 +272,24 @@ pub fn map_design(
     arch: &Architecture,
     config: &MapConfig,
 ) -> Result<MapOutcome, MapError> {
+    // Canonicalize the spec by equality saturation before specializing the sketch:
+    // disguised forms (mirrored subtractions, negate-path products, constant
+    // chains) reach the synthesis engine in one normal form, and sketch shape
+    // checks (widths, input counts) see the real structure. Saturation preserves
+    // the input interface, so the sketch still binds the same free variables.
+    let spec = if config.egraph { spec.saturated() } else { spec.clone() };
+    map_prepared_design(&spec, template, arch, config)
+}
+
+/// [`map_design`] for a spec that is already canonical (or deliberately raw, with
+/// `config.egraph` off) — the auto-template loop saturates once and reuses the
+/// result across every attempt instead of re-saturating per template.
+fn map_prepared_design(
+    spec: &Prog,
+    template: Template,
+    arch: &Architecture,
+    config: &MapConfig,
+) -> Result<MapOutcome, MapError> {
     let sketch = generate_sketch(template, arch, spec)?;
     let t = pipeline_depth(spec);
     let task = SynthesisTask::over_window(spec, &sketch, t, config.bmc_window);
@@ -273,6 +298,7 @@ pub fn map_design(
         max_iterations: config.max_iterations,
         timeout: Some(config.timeout),
         incremental: config.incremental,
+        egraph: config.egraph,
         ..Default::default()
     };
     let result = synthesize_portfolio_with(&task, &synth_config, &config.solvers)?;
@@ -296,6 +322,69 @@ pub fn map_design(
         }
         SynthesisOutcome::Timeout { stats } => MapOutcome::Timeout { elapsed: stats.elapsed },
     })
+}
+
+/// Maps a design without naming a template: tries the templates in the order the
+/// rule-driven sketch guidance ranks them (see `lr_sketch::guidance` — with the
+/// e-graph on, the ranking inspects the spec's saturated form for
+/// multiplier/carry/comparison evidence; with it off, the raw program is scanned
+/// syntactically), returning the first successful mapping. The spec is
+/// canonicalized once and shared by every attempt, and `config.timeout` is a
+/// budget for the *whole* loop — each attempt gets only what remains.
+///
+/// Templates the architecture cannot instantiate are skipped. If no template
+/// succeeds, UNSAT is reported only when **every** posed attempt was UNSAT — "no
+/// ranked sketch implements this design" is a definitive claim; any attempt that
+/// timed out (or was cut off by the shared budget) makes the aggregate a timeout.
+///
+/// # Errors
+/// Returns [`MapError`] only if *every* ranked template fails to even pose a task
+/// (the last such error is reported).
+pub fn map_design_auto(
+    spec: &Prog,
+    arch: &Architecture,
+    config: &MapConfig,
+) -> Result<MapOutcome, MapError> {
+    let start = std::time::Instant::now();
+    // Canonicalize once (respecting the e-graph switch); every attempt below uses
+    // the prepared spec directly, and the ranking scans the same program.
+    let spec = if config.egraph { spec.saturated() } else { spec.clone() };
+    let ranked =
+        lr_sketch::rank_for_evidence(&lr_ir::StructuralEvidence::scan(&spec), arch);
+    let mut unsat: Option<MapOutcome> = None;
+    let mut timed_out = false;
+    let mut last_error: Option<MapError> = None;
+    let mut posed_any = false;
+    for template in ranked {
+        let Some(remaining) = config.timeout.checked_sub(start.elapsed()) else {
+            timed_out = true;
+            break;
+        };
+        let attempt = MapConfig { timeout: remaining, ..config.clone() };
+        match map_prepared_design(&spec, template, arch, &attempt) {
+            Ok(outcome) if outcome.is_success() => return Ok(outcome),
+            Ok(MapOutcome::Timeout { .. }) => {
+                posed_any = true;
+                timed_out = true;
+            }
+            Ok(outcome) => {
+                posed_any = true;
+                if unsat.is_none() {
+                    unsat = Some(outcome);
+                }
+            }
+            Err(e) => last_error = Some(e),
+        }
+    }
+    if !posed_any && !timed_out {
+        return Err(last_error.unwrap_or(MapError::Sketch(SketchError::Unsupported(
+            "no template applies to this design on this architecture".to_string(),
+        ))));
+    }
+    if timed_out {
+        return Ok(MapOutcome::Timeout { elapsed: start.elapsed() });
+    }
+    Ok(unsat.expect("posed_any without timeout implies an UNSAT outcome"))
 }
 
 /// Maps a behavioral mini-Verilog module (the partial-design-mapping workflow of
@@ -408,6 +497,80 @@ mod tests {
                 "cycle {t}"
             );
         }
+    }
+
+    /// Template-free mapping: the guidance ranks the DSP first for a multiply and
+    /// the run succeeds without the caller naming a template.
+    #[test]
+    fn auto_mapping_follows_the_guidance_ranking() {
+        let mut b = ProgBuilder::new("mul8_auto");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let out = b.op2(BvOp::Mul, a, bb);
+        let spec = b.finish(out);
+        let arch = Architecture::intel_cyclone10lp();
+        let outcome = map_design_auto(&spec, &arch, &quick_config()).unwrap();
+        let mapped = outcome.success().expect("auto mapping should find the DSP");
+        assert!(mapped.resources.is_single_dsp(), "resources: {:?}", mapped.resources);
+    }
+
+    /// With the e-graph disabled, auto mapping must not saturate anything — the
+    /// ranking falls back to a syntactic scan — and still succeed.
+    #[test]
+    fn auto_mapping_respects_the_egraph_switch() {
+        let mut b = ProgBuilder::new("mul8_auto_noeg");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let out = b.op2(BvOp::Mul, a, bb);
+        let spec = b.finish(out);
+        let arch = Architecture::intel_cyclone10lp();
+        let config = MapConfig { egraph: false, ..quick_config() };
+        let outcome = map_design_auto(&spec, &arch, &config).unwrap();
+        assert!(outcome.is_success());
+    }
+
+    /// A spec whose multiply hides behind a DSP-style negate path still maps once
+    /// saturation canonicalizes it — and the result is equivalent to the
+    /// *original* (disguised) spec.
+    #[test]
+    fn saturated_spec_mapping_preserves_original_semantics() {
+        // 0 − (a · (0 − b))  ≡  a · b.
+        let mut b = ProgBuilder::new("mul_disguised");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let zero = b.constant_u64(0, 8);
+        let nb = b.op2(BvOp::Sub, zero, bb);
+        let prod = b.op2(BvOp::Mul, a, nb);
+        let out = b.op2(BvOp::Sub, zero, prod);
+        let spec = b.finish(out);
+        let arch = Architecture::intel_cyclone10lp();
+        let outcome = map_design(&spec, Template::Dsp, &arch, &quick_config()).unwrap();
+        let mapped = outcome.success().expect("disguised multiply should map");
+        for (av, bv) in [(0u64, 0u64), (3, 5), (255, 254), (17, 200)] {
+            let env = StreamInputs::from_constants([
+                ("a".to_string(), BitVec::from_u64(av, 8)),
+                ("b".to_string(), BitVec::from_u64(bv, 8)),
+            ]);
+            assert_eq!(
+                spec.interp(&env, 0).unwrap(),
+                mapped.implementation.interp(&env, 0).unwrap(),
+                "a={av} b={bv}"
+            );
+        }
+    }
+
+    /// The `--no-egraph` pipeline still maps (ablation path stays usable).
+    #[test]
+    fn mapping_without_the_egraph_still_works() {
+        let mut b = ProgBuilder::new("mul8_no_egraph");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let out = b.op2(BvOp::Mul, a, bb);
+        let spec = b.finish(out);
+        let arch = Architecture::intel_cyclone10lp();
+        let config = MapConfig { egraph: false, ..quick_config() };
+        let outcome = map_design(&spec, Template::Dsp, &arch, &config).unwrap();
+        assert!(outcome.is_success());
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! The [`TermPool`] bridge: embed a pool term into an e-graph, saturate, and read
+//! the cheapest equivalent term back out — the e-graph's role as a pre-folder for
+//! CEGIS verification disequalities.
+
+use std::collections::HashMap;
+
+use lr_smt::{Term, TermId, TermPool};
+
+use crate::extract::{Extractor, NodeCount, RecExpr, RecNode};
+use crate::graph::{EClassId, EGraph, ENode};
+use crate::pattern::Rewrite;
+use crate::runner::{saturate_with_goal, Limits, SaturationStats, StopReason};
+
+/// What one [`fold_term`] call did.
+#[derive(Debug, Clone)]
+pub struct FoldReport {
+    /// Size of the input term (distinct pool nodes reachable from the root).
+    pub input_nodes: usize,
+    /// Size of the extracted term.
+    pub output_nodes: usize,
+    /// Whether saturation proved the term constant (the decisive case for
+    /// verification disequalities: a `false` constant means "equivalent, no SAT
+    /// needed").
+    pub folded_const: bool,
+    /// Saturation counters.
+    pub stats: SaturationStats,
+}
+
+impl Default for FoldReport {
+    fn default() -> Self {
+        FoldReport {
+            input_nodes: 0,
+            output_nodes: 0,
+            folded_const: false,
+            stats: SaturationStats {
+                iterations: 0,
+                matches: 0,
+                unions: 0,
+                enodes: 0,
+                classes: 0,
+                stop: StopReason::Saturated,
+            },
+        }
+    }
+}
+
+/// Embeds a pool term into the e-graph, returning its class. Pool variables
+/// become [`ENode::Symbol`] leaves under their own names, so the extracted term
+/// re-enters the pool with identical variable bindings.
+pub fn term_to_egraph(pool: &TermPool, root: TermId, egraph: &mut EGraph) -> EClassId {
+    let mut memo: HashMap<TermId, EClassId> = HashMap::new();
+    // Iterative post-order: pool terms can nest deeply (ripple structures), so no
+    // recursion on the term height.
+    let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+    while let Some((id, ready)) = stack.pop() {
+        if memo.contains_key(&id) {
+            continue;
+        }
+        match pool.term(id) {
+            Term::Const(bv) => {
+                let class = egraph.add(ENode::Const(bv.clone()));
+                memo.insert(id, class);
+            }
+            Term::Var { name, width } => {
+                let class = egraph.add(ENode::Symbol { name: name.clone(), width: *width });
+                memo.insert(id, class);
+            }
+            Term::Op { op, args, .. } => {
+                if ready {
+                    let arg_classes: Vec<EClassId> =
+                        args.iter().map(|a| memo[a]).collect();
+                    let class = egraph.add(ENode::Op { op: *op, args: arg_classes });
+                    memo.insert(id, class);
+                } else {
+                    stack.push((id, true));
+                    for &a in args {
+                        stack.push((a, false));
+                    }
+                }
+            }
+        }
+    }
+    memo[&root]
+}
+
+/// Rebuilds an extracted expression as a pool term. The pool's own
+/// constructor-time rewriting applies, so the result may be simpler still.
+pub fn recexpr_to_term(pool: &mut TermPool, expr: &RecExpr) -> TermId {
+    let mut ids: Vec<TermId> = Vec::with_capacity(expr.len());
+    for node in &expr.nodes {
+        let id = match node {
+            RecNode::Const(bv) => pool.constant(bv.clone()),
+            RecNode::Symbol { name, width } => pool.var(name, *width),
+            RecNode::Op { op, args } => {
+                let args: Vec<TermId> = args.iter().map(|&i| ids[i]).collect();
+                pool.mk_op(*op, args)
+            }
+        };
+        ids.push(id);
+    }
+    *ids.last().expect("extracted expression is non-empty")
+}
+
+fn reachable_pool_nodes(pool: &TermPool, root: TermId) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if let Term::Op { args, .. } = pool.term(id) {
+            stack.extend(args.iter().copied());
+        }
+    }
+    seen.len()
+}
+
+/// Saturates `root` under `rules` and returns the cheapest equivalent term,
+/// written back into the same pool. If saturation proves the term constant, the
+/// result is that constant (and [`FoldReport::folded_const`] is set) — for a
+/// verification disequality, a `false` result decides the query with no SAT work.
+pub fn fold_term(
+    pool: &mut TermPool,
+    root: TermId,
+    rules: &[Rewrite],
+    limits: &Limits,
+) -> (TermId, FoldReport) {
+    let mut report = FoldReport { input_nodes: reachable_pool_nodes(pool, root), ..Default::default() };
+    let mut egraph = EGraph::new();
+    let class = term_to_egraph(pool, root, &mut egraph);
+    // The goal short-circuit: stop as soon as the root's value is decided.
+    report.stats = saturate_with_goal(&mut egraph, rules, limits, Some(class));
+    if let Some(value) = egraph.constant(class) {
+        let folded = pool.constant(value.clone());
+        report.folded_const = true;
+        report.output_nodes = 1;
+        return (folded, report);
+    }
+    let extractor = Extractor::new(&egraph, &NodeCount);
+    let expr = extractor.extract(class);
+    report.output_nodes = expr.len();
+    let folded = recexpr_to_term(pool, &expr);
+    // The pool's constructor rewriting can finish what saturation started.
+    report.folded_const = pool.as_const(folded).is_some();
+    (folded, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::bv_rules;
+    use lr_bv::BitVec;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let mut pool = TermPool::without_simplification();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let sum = pool.add(x, y);
+        let prod = pool.mul(sum, sum);
+        let mut eg = EGraph::new();
+        let class = term_to_egraph(&pool, prod, &mut eg);
+        eg.rebuild();
+        let extractor = Extractor::new(&eg, &NodeCount);
+        let expr = extractor.extract(class);
+        let back = recexpr_to_term(&mut pool, &expr);
+        // Same pool, same variables, same structure → the hash-cons returns the
+        // original term.
+        assert_eq!(back, prod);
+    }
+
+    /// Embedding, cost computation, and extraction must all be recursion-free:
+    /// a chain deep enough to overflow a 2 MB test-thread stack if any of them
+    /// recursed on term depth round-trips fine.
+    #[test]
+    fn deep_chains_round_trip_without_recursion() {
+        let mut pool = TermPool::without_simplification();
+        let x = pool.var("x", 8);
+        let one = pool.constant(BitVec::from_u64(1, 8));
+        let mut t = x;
+        const DEPTH: usize = 20_000;
+        for _ in 0..DEPTH {
+            t = pool.add(t, one);
+        }
+        let mut eg = EGraph::new();
+        let class = term_to_egraph(&pool, t, &mut eg);
+        eg.rebuild();
+        let extractor = Extractor::new(&eg, &NodeCount);
+        let expr = extractor.extract(class);
+        // x, the constant 1, and one add per level.
+        assert_eq!(expr.len(), DEPTH + 2);
+        let back = recexpr_to_term(&mut pool, &expr);
+        assert_eq!(back, t, "hash-consing must reproduce the original chain");
+    }
+
+    #[test]
+    fn fold_decides_a_disequality_without_sat() {
+        // x + y ≠ y + x is false; in a non-simplifying pool only saturation can
+        // see that.
+        let mut pool = TermPool::without_simplification();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let xy = pool.add(x, y);
+        let yx = pool.add(y, x);
+        let ne = pool.ne(xy, yx);
+        assert!(pool.as_const(ne).is_none(), "the pool alone must not decide this");
+        let (folded, report) = fold_term(&mut pool, ne, &bv_rules(), &Limits::default());
+        assert_eq!(pool.as_const(folded), Some(&BitVec::from_bool(false)));
+        assert!(report.folded_const);
+        assert!(report.input_nodes > report.output_nodes);
+    }
+
+    #[test]
+    fn fold_shrinks_but_preserves_open_terms() {
+        let mut pool = TermPool::without_simplification();
+        let x = pool.var("x", 8);
+        let zero = pool.zero(8);
+        let sum = pool.add(x, zero);
+        let doubled = pool.add(sum, sum);
+        let (folded, report) = fold_term(&mut pool, doubled, &bv_rules(), &Limits::default());
+        assert!(!report.folded_const);
+        // x + 0 collapsed to x, so the result is x + x.
+        let env: lr_smt::Env =
+            [("x".to_string(), BitVec::from_u64(21, 8))].into_iter().collect();
+        assert_eq!(pool.eval(folded, &env).unwrap(), BitVec::from_u64(42, 8));
+        assert!(report.output_nodes <= report.input_nodes);
+    }
+}

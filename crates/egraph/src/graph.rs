@@ -1,0 +1,452 @@
+//! The e-graph core: hash-consed e-nodes over a union-find of e-classes, with
+//! congruence closure restored by a deferred [`EGraph::rebuild`] and a
+//! constant-folding analysis attached to every class.
+//!
+//! Unlike [`lr_smt::TermPool`]'s constructor-time rewriting — which commits to one
+//! rewrite order and cannot undo a bad choice — an e-graph keeps *every* equivalent
+//! form it has discovered. Rewrites only ever add information (new e-nodes, new
+//! unions), so the result is independent of rule application order.
+
+use std::collections::HashMap;
+
+use lr_bv::BitVec;
+use lr_smt::{apply_op, BvOp};
+
+/// A handle to an equivalence class of terms in an [`EGraph`].
+///
+/// Ids are stable for the lifetime of the graph but may stop being *canonical* as
+/// classes merge; [`EGraph::find`] maps any id to the canonical representative of
+/// its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EClassId(pub(crate) u32);
+
+impl EClassId {
+    /// The dense index behind the id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An e-node: one operator application (or leaf) whose children are e-classes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ENode {
+    /// A constant bitvector.
+    Const(BitVec),
+    /// An opaque leaf: a free variable, or (when embedding ℒlr programs) a
+    /// register/primitive/hole boundary the rules must not look through.
+    Symbol {
+        /// Leaf name; equal names of equal width are the same leaf.
+        name: String,
+        /// Width in bits.
+        width: u32,
+    },
+    /// An operator over e-class children.
+    Op {
+        /// The operator.
+        op: BvOp,
+        /// Child classes.
+        args: Vec<EClassId>,
+    },
+}
+
+impl ENode {
+    /// The child classes of the node.
+    pub fn children(&self) -> &[EClassId] {
+        match self {
+            ENode::Const(_) | ENode::Symbol { .. } => &[],
+            ENode::Op { args, .. } => args,
+        }
+    }
+
+    fn map_children(&self, mut f: impl FnMut(EClassId) -> EClassId) -> ENode {
+        match self {
+            ENode::Const(_) | ENode::Symbol { .. } => self.clone(),
+            ENode::Op { op, args } => {
+                ENode::Op { op: *op, args: args.iter().map(|&a| f(a)).collect() }
+            }
+        }
+    }
+}
+
+/// One equivalence class: the e-nodes known to denote the same value, the class
+/// width, and the constant-folding analysis result.
+#[derive(Debug, Clone)]
+pub struct EClass {
+    /// Canonical id of this class.
+    pub id: EClassId,
+    /// The e-nodes of the class (children canonical as of the last rebuild).
+    pub nodes: Vec<ENode>,
+    /// Width in bits shared by every member.
+    pub width: u32,
+    /// The class's value, if the analysis has proved it constant.
+    pub constant: Option<BitVec>,
+}
+
+/// An e-graph over the QF_BV operator set.
+///
+/// Operations:
+/// * [`EGraph::add`] hash-conses an e-node into the graph;
+/// * [`EGraph::union`] asserts two classes equal (deferring congruence repair);
+/// * [`EGraph::rebuild`] restores the congruence invariant — call it after a batch
+///   of unions, before matching or extraction.
+#[derive(Debug, Default)]
+pub struct EGraph {
+    /// Union-find parent array over all ids ever allocated.
+    uf: Vec<u32>,
+    /// Canonical id → class.
+    classes: HashMap<u32, EClass>,
+    /// Canonicalized node → class (the hash-cons table).
+    memo: HashMap<ENode, EClassId>,
+    /// Whether unions have happened since the last rebuild.
+    dirty: bool,
+    unions: u64,
+    nodes_added: u64,
+}
+
+impl EGraph {
+    /// Creates an empty e-graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical representative of `id`'s class.
+    pub fn find(&self, id: EClassId) -> EClassId {
+        let mut i = id.0;
+        while self.uf[i as usize] != i {
+            i = self.uf[i as usize];
+        }
+        EClassId(i)
+    }
+
+    fn find_compress(&mut self, id: EClassId) -> EClassId {
+        let root = self.find(id);
+        let mut i = id.0;
+        while self.uf[i as usize] != root.0 {
+            let next = self.uf[i as usize];
+            self.uf[i as usize] = root.0;
+            i = next;
+        }
+        root
+    }
+
+    /// Whether two ids denote the same class. Only meaningful on a clean graph
+    /// (call [`EGraph::rebuild`] first).
+    pub fn equiv(&self, a: EClassId, b: EClassId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The class behind a (possibly stale) id.
+    pub fn class(&self, id: EClassId) -> &EClass {
+        let root = self.find(id);
+        &self.classes[&root.0]
+    }
+
+    /// The constant value of a class, if the analysis has proved one.
+    pub fn constant(&self, id: EClassId) -> Option<&BitVec> {
+        self.class(id).constant.as_ref()
+    }
+
+    /// The width of a class in bits.
+    pub fn width(&self, id: EClassId) -> u32 {
+        self.class(id).width
+    }
+
+    /// Iterates over the canonical classes.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass> {
+        self.classes.values()
+    }
+
+    /// Canonical class ids (snapshot).
+    pub fn class_ids(&self) -> Vec<EClassId> {
+        let mut ids: Vec<EClassId> = self.classes.keys().map(|&k| EClassId(k)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of canonical classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total e-nodes across all classes.
+    pub fn total_enodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Number of unions performed so far (including congruence-induced ones).
+    pub fn union_count(&self) -> u64 {
+        self.unions
+    }
+
+    /// Number of distinct e-nodes ever hash-consed.
+    pub fn nodes_added(&self) -> u64 {
+        self.nodes_added
+    }
+
+    fn canonicalize(&mut self, node: &ENode) -> ENode {
+        node.map_children(|c| {
+            let mut i = c.0;
+            while self.uf[i as usize] != i {
+                i = self.uf[i as usize];
+            }
+            EClassId(i)
+        })
+    }
+
+    /// The result width of `op` applied to the given classes (QF_BV width rules).
+    pub fn op_width(&self, op: BvOp, args: &[EClassId]) -> u32 {
+        let w = |i: usize| self.width(args[i]);
+        match op {
+            BvOp::Not | BvOp::Neg => w(0),
+            BvOp::Concat => w(0) + w(1),
+            BvOp::Extract { hi, lo } => hi - lo + 1,
+            BvOp::ZeroExt { width } | BvOp::SignExt { width } => width,
+            BvOp::Eq
+            | BvOp::Ult
+            | BvOp::Ule
+            | BvOp::Slt
+            | BvOp::Sle
+            | BvOp::RedOr
+            | BvOp::RedAnd
+            | BvOp::RedXor => 1,
+            BvOp::Ite => w(1),
+            _ => w(0),
+        }
+    }
+
+    /// Constant-folding analysis: the node's value if all children are constant.
+    fn fold_node(&self, node: &ENode) -> Option<BitVec> {
+        match node {
+            ENode::Const(bv) => Some(bv.clone()),
+            ENode::Symbol { .. } => None,
+            ENode::Op { op, args } => {
+                let consts: Option<Vec<BitVec>> =
+                    args.iter().map(|&a| self.constant(a).cloned()).collect();
+                let consts = consts?;
+                let refs: Vec<&BitVec> = consts.iter().collect();
+                Some(apply_op(*op, &refs))
+            }
+        }
+    }
+
+    /// Adds (or retrieves) an e-node, returning its class.
+    ///
+    /// If the constant-folding analysis decides the node's value, the class is
+    /// immediately unioned with the corresponding [`ENode::Const`] class, so
+    /// extraction can always pick the literal constant.
+    pub fn add(&mut self, node: ENode) -> EClassId {
+        let node = self.canonicalize(&node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.find_compress(id);
+        }
+        let width = match &node {
+            ENode::Const(bv) => bv.width(),
+            ENode::Symbol { width, .. } => *width,
+            ENode::Op { op, args } => self.op_width(*op, args),
+        };
+        let constant = self.fold_node(&node);
+        let id = EClassId(self.uf.len() as u32);
+        self.uf.push(id.0);
+        self.classes.insert(
+            id.0,
+            EClass { id, nodes: vec![node.clone()], width, constant: constant.clone() },
+        );
+        let is_const_node = matches!(node, ENode::Const(_));
+        self.memo.insert(node, id);
+        self.nodes_added += 1;
+        if let Some(c) = constant {
+            if !is_const_node {
+                let cid = self.add(ENode::Const(c));
+                return self.union(id, cid).0;
+            }
+        }
+        id
+    }
+
+    /// Asserts that two classes denote the same value. Returns the surviving
+    /// canonical id and whether anything changed. Congruence repair is deferred to
+    /// [`EGraph::rebuild`].
+    pub fn union(&mut self, a: EClassId, b: EClassId) -> (EClassId, bool) {
+        let a = self.find_compress(a);
+        let b = self.find_compress(b);
+        if a == b {
+            return (a, false);
+        }
+        // Merge the smaller class into the larger.
+        let (keep, merge) =
+            if self.classes[&a.0].nodes.len() >= self.classes[&b.0].nodes.len() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+        let merged = self.classes.remove(&merge.0).expect("canonical class exists");
+        self.uf[merge.0 as usize] = keep.0;
+        let kept = self.classes.get_mut(&keep.0).expect("canonical class exists");
+        debug_assert_eq!(kept.width, merged.width, "union of classes with different widths");
+        kept.nodes.extend(merged.nodes);
+        if kept.constant.is_none() {
+            kept.constant = merged.constant;
+        } else if let (Some(k), Some(m)) = (&kept.constant, &merged.constant) {
+            debug_assert_eq!(k, m, "union of classes with different constant values");
+        }
+        self.unions += 1;
+        self.dirty = true;
+        (keep, true)
+    }
+
+    /// Restores the congruence invariant after a batch of unions: re-canonicalizes
+    /// every stored e-node, merges classes whose nodes have become identical, and
+    /// propagates constants upward. Runs to a fixpoint; a no-op on a clean graph.
+    pub fn rebuild(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        loop {
+            let mut changed = false;
+
+            // Re-key the hash-cons table under canonical children/classes, and
+            // union any classes that collide (congruence).
+            let memo = std::mem::take(&mut self.memo);
+            let mut pending: Vec<(EClassId, EClassId)> = Vec::new();
+            let mut new_memo: HashMap<ENode, EClassId> = HashMap::with_capacity(memo.len());
+            for (node, id) in memo {
+                let node = self.canonicalize(&node);
+                let id = self.find(id);
+                match new_memo.get(&node) {
+                    Some(&other) if self.find(other) != id => pending.push((other, id)),
+                    Some(_) => {}
+                    None => {
+                        new_memo.insert(node, id);
+                    }
+                }
+            }
+            self.memo = new_memo;
+            for (a, b) in pending {
+                let (_, did) = self.union(a, b);
+                changed |= did;
+            }
+
+            // Re-canonicalize and dedupe each class's node list, and fold any node
+            // whose children have all become constant (upward propagation).
+            let ids: Vec<u32> = self.classes.keys().copied().collect();
+            let mut const_unions: Vec<(EClassId, BitVec)> = Vec::new();
+            for raw in ids {
+                let Some(class) = self.classes.get(&raw) else { continue };
+                if self.find(EClassId(raw)).0 != raw {
+                    continue;
+                }
+                let nodes = class.nodes.clone();
+                let has_const = class.constant.is_some();
+                let mut canon: Vec<ENode> = Vec::with_capacity(nodes.len());
+                let mut folded: Option<BitVec> = None;
+                for node in &nodes {
+                    let c = self.canonicalize(node);
+                    if !has_const && folded.is_none() {
+                        folded = self.fold_node(&c);
+                    }
+                    if !canon.contains(&c) {
+                        canon.push(c);
+                    }
+                }
+                let class = self.classes.get_mut(&raw).expect("class still present");
+                if canon != class.nodes {
+                    class.nodes = canon;
+                }
+                if let Some(value) = folded {
+                    class.constant = Some(value.clone());
+                    const_unions.push((EClassId(raw), value));
+                    changed = true;
+                }
+            }
+            for (id, value) in const_unions {
+                let cid = self.add(ENode::Const(value));
+                let (_, did) = self.union(id, cid);
+                changed |= did;
+            }
+
+            if !changed {
+                break;
+            }
+        }
+        self.dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(eg: &mut EGraph, v: u64, w: u32) -> EClassId {
+        eg.add(ENode::Const(BitVec::from_u64(v, w)))
+    }
+
+    fn var(eg: &mut EGraph, name: &str, w: u32) -> EClassId {
+        eg.add(ENode::Symbol { name: name.to_string(), width: w })
+    }
+
+    #[test]
+    fn hash_consing_deduplicates() {
+        let mut eg = EGraph::new();
+        let x = var(&mut eg, "x", 8);
+        let y = var(&mut eg, "y", 8);
+        let a = eg.add(ENode::Op { op: BvOp::Add, args: vec![x, y] });
+        let b = eg.add(ENode::Op { op: BvOp::Add, args: vec![x, y] });
+        assert_eq!(a, b);
+        assert_eq!(eg.num_classes(), 3);
+        assert_eq!(eg.width(a), 8);
+    }
+
+    #[test]
+    fn constant_folding_analysis() {
+        let mut eg = EGraph::new();
+        let a = c(&mut eg, 5, 8);
+        let b = c(&mut eg, 7, 8);
+        let sum = eg.add(ENode::Op { op: BvOp::Add, args: vec![a, b] });
+        assert_eq!(eg.constant(sum), Some(&BitVec::from_u64(12, 8)));
+        // The folded class contains the literal constant node.
+        let twelve = c(&mut eg, 12, 8);
+        assert!(eg.equiv(sum, twelve));
+    }
+
+    #[test]
+    fn union_merges_and_congruence_propagates() {
+        let mut eg = EGraph::new();
+        let x = var(&mut eg, "x", 8);
+        let y = var(&mut eg, "y", 8);
+        let z = var(&mut eg, "z", 8);
+        let xz = eg.add(ENode::Op { op: BvOp::Mul, args: vec![x, z] });
+        let yz = eg.add(ENode::Op { op: BvOp::Mul, args: vec![y, z] });
+        assert!(!eg.equiv(xz, yz));
+        eg.union(x, y);
+        eg.rebuild();
+        // x = y forces x*z = y*z by congruence.
+        assert!(eg.equiv(xz, yz));
+    }
+
+    #[test]
+    fn union_with_constant_propagates_upward() {
+        let mut eg = EGraph::new();
+        let x = var(&mut eg, "x", 8);
+        let two = c(&mut eg, 2, 8);
+        let three = c(&mut eg, 3, 8);
+        let sum = eg.add(ENode::Op { op: BvOp::Add, args: vec![x, three] });
+        assert_eq!(eg.constant(sum), None);
+        eg.union(x, two);
+        eg.rebuild();
+        assert_eq!(eg.constant(sum), Some(&BitVec::from_u64(5, 8)));
+    }
+
+    #[test]
+    fn rebuild_is_idempotent() {
+        let mut eg = EGraph::new();
+        let x = var(&mut eg, "x", 4);
+        let y = var(&mut eg, "y", 4);
+        eg.union(x, y);
+        eg.rebuild();
+        let classes = eg.num_classes();
+        let nodes = eg.total_enodes();
+        eg.rebuild();
+        assert_eq!(eg.num_classes(), classes);
+        assert_eq!(eg.total_enodes(), nodes);
+    }
+}

@@ -1,0 +1,337 @@
+//! Patterns, substitutions, and rewrite rules, plus the small builder DSL used to
+//! state rules declaratively.
+//!
+//! A [`Pattern`] matches e-classes structurally: [`Pattern::Any`] binds any class,
+//! [`Pattern::Const`] binds a class the analysis has proved constant, and the
+//! width-generic literals [`Pattern::Zero`] / [`Pattern::One`] / [`Pattern::AllOnes`]
+//! match classes with those constant values at any width. The same type is used for
+//! right-hand sides: width-generic literals instantiate at the width of the class
+//! being rewritten.
+//!
+//! The [`p`] module is the builder DSL. A rule is two patterns and a name:
+//!
+//! ```
+//! use lr_egraph::pattern::{p, Rewrite};
+//! use lr_egraph::{saturate, EGraph, ENode, Limits};
+//! use lr_bv::BitVec;
+//!
+//! // x + 0 → x, stated declaratively.
+//! let add_zero = Rewrite::rule("add-zero", p::add(p::any("x"), p::zero()), p::any("x"));
+//!
+//! let mut eg = EGraph::new();
+//! let x = eg.add(ENode::Symbol { name: "x".into(), width: 8 });
+//! let zero = eg.add(ENode::Const(BitVec::zeros(8)));
+//! let sum = eg.add(ENode::Op { op: lr_smt::BvOp::Add, args: vec![x, zero] });
+//!
+//! saturate(&mut eg, &[add_zero], &Limits::default());
+//! assert!(eg.equiv(sum, x), "saturation proves x + 0 ≡ x");
+//! ```
+
+use lr_bv::BitVec;
+use lr_smt::BvOp;
+
+use crate::graph::{EClass, EClassId, EGraph, ENode};
+
+/// A structural pattern over e-classes (used for both sides of a rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Binds any e-class to the given name (`?x` in egg notation).
+    Any(&'static str),
+    /// Binds an e-class whose constant value is known to the analysis.
+    Const(&'static str),
+    /// The all-zeros constant of the matched/instantiated width.
+    Zero,
+    /// The constant 1 of the matched/instantiated width (also Boolean true at
+    /// width 1).
+    One,
+    /// The all-ones constant of the matched/instantiated width.
+    AllOnes,
+    /// An operator applied to sub-patterns.
+    Op(BvOp, Vec<Pattern>),
+}
+
+/// A binding of pattern variables to e-classes.
+#[derive(Debug, Clone, Default)]
+pub struct Subst {
+    binds: Vec<(&'static str, EClassId)>,
+}
+
+impl Subst {
+    /// The class bound to `name`.
+    ///
+    /// # Panics
+    /// Panics if the name is unbound (a rule whose right side mentions a variable
+    /// its left side does not bind is malformed).
+    pub fn get(&self, name: &str) -> EClassId {
+        self.binds
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, id)| id)
+            .unwrap_or_else(|| panic!("pattern variable `{name}` is unbound"))
+    }
+
+    fn try_bind(&self, name: &'static str, id: EClassId, eg: &EGraph) -> Option<Subst> {
+        if let Some(&(_, bound)) = self.binds.iter().find(|(n, _)| *n == name) {
+            return eg.equiv(bound, id).then(|| self.clone());
+        }
+        let mut next = self.clone();
+        next.binds.push((name, id));
+        Some(next)
+    }
+}
+
+/// A recipe for building one new term into the e-graph — what a dynamic rule
+/// returns. `Class` references existing classes; `Const` and `Node` build new ones.
+#[derive(Debug, Clone)]
+pub enum Recipe {
+    /// An existing class, unchanged.
+    Class(EClassId),
+    /// A constant leaf.
+    Const(BitVec),
+    /// An operator over sub-recipes.
+    Node(BvOp, Vec<Recipe>),
+}
+
+impl Recipe {
+    /// Builds the recipe into the graph, returning the resulting class.
+    pub fn build(&self, eg: &mut EGraph) -> EClassId {
+        match self {
+            Recipe::Class(id) => *id,
+            Recipe::Const(bv) => eg.add(ENode::Const(bv.clone())),
+            Recipe::Node(op, args) => {
+                let args: Vec<EClassId> = args.iter().map(|a| a.build(eg)).collect();
+                eg.add(ENode::Op { op: *op, args })
+            }
+        }
+    }
+}
+
+/// A dynamic rule body: inspects one `(class, node)` pair and proposes equivalent
+/// forms. Used for rules over parameterized operators (`extract`, `zext`, `sext`)
+/// whose embedded widths a static pattern cannot bind.
+pub type DynFn = fn(&EGraph, &EClass, &ENode) -> Vec<Recipe>;
+
+/// How a rewrite finds and produces terms.
+#[derive(Debug)]
+pub enum RewriteKind {
+    /// A pattern pair: match `lhs`, instantiate `rhs`, union.
+    Rule {
+        /// The pattern to search for.
+        lhs: Pattern,
+        /// The equivalent form to add.
+        rhs: Pattern,
+    },
+    /// A dynamic rule (see [`DynFn`]).
+    Dyn(DynFn),
+}
+
+/// A named rewrite rule.
+#[derive(Debug)]
+pub struct Rewrite {
+    /// Rule name (reported in saturation statistics).
+    pub name: &'static str,
+    /// The matching/production behaviour.
+    pub kind: RewriteKind,
+}
+
+impl Rewrite {
+    /// Builds a pattern rule: wherever `lhs` matches, `rhs` is added and unioned.
+    pub fn rule(name: &'static str, lhs: Pattern, rhs: Pattern) -> Rewrite {
+        Rewrite { name, kind: RewriteKind::Rule { lhs, rhs } }
+    }
+
+    /// Builds a dynamic rule from a function over `(graph, class, node)`.
+    pub fn dynamic(name: &'static str, f: DynFn) -> Rewrite {
+        Rewrite { name, kind: RewriteKind::Dyn(f) }
+    }
+}
+
+/// Matches `pattern` against a class, returning every substitution that works.
+pub fn match_in_class(
+    eg: &EGraph,
+    pattern: &Pattern,
+    class: &EClass,
+    subst: &Subst,
+) -> Vec<Subst> {
+    match pattern {
+        Pattern::Any(name) => subst.try_bind(name, class.id, eg).into_iter().collect(),
+        Pattern::Const(name) => {
+            if class.constant.is_some() {
+                subst.try_bind(name, class.id, eg).into_iter().collect()
+            } else {
+                Vec::new()
+            }
+        }
+        Pattern::Zero => match &class.constant {
+            Some(c) if c.is_zero() => vec![subst.clone()],
+            _ => Vec::new(),
+        },
+        Pattern::One => match &class.constant {
+            Some(c) if c.to_u64() == Some(1) => vec![subst.clone()],
+            _ => Vec::new(),
+        },
+        Pattern::AllOnes => match &class.constant {
+            Some(c) if c.is_all_ones() => vec![subst.clone()],
+            _ => Vec::new(),
+        },
+        Pattern::Op(op, arg_pats) => {
+            let mut out = Vec::new();
+            for node in &class.nodes {
+                let ENode::Op { op: nop, args } = node else { continue };
+                if nop != op || args.len() != arg_pats.len() {
+                    continue;
+                }
+                let mut partial = vec![subst.clone()];
+                for (pat, &arg) in arg_pats.iter().zip(args) {
+                    let arg_class = eg.class(arg);
+                    let mut next = Vec::new();
+                    for s in &partial {
+                        next.extend(match_in_class(eg, pat, arg_class, s));
+                    }
+                    partial = next;
+                    if partial.is_empty() {
+                        break;
+                    }
+                }
+                out.extend(partial);
+            }
+            out
+        }
+    }
+}
+
+/// Instantiates a right-hand-side pattern under a substitution. `width` is the
+/// width of the class being rewritten; width-generic literals and nested
+/// width-preserving operators instantiate at it.
+pub fn instantiate(eg: &mut EGraph, pattern: &Pattern, subst: &Subst, width: u32) -> EClassId {
+    match pattern {
+        Pattern::Any(name) | Pattern::Const(name) => subst.get(name),
+        Pattern::Zero => eg.add(ENode::Const(BitVec::zeros(width))),
+        Pattern::One => eg.add(ENode::Const(BitVec::from_u64(1, width))),
+        Pattern::AllOnes => eg.add(ENode::Const(BitVec::ones(width))),
+        Pattern::Op(op, args) => {
+            let args: Vec<EClassId> =
+                args.iter().map(|a| instantiate(eg, a, subst, width)).collect();
+            eg.add(ENode::Op { op: *op, args })
+        }
+    }
+}
+
+/// The pattern builder DSL: terse constructors for the operators the rule set uses.
+pub mod p {
+    use super::Pattern;
+    use lr_smt::BvOp;
+
+    /// Binds any class to `name`.
+    pub fn any(name: &'static str) -> Pattern {
+        Pattern::Any(name)
+    }
+
+    /// Binds a class with a known constant value to `name`.
+    pub fn konst(name: &'static str) -> Pattern {
+        Pattern::Const(name)
+    }
+
+    /// The all-zeros constant (width-generic).
+    pub fn zero() -> Pattern {
+        Pattern::Zero
+    }
+
+    /// The constant one (width-generic; Boolean true at width 1).
+    pub fn one() -> Pattern {
+        Pattern::One
+    }
+
+    /// The all-ones constant (width-generic).
+    pub fn all_ones() -> Pattern {
+        Pattern::AllOnes
+    }
+
+    macro_rules! op2 {
+        ($(#[$doc:meta])* $name:ident, $op:expr) => {
+            $(#[$doc])*
+            pub fn $name(a: Pattern, b: Pattern) -> Pattern {
+                Pattern::Op($op, vec![a, b])
+            }
+        };
+    }
+
+    macro_rules! op1 {
+        ($(#[$doc:meta])* $name:ident, $op:expr) => {
+            $(#[$doc])*
+            pub fn $name(a: Pattern) -> Pattern {
+                Pattern::Op($op, vec![a])
+            }
+        };
+    }
+
+    op2!(/** Wrapping addition. */ add, BvOp::Add);
+    op2!(/** Wrapping subtraction. */ sub, BvOp::Sub);
+    op2!(/** Wrapping multiplication. */ mul, BvOp::Mul);
+    op2!(/** Bitwise AND. */ and, BvOp::And);
+    op2!(/** Bitwise OR. */ or, BvOp::Or);
+    op2!(/** Bitwise XOR. */ xor, BvOp::Xor);
+    op2!(/** Logical shift left. */ shl, BvOp::Shl);
+    op2!(/** Logical shift right. */ lshr, BvOp::Lshr);
+    op2!(/** Arithmetic shift right. */ ashr, BvOp::Ashr);
+    op2!(/** Equality (1-bit result). */ eq, BvOp::Eq);
+    op2!(/** Unsigned less-than. */ ult, BvOp::Ult);
+    op2!(/** Unsigned less-than-or-equal. */ ule, BvOp::Ule);
+    op2!(/** Signed less-than. */ slt, BvOp::Slt);
+    op2!(/** Signed less-than-or-equal. */ sle, BvOp::Sle);
+    op1!(/** Bitwise NOT. */ not, BvOp::Not);
+    op1!(/** Two's-complement negation. */ neg, BvOp::Neg);
+
+    /// If-then-else.
+    pub fn ite(c: Pattern, t: Pattern, e: Pattern) -> Pattern {
+        Pattern::Op(BvOp::Ite, vec![c, t, e])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_binds_and_checks_consistency() {
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Symbol { name: "x".into(), width: 8 });
+        let y = eg.add(ENode::Symbol { name: "y".into(), width: 8 });
+        let xx = eg.add(ENode::Op { op: BvOp::Sub, args: vec![x, x] });
+        let xy = eg.add(ENode::Op { op: BvOp::Sub, args: vec![x, y] });
+
+        // sub(?a, ?a) matches x − x but not x − y.
+        let pat = p::sub(p::any("a"), p::any("a"));
+        assert_eq!(match_in_class(&eg, &pat, eg.class(xx), &Subst::default()).len(), 1);
+        assert!(match_in_class(&eg, &pat, eg.class(xy), &Subst::default()).is_empty());
+    }
+
+    #[test]
+    fn const_literals_match_analysis_values() {
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Symbol { name: "x".into(), width: 8 });
+        let z = eg.add(ENode::Const(BitVec::zeros(8)));
+        let sum = eg.add(ENode::Op { op: BvOp::Add, args: vec![x, z] });
+        let pat = p::add(p::any("x"), p::zero());
+        let matches = match_in_class(&eg, &pat, eg.class(sum), &Subst::default());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(eg.find(matches[0].get("x")), eg.find(x));
+    }
+
+    #[test]
+    fn instantiate_builds_width_correct_constants() {
+        let mut eg = EGraph::new();
+        let subst = Subst::default();
+        let z = instantiate(&mut eg, &Pattern::Zero, &subst, 12);
+        assert_eq!(eg.constant(z), Some(&BitVec::zeros(12)));
+        let o = instantiate(&mut eg, &Pattern::AllOnes, &subst, 3);
+        assert_eq!(eg.constant(o), Some(&BitVec::ones(3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unbound_rhs_variable_panics() {
+        let subst = Subst::default();
+        subst.get("nope");
+    }
+}

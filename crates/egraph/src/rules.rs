@@ -1,0 +1,349 @@
+//! The QF_BV rewrite-rule set: the declarative port of `lr_smt::TermPool`'s
+//! constructor-time rewrites, plus the associativity/commutativity axioms that
+//! one-shot rewriting cannot exploit without committing to an application order.
+//!
+//! Constant folding is *not* a rule: it is the e-graph's analysis (every class
+//! whose members fold carries its value and is unioned with the literal constant),
+//! so re-associated constant chains such as `(x + 0xff) + 0x01` collapse as soon as
+//! the associativity rules expose `0xff + 0x01` as a sub-term.
+//!
+//! Rules over parameterized operators (`extract`, `zext`, `sext`, the reductions)
+//! are dynamic ([`Rewrite::dynamic`]) because a static pattern cannot bind the
+//! widths embedded in the operator itself.
+
+use std::sync::OnceLock;
+
+use lr_bv::BitVec;
+use lr_smt::BvOp;
+
+use crate::graph::{EClass, EGraph, ENode};
+use crate::pattern::{p, Recipe, Rewrite};
+
+/// [`bv_rules`] built once and shared — callers on hot paths (the CEGIS
+/// verification pre-fold runs per candidate) should use this instead of
+/// re-allocating the rule set per query.
+pub fn bv_rules_cached() -> &'static [Rewrite] {
+    static RULES: OnceLock<Vec<Rewrite>> = OnceLock::new();
+    RULES.get_or_init(bv_rules)
+}
+
+/// The full rule set over the shared bitvector operator language.
+pub fn bv_rules() -> Vec<Rewrite> {
+    let mut rules = vec![
+        // --- commutativity ---
+        Rewrite::rule("add-comm", p::add(p::any("a"), p::any("b")), p::add(p::any("b"), p::any("a"))),
+        Rewrite::rule("mul-comm", p::mul(p::any("a"), p::any("b")), p::mul(p::any("b"), p::any("a"))),
+        Rewrite::rule("and-comm", p::and(p::any("a"), p::any("b")), p::and(p::any("b"), p::any("a"))),
+        Rewrite::rule("or-comm", p::or(p::any("a"), p::any("b")), p::or(p::any("b"), p::any("a"))),
+        Rewrite::rule("xor-comm", p::xor(p::any("a"), p::any("b")), p::xor(p::any("b"), p::any("a"))),
+        Rewrite::rule("eq-comm", p::eq(p::any("a"), p::any("b")), p::eq(p::any("b"), p::any("a"))),
+        // --- associativity (one direction each; commutativity supplies the rest) ---
+        Rewrite::rule(
+            "add-assoc",
+            p::add(p::add(p::any("a"), p::any("b")), p::any("c")),
+            p::add(p::any("a"), p::add(p::any("b"), p::any("c"))),
+        ),
+        Rewrite::rule(
+            "mul-assoc",
+            p::mul(p::mul(p::any("a"), p::any("b")), p::any("c")),
+            p::mul(p::any("a"), p::mul(p::any("b"), p::any("c"))),
+        ),
+        Rewrite::rule(
+            "and-assoc",
+            p::and(p::and(p::any("a"), p::any("b")), p::any("c")),
+            p::and(p::any("a"), p::and(p::any("b"), p::any("c"))),
+        ),
+        Rewrite::rule(
+            "or-assoc",
+            p::or(p::or(p::any("a"), p::any("b")), p::any("c")),
+            p::or(p::any("a"), p::or(p::any("b"), p::any("c"))),
+        ),
+        Rewrite::rule(
+            "xor-assoc",
+            p::xor(p::xor(p::any("a"), p::any("b")), p::any("c")),
+            p::xor(p::any("a"), p::xor(p::any("b"), p::any("c"))),
+        ),
+        // --- identities and annihilators ---
+        Rewrite::rule("add-zero", p::add(p::any("x"), p::zero()), p::any("x")),
+        Rewrite::rule("mul-one", p::mul(p::any("x"), p::one()), p::any("x")),
+        Rewrite::rule("mul-zero", p::mul(p::any("x"), p::zero()), p::zero()),
+        Rewrite::rule("and-zero", p::and(p::any("x"), p::zero()), p::zero()),
+        Rewrite::rule("and-ones", p::and(p::any("x"), p::all_ones()), p::any("x")),
+        Rewrite::rule("and-self", p::and(p::any("x"), p::any("x")), p::any("x")),
+        Rewrite::rule("or-zero", p::or(p::any("x"), p::zero()), p::any("x")),
+        Rewrite::rule("or-ones", p::or(p::any("x"), p::all_ones()), p::all_ones()),
+        Rewrite::rule("or-self", p::or(p::any("x"), p::any("x")), p::any("x")),
+        Rewrite::rule("xor-zero", p::xor(p::any("x"), p::zero()), p::any("x")),
+        Rewrite::rule("xor-self", p::xor(p::any("x"), p::any("x")), p::zero()),
+        // --- subtraction and negation normalization (the PR-2 monster killers) ---
+        Rewrite::rule("sub-self", p::sub(p::any("x"), p::any("x")), p::zero()),
+        Rewrite::rule("sub-zero", p::sub(p::any("x"), p::zero()), p::any("x")),
+        Rewrite::rule("zero-sub", p::sub(p::zero(), p::any("x")), p::neg(p::any("x"))),
+        Rewrite::rule(
+            "sub-to-add-neg",
+            p::sub(p::any("x"), p::any("y")),
+            p::add(p::any("x"), p::neg(p::any("y"))),
+        ),
+        Rewrite::rule(
+            "sub-neg",
+            p::sub(p::any("x"), p::neg(p::any("y"))),
+            p::add(p::any("x"), p::any("y")),
+        ),
+        Rewrite::rule(
+            "sub-mirror",
+            p::sub(p::any("x"), p::any("y")),
+            p::neg(p::sub(p::any("y"), p::any("x"))),
+        ),
+        Rewrite::rule("neg-neg", p::neg(p::neg(p::any("x"))), p::any("x")),
+        Rewrite::rule("not-not", p::not(p::not(p::any("x"))), p::any("x")),
+        Rewrite::rule(
+            "neg-mul",
+            p::mul(p::neg(p::any("x")), p::any("y")),
+            p::neg(p::mul(p::any("x"), p::any("y"))),
+        ),
+        Rewrite::rule(
+            "neg-add",
+            p::neg(p::add(p::any("x"), p::any("y"))),
+            p::add(p::neg(p::any("x")), p::neg(p::any("y"))),
+        ),
+        // --- shifts ---
+        Rewrite::rule("shl-zero", p::shl(p::any("x"), p::zero()), p::any("x")),
+        Rewrite::rule("lshr-zero", p::lshr(p::any("x"), p::zero()), p::any("x")),
+        Rewrite::rule("ashr-zero", p::ashr(p::any("x"), p::zero()), p::any("x")),
+        // --- comparisons against self (1-bit results, so One ≡ true) ---
+        Rewrite::rule("eq-self", p::eq(p::any("x"), p::any("x")), p::one()),
+        Rewrite::rule("ult-self", p::ult(p::any("x"), p::any("x")), p::zero()),
+        Rewrite::rule("slt-self", p::slt(p::any("x"), p::any("x")), p::zero()),
+        Rewrite::rule("ule-self", p::ule(p::any("x"), p::any("x")), p::one()),
+        Rewrite::rule("sle-self", p::sle(p::any("x"), p::any("x")), p::one()),
+        // --- if-then-else ---
+        Rewrite::rule("ite-same", p::ite(p::any("c"), p::any("x"), p::any("x")), p::any("x")),
+    ];
+    rules.push(Rewrite::dynamic("ite-const", ite_const));
+    rules.push(Rewrite::dynamic("ext-compose", ext_compose));
+    rules.push(Rewrite::dynamic("extract-narrow", extract_narrow));
+    rules.push(Rewrite::dynamic("reduce-1bit", reduce_1bit));
+    rules
+}
+
+/// `ite(c, t, e)` with a constant condition selects a branch.
+fn ite_const(eg: &EGraph, _class: &EClass, node: &ENode) -> Vec<Recipe> {
+    let ENode::Op { op: BvOp::Ite, args } = node else { return Vec::new() };
+    match eg.constant(args[0]) {
+        Some(c) if c.is_zero() => vec![Recipe::Class(args[2])],
+        Some(_) => vec![Recipe::Class(args[1])],
+        None => Vec::new(),
+    }
+}
+
+/// Extension simplification: `zext`/`sext` to the same width vanish, and nested
+/// same-kind extensions compose.
+fn ext_compose(eg: &EGraph, _class: &EClass, node: &ENode) -> Vec<Recipe> {
+    let ENode::Op { op, args } = node else { return Vec::new() };
+    let (new_width, signed) = match op {
+        BvOp::ZeroExt { width } => (*width, false),
+        BvOp::SignExt { width } => (*width, true),
+        _ => return Vec::new(),
+    };
+    let arg = args[0];
+    if eg.width(arg) == new_width {
+        return vec![Recipe::Class(arg)];
+    }
+    let mut out = Vec::new();
+    for inner in &eg.class(arg).nodes {
+        let ENode::Op { op: inner_op, args: inner_args } = inner else { continue };
+        match (signed, inner_op) {
+            (false, BvOp::ZeroExt { .. }) => {
+                out.push(Recipe::Node(
+                    BvOp::ZeroExt { width: new_width },
+                    vec![Recipe::Class(inner_args[0])],
+                ));
+            }
+            (true, BvOp::SignExt { .. }) => {
+                out.push(Recipe::Node(
+                    BvOp::SignExt { width: new_width },
+                    vec![Recipe::Class(inner_args[0])],
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The low-bit narrowing family: `extract[k:0]` distributes over operators whose
+/// low result bits depend only on low operand bits, extract-of-extract composes,
+/// and extracts resolve through `concat`/`zext`/`sext`. This is what lets a DSP
+/// configuration computing at 48 bits and truncating meet the behavioral spec
+/// computing at the design width.
+fn extract_narrow(eg: &EGraph, class: &EClass, node: &ENode) -> Vec<Recipe> {
+    let ENode::Op { op: BvOp::Extract { hi, lo }, args } = node else { return Vec::new() };
+    let (hi, lo) = (*hi, *lo);
+    let arg = args[0];
+    if lo == 0 && hi + 1 == eg.width(arg) {
+        return vec![Recipe::Class(arg)];
+    }
+    let mut out = Vec::new();
+    let narrow = |target| Recipe::Node(BvOp::Extract { hi, lo: 0 }, vec![Recipe::Class(target)]);
+    for inner in &eg.class(arg).nodes {
+        let ENode::Op { op: inner_op, args: inner_args } = inner else { continue };
+        match inner_op {
+            BvOp::Add | BvOp::Sub | BvOp::Mul | BvOp::And | BvOp::Or | BvOp::Xor if lo == 0 => {
+                out.push(Recipe::Node(
+                    *inner_op,
+                    vec![narrow(inner_args[0]), narrow(inner_args[1])],
+                ));
+            }
+            BvOp::Not | BvOp::Neg if lo == 0 => {
+                out.push(Recipe::Node(*inner_op, vec![narrow(inner_args[0])]));
+            }
+            BvOp::Ite if lo == 0 => {
+                out.push(Recipe::Node(
+                    BvOp::Ite,
+                    vec![
+                        Recipe::Class(inner_args[0]),
+                        narrow(inner_args[1]),
+                        narrow(inner_args[2]),
+                    ],
+                ));
+            }
+            BvOp::Shl if lo == 0 => {
+                // Low bits of a left shift depend only on low bits of the value,
+                // provided the (constant) amount still fits the narrowed width.
+                if let Some(amount) = eg.constant(inner_args[1]).and_then(|a| a.to_u64()) {
+                    if amount > u64::from(hi) {
+                        out.push(Recipe::Const(BitVec::zeros(class.width)));
+                    } else {
+                        out.push(Recipe::Node(
+                            BvOp::Shl,
+                            vec![
+                                narrow(inner_args[0]),
+                                Recipe::Const(BitVec::from_u64(amount, hi + 1)),
+                            ],
+                        ));
+                    }
+                }
+            }
+            BvOp::Extract { lo: lo2, .. } => {
+                out.push(Recipe::Node(
+                    BvOp::Extract { hi: hi + lo2, lo: lo + lo2 },
+                    vec![Recipe::Class(inner_args[0])],
+                ));
+            }
+            BvOp::Concat => {
+                let lo_width = eg.width(inner_args[1]);
+                if hi < lo_width {
+                    out.push(Recipe::Node(
+                        BvOp::Extract { hi, lo },
+                        vec![Recipe::Class(inner_args[1])],
+                    ));
+                } else if lo >= lo_width {
+                    out.push(Recipe::Node(
+                        BvOp::Extract { hi: hi - lo_width, lo: lo - lo_width },
+                        vec![Recipe::Class(inner_args[0])],
+                    ));
+                }
+            }
+            BvOp::ZeroExt { .. } | BvOp::SignExt { .. } => {
+                let orig_width = eg.width(inner_args[0]);
+                if hi < orig_width {
+                    out.push(Recipe::Node(
+                        BvOp::Extract { hi, lo },
+                        vec![Recipe::Class(inner_args[0])],
+                    ));
+                } else if matches!(inner_op, BvOp::ZeroExt { .. }) && lo >= orig_width {
+                    out.push(Recipe::Const(BitVec::zeros(class.width)));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Reductions over 1-bit operands are the identity.
+fn reduce_1bit(eg: &EGraph, _class: &EClass, node: &ENode) -> Vec<Recipe> {
+    let ENode::Op { op: BvOp::RedOr | BvOp::RedAnd | BvOp::RedXor, args } = node else {
+        return Vec::new();
+    };
+    if eg.width(args[0]) == 1 {
+        vec![Recipe::Class(args[0])]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{saturate, Limits};
+
+    fn sym(eg: &mut EGraph, name: &str, w: u32) -> crate::graph::EClassId {
+        eg.add(ENode::Symbol { name: name.to_string(), width: w })
+    }
+
+    fn op2(
+        eg: &mut EGraph,
+        op: BvOp,
+        a: crate::graph::EClassId,
+        b: crate::graph::EClassId,
+    ) -> crate::graph::EClassId {
+        eg.add(ENode::Op { op, args: vec![a, b] })
+    }
+
+    #[test]
+    fn commutativity_and_identity_saturate() {
+        let mut eg = EGraph::new();
+        let x = sym(&mut eg, "x", 8);
+        let y = sym(&mut eg, "y", 8);
+        let xy = op2(&mut eg, BvOp::Add, x, y);
+        let yx = op2(&mut eg, BvOp::Add, y, x);
+        saturate(&mut eg, &bv_rules(), &Limits::default());
+        assert!(eg.equiv(xy, yx));
+    }
+
+    #[test]
+    fn constant_chains_reassociate_and_fold() {
+        // ((x + 0xff) + 0x01) ≡ x: associativity exposes 0xff + 0x01 = 0.
+        let mut eg = EGraph::new();
+        let x = sym(&mut eg, "x", 8);
+        let ff = eg.add(ENode::Const(BitVec::from_u64(0xff, 8)));
+        let one = eg.add(ENode::Const(BitVec::from_u64(1, 8)));
+        let t = op2(&mut eg, BvOp::Add, x, ff);
+        let t = op2(&mut eg, BvOp::Add, t, one);
+        saturate(&mut eg, &bv_rules(), &Limits::default());
+        assert!(eg.equiv(t, x));
+    }
+
+    #[test]
+    fn mirrored_subtraction_meets_negation() {
+        // b − a ≡ −(a − b).
+        let mut eg = EGraph::new();
+        let a = sym(&mut eg, "a", 8);
+        let b = sym(&mut eg, "b", 8);
+        let ab = op2(&mut eg, BvOp::Sub, a, b);
+        let ba = op2(&mut eg, BvOp::Sub, b, a);
+        let neg_ab = eg.add(ENode::Op { op: BvOp::Neg, args: vec![ab] });
+        saturate(&mut eg, &bv_rules(), &Limits::default());
+        assert!(eg.equiv(ba, neg_ab));
+    }
+
+    #[test]
+    fn extract_distributes_and_composes() {
+        let mut eg = EGraph::new();
+        let x = sym(&mut eg, "x", 8);
+        let y = sym(&mut eg, "y", 8);
+        // extract[3:0](x + y) ≡ extract[3:0](x) + extract[3:0](y).
+        let sum = op2(&mut eg, BvOp::Add, x, y);
+        let lhs = eg.add(ENode::Op { op: BvOp::Extract { hi: 3, lo: 0 }, args: vec![sum] });
+        let ex = eg.add(ENode::Op { op: BvOp::Extract { hi: 3, lo: 0 }, args: vec![x] });
+        let ey = eg.add(ENode::Op { op: BvOp::Extract { hi: 3, lo: 0 }, args: vec![y] });
+        let rhs = op2(&mut eg, BvOp::Add, ex, ey);
+        // extract over a zext resolves to the original term.
+        let wide = eg.add(ENode::Op { op: BvOp::ZeroExt { width: 32 }, args: vec![x] });
+        let low = eg.add(ENode::Op { op: BvOp::Extract { hi: 7, lo: 0 }, args: vec![wide] });
+        saturate(&mut eg, &bv_rules(), &Limits::default());
+        assert!(eg.equiv(lhs, rhs));
+        assert!(eg.equiv(low, x));
+    }
+}

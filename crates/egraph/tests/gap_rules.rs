@@ -1,0 +1,81 @@
+//! Unit tests for the algebraic-gap rules — `x − x → 0`, `x ^ x → 0`, `x & x → x`,
+//! and shift-by-zero — on the e-graph side. The matching pool-side tests live in
+//! `crates/smt/src/pool.rs` (`gap_rules_fold_in_the_pool`): every rule must hold in
+//! *both* rewriting engines so neither path regresses the other.
+
+use lr_bv::BitVec;
+use lr_egraph::rules::bv_rules;
+use lr_egraph::{saturate, EClassId, EGraph, ENode, Limits};
+use lr_smt::BvOp;
+
+fn sym(eg: &mut EGraph, name: &str, w: u32) -> EClassId {
+    eg.add(ENode::Symbol { name: name.to_string(), width: w })
+}
+
+fn op2(eg: &mut EGraph, op: BvOp, a: EClassId, b: EClassId) -> EClassId {
+    eg.add(ENode::Op { op, args: vec![a, b] })
+}
+
+#[test]
+fn sub_self_is_zero() {
+    let mut eg = EGraph::new();
+    let x = sym(&mut eg, "x", 8);
+    let diff = op2(&mut eg, BvOp::Sub, x, x);
+    let zero = eg.add(ENode::Const(BitVec::zeros(8)));
+    saturate(&mut eg, &bv_rules(), &Limits::default());
+    assert!(eg.equiv(diff, zero));
+    assert_eq!(eg.constant(diff), Some(&BitVec::zeros(8)));
+}
+
+#[test]
+fn xor_self_is_zero() {
+    let mut eg = EGraph::new();
+    let x = sym(&mut eg, "x", 8);
+    let xored = op2(&mut eg, BvOp::Xor, x, x);
+    let zero = eg.add(ENode::Const(BitVec::zeros(8)));
+    saturate(&mut eg, &bv_rules(), &Limits::default());
+    assert!(eg.equiv(xored, zero));
+}
+
+#[test]
+fn and_self_is_identity() {
+    let mut eg = EGraph::new();
+    let x = sym(&mut eg, "x", 8);
+    let anded = op2(&mut eg, BvOp::And, x, x);
+    saturate(&mut eg, &bv_rules(), &Limits::default());
+    assert!(eg.equiv(anded, x));
+}
+
+#[test]
+fn or_self_is_identity() {
+    let mut eg = EGraph::new();
+    let x = sym(&mut eg, "x", 8);
+    let ored = op2(&mut eg, BvOp::Or, x, x);
+    saturate(&mut eg, &bv_rules(), &Limits::default());
+    assert!(eg.equiv(ored, x));
+}
+
+#[test]
+fn shifts_by_zero_are_identity() {
+    for op in [BvOp::Shl, BvOp::Lshr, BvOp::Ashr] {
+        let mut eg = EGraph::new();
+        let x = sym(&mut eg, "x", 8);
+        let zero = eg.add(ENode::Const(BitVec::zeros(8)));
+        let shifted = op2(&mut eg, op, x, zero);
+        saturate(&mut eg, &bv_rules(), &Limits::default());
+        assert!(eg.equiv(shifted, x), "{op} by zero must be the identity");
+    }
+}
+
+#[test]
+fn comparisons_against_self_decide() {
+    let mut eg = EGraph::new();
+    let x = sym(&mut eg, "x", 8);
+    let eq = op2(&mut eg, BvOp::Eq, x, x);
+    let ult = op2(&mut eg, BvOp::Ult, x, x);
+    let ule = op2(&mut eg, BvOp::Ule, x, x);
+    saturate(&mut eg, &bv_rules(), &Limits::default());
+    assert_eq!(eg.constant(eq), Some(&BitVec::from_bool(true)));
+    assert_eq!(eg.constant(ult), Some(&BitVec::from_bool(false)));
+    assert_eq!(eg.constant(ule), Some(&BitVec::from_bool(true)));
+}

@@ -1,0 +1,90 @@
+//! The PR-2 "monster" verification disequalities — the DSP negate-path, the
+//! mirrored-subtraction form, and the carry-chain/truncation form that used to cost
+//! the CEGIS verifier minutes of SAT time — must fold to `false` **by saturation
+//! alone**. Every term here is built in a `TermPool::without_simplification()`, so
+//! the pool's one-shot constructor rewriting contributes nothing: if the
+//! disequality comes back constant-false, the e-graph did all the work, and the
+//! CEGIS verifier (which checks `as_const` before ever constructing a solver)
+//! never invokes SAT. No `BvSolver` is constructed anywhere in this file.
+
+use lr_bv::BitVec;
+use lr_egraph::rules::bv_rules;
+use lr_egraph::{fold_term, Limits};
+use lr_smt::{TermId, TermPool};
+
+/// Folds `spec ≠ cand` and asserts saturation alone decides it false.
+fn assert_folds_false(pool: &mut TermPool, spec: TermId, cand: TermId, what: &str) {
+    assert!(
+        !pool.simplification_enabled(),
+        "the point of this harness is that one-shot rewriting is off"
+    );
+    let ne = pool.ne(spec, cand);
+    assert!(
+        pool.as_const(ne).is_none(),
+        "{what}: the unsimplified pool must not decide the disequality"
+    );
+    let (folded, report) = fold_term(pool, ne, &bv_rules(), &Limits::verifier());
+    assert_eq!(
+        pool.as_const(folded),
+        Some(&BitVec::from_bool(false)),
+        "{what}: saturation must fold the disequality to false"
+    );
+    assert!(report.folded_const, "{what}: the fold report must record the decision");
+}
+
+/// DSP negate-path: `0 − ((a · (0 − b)) + 0xff + 0x01)  ≡  a · b`.
+#[test]
+fn dsp_negate_path_folds_false() {
+    let mut pool = TermPool::without_simplification();
+    let a = pool.var("a", 8);
+    let b = pool.var("b", 8);
+    let spec = pool.mul(a, b);
+    let zero = pool.zero(8);
+    let nb = pool.sub(zero, b);
+    let prod = pool.mul(a, nb);
+    let ff = pool.constant(BitVec::from_u64(0xff, 8));
+    let one = pool.constant(BitVec::from_u64(1, 8));
+    let t = pool.add(prod, ff);
+    let t = pool.add(t, one);
+    let cand = pool.sub(zero, t);
+    assert_folds_false(&mut pool, spec, cand, "dsp-negate-path");
+}
+
+/// Mirrored subtraction through a swapped DSP port binding:
+/// `d − (c · (b − a))  ≡  (a − b) · c + d`.
+#[test]
+fn mirrored_subtraction_folds_false() {
+    let mut pool = TermPool::without_simplification();
+    let a = pool.var("a", 8);
+    let b = pool.var("b", 8);
+    let c = pool.var("c", 8);
+    let d = pool.var("d", 8);
+    let amb = pool.sub(a, b);
+    let prod = pool.mul(amb, c);
+    let spec = pool.add(prod, d);
+    let bma = pool.sub(b, a);
+    let mirrored = pool.mul(c, bma);
+    let cand = pool.sub(d, mirrored);
+    assert_folds_false(&mut pool, spec, cand, "mirrored-subtraction");
+}
+
+/// The carry-chain / wide-compute form: a DSP computing `a · b` at 48 bits with the
+/// subtract-via-carry constant chain, truncated back to the design width, against
+/// the behavioral spec computing at 8 bits:
+/// `extract[7:0]( (zext48(a) · zext48(b) + 0xFFFF…FF) + 1 )  ≡  a · b`.
+#[test]
+fn carry_chain_truncation_folds_false() {
+    let mut pool = TermPool::without_simplification();
+    let a = pool.var("a", 8);
+    let b = pool.var("b", 8);
+    let spec = pool.mul(a, b);
+    let wa = pool.zext(a, 48);
+    let wb = pool.zext(b, 48);
+    let wide_prod = pool.mul(wa, wb);
+    let all_ones = pool.all_ones(48);
+    let one = pool.constant(BitVec::from_u64(1, 48));
+    let t = pool.add(wide_prod, all_ones);
+    let t = pool.add(t, one);
+    let cand = pool.extract(t, 7, 0);
+    assert_folds_false(&mut pool, spec, cand, "carry-chain-truncation");
+}

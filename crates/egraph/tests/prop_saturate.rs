@@ -1,0 +1,166 @@
+//! Differential properties of equality saturation: saturating + extracting any
+//! term must agree with the term's own semantics *and* with `TermPool`'s one-shot
+//! constructor rewriting, over randomly generated programs and inputs.
+
+use proptest::prelude::*;
+
+use lr_bv::BitVec;
+use lr_egraph::rules::bv_rules;
+use lr_egraph::{fold_term, Limits};
+use lr_smt::{Env, TermId, TermPool};
+
+/// A pool-independent recipe for a random 8-bit expression over three variables,
+/// so the same term can be realized in differently-configured pools.
+#[derive(Debug, Clone)]
+enum Ast {
+    Var(u8),
+    Const(u64),
+    Not(Box<Ast>),
+    Neg(Box<Ast>),
+    /// extract[3:0] followed by zext back to 8 — exercises the parameterized ops.
+    NarrowWiden(Box<Ast>),
+    Add(Box<Ast>, Box<Ast>),
+    Sub(Box<Ast>, Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+    Xor(Box<Ast>, Box<Ast>),
+    Shl(Box<Ast>, Box<Ast>),
+    /// `ite(a <u b, a, b)` over sub-expressions — exercises predicates and ite.
+    Min(Box<Ast>, Box<Ast>),
+}
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+fn realize(pool: &mut TermPool, ast: &Ast) -> TermId {
+    match ast {
+        Ast::Var(i) => pool.var(VARS[*i as usize % VARS.len()], 8),
+        Ast::Const(v) => pool.constant(BitVec::from_u64(*v, 8)),
+        Ast::Not(a) => {
+            let a = realize(pool, a);
+            pool.not(a)
+        }
+        Ast::Neg(a) => {
+            let a = realize(pool, a);
+            pool.neg(a)
+        }
+        Ast::NarrowWiden(a) => {
+            let a = realize(pool, a);
+            let low = pool.extract(a, 3, 0);
+            pool.zext(low, 8)
+        }
+        Ast::Add(a, b) => bin(pool, a, b, TermPool::add),
+        Ast::Sub(a, b) => bin(pool, a, b, TermPool::sub),
+        Ast::Mul(a, b) => bin(pool, a, b, TermPool::mul),
+        Ast::And(a, b) => bin(pool, a, b, TermPool::and),
+        Ast::Or(a, b) => bin(pool, a, b, TermPool::or),
+        Ast::Xor(a, b) => bin(pool, a, b, TermPool::xor),
+        Ast::Shl(a, b) => bin(pool, a, b, TermPool::shl),
+        Ast::Min(a, b) => {
+            let a = realize(pool, a);
+            let b = realize(pool, b);
+            let lt = pool.ult(a, b);
+            pool.ite(lt, a, b)
+        }
+    }
+}
+
+fn bin(
+    pool: &mut TermPool,
+    a: &Ast,
+    b: &Ast,
+    f: impl Fn(&mut TermPool, TermId, TermId) -> TermId,
+) -> TermId {
+    let a = realize(pool, a);
+    let b = realize(pool, b);
+    f(pool, a, b)
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Ast::Var),
+        (0u64..=0xff).prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Ast::Not(Box::new(a))),
+            inner.clone().prop_map(|a| Ast::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| Ast::NarrowWiden(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Ast::Min(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Tight limits keep the whole suite fast: soundness (what these tests check)
+/// holds at any budget, because a limited run simply discovers fewer equalities.
+fn test_limits() -> Limits {
+    Limits { max_iterations: 10, max_nodes: 4_000 }
+}
+
+fn env(a: u64, b: u64, c: u64) -> Env {
+    [
+        ("a".to_string(), BitVec::from_u64(a, 8)),
+        ("b".to_string(), BitVec::from_u64(b, 8)),
+        ("c".to_string(), BitVec::from_u64(c, 8)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Saturating + extracting a term preserves its value, and agrees with what
+    /// the simplifying pool computes for the same expression — over random
+    /// expressions and random inputs.
+    #[test]
+    fn saturation_agrees_with_one_shot_rewriting(
+        ast in ast_strategy(),
+        inputs in proptest::collection::vec((0u64..=0xff, 0u64..=0xff, 0u64..=0xff), 4),
+    ) {
+        // Realize in a non-simplifying pool: the e-graph gets the raw term.
+        let mut plain = TermPool::without_simplification();
+        let raw = realize(&mut plain, &ast);
+        let (folded, report) = fold_term(&mut plain, raw, &bv_rules(), &test_limits());
+
+        // Realize the same recipe in a simplifying pool: one-shot rewriting.
+        let mut simp = TermPool::new();
+        let one_shot = realize(&mut simp, &ast);
+
+        for (a, b, c) in inputs {
+            let e = env(a, b, c);
+            let reference = plain.eval(raw, &e).unwrap();
+            prop_assert_eq!(
+                &plain.eval(folded, &e).unwrap(), &reference,
+                "saturated term changed semantics for inputs ({}, {}, {})", a, b, c
+            );
+            prop_assert_eq!(
+                &simp.eval(one_shot, &e).unwrap(), &reference,
+                "one-shot rewriting disagrees for inputs ({}, {}, {})", a, b, c
+            );
+        }
+        // Extraction never grows the term beyond its input.
+        prop_assert!(report.output_nodes <= report.input_nodes.max(1));
+    }
+
+    /// If the pool's one-shot rewriting proves a term constant, saturation must
+    /// reach (at least) the same constant.
+    #[test]
+    fn saturation_subsumes_pool_constant_folding(ast in ast_strategy()) {
+        let mut simp = TermPool::new();
+        let one_shot = realize(&mut simp, &ast);
+        if let Some(expected) = simp.as_const(one_shot).cloned() {
+            let mut plain = TermPool::without_simplification();
+            let raw = realize(&mut plain, &ast);
+            let (folded, _) = fold_term(&mut plain, raw, &bv_rules(), &test_limits());
+            prop_assert_eq!(plain.as_const(folded), Some(&expected));
+        }
+    }
+}

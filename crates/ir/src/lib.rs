@@ -34,6 +34,7 @@
 pub mod holes;
 pub mod interp;
 pub mod opt;
+pub mod saturate;
 pub mod symbolic;
 pub mod wf;
 
@@ -45,6 +46,7 @@ use lr_bv::BitVec;
 pub use holes::{HoleDomain, HoleInfo};
 pub use interp::{InterpError, Inputs, StreamInputs};
 pub use lr_smt::BvOp;
+pub use saturate::{SaturateOutcome, StructuralEvidence};
 pub use wf::WellFormednessError;
 
 /// Identifier of a node within a [`Prog`] (unique across the whole program,

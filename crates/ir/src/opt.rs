@@ -164,4 +164,133 @@ mod tests {
         assert_eq!(s.len(), prog.len());
         assert_eq!(s.root(), prog.root());
     }
+
+    mod properties {
+        //! `Prog::simplified` over *randomly generated* well-formed programs —
+        //! not just the hand-built cases above: simplification must preserve
+        //! well-formedness and stream semantics for any program shape.
+
+        use super::super::*;
+        use crate::{BvOp, ProgBuilder, StreamInputs};
+        use lr_bv::BitVec;
+        use proptest::prelude::*;
+
+        /// One straight-line instruction over earlier nodes: the generator builds
+        /// a DAG by construction, so every program is well-formed.
+        #[derive(Debug, Clone)]
+        enum Instr {
+            Const(u64),
+            Un(u8, usize),
+            Bin(u8, usize, usize),
+            Mux(usize, usize, usize),
+            Reg(usize),
+        }
+
+        const WIDTH: u32 = 8;
+
+        fn instr_strategy() -> impl Strategy<Value = Instr> {
+            prop_oneof![
+                (0u64..=0xff).prop_map(Instr::Const),
+                (0u8..3, 0usize..64).prop_map(|(op, a)| Instr::Un(op, a)),
+                (0u8..8, 0usize..64, 0usize..64).prop_map(|(op, a, b)| Instr::Bin(op, a, b)),
+                (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, t, e)| Instr::Mux(c, t, e)),
+                (0usize..64).prop_map(Instr::Reg),
+            ]
+        }
+
+        /// Realizes the instruction list as a well-formed 8-bit program over
+        /// inputs `a`, `b`, `c`. Operand indices wrap over the nodes built so
+        /// far; every node already built has width 8 except the 1-bit comparison
+        /// results tracked in `one_bit`, which only mux conditions may consume.
+        fn build(instrs: &[Instr]) -> Prog {
+            let mut b = ProgBuilder::new("prop_prog");
+            let mut wide: Vec<NodeId> = Vec::new();
+            let mut one_bit: Vec<NodeId> = Vec::new();
+            for name in ["a", "b", "c"] {
+                wide.push(b.input(name, WIDTH));
+            }
+            for instr in instrs {
+                let pick = |nodes: &[NodeId], i: usize| nodes[i % nodes.len()];
+                match instr {
+                    Instr::Const(v) => wide.push(b.constant_u64(*v, WIDTH)),
+                    Instr::Un(op, a) => {
+                        let a = pick(&wide, *a);
+                        let op = match op % 3 {
+                            0 => BvOp::Not,
+                            1 => BvOp::Neg,
+                            _ => {
+                                let low = b.extract(a, 3, 0);
+                                wide.push(b.zext(low, WIDTH));
+                                continue;
+                            }
+                        };
+                        wide.push(b.op1(op, a));
+                    }
+                    Instr::Bin(op, x, y) => {
+                        let x = pick(&wide, *x);
+                        let y = pick(&wide, *y);
+                        match op % 8 {
+                            0 => wide.push(b.op2(BvOp::Add, x, y)),
+                            1 => wide.push(b.op2(BvOp::Sub, x, y)),
+                            2 => wide.push(b.op2(BvOp::Mul, x, y)),
+                            3 => wide.push(b.op2(BvOp::And, x, y)),
+                            4 => wide.push(b.op2(BvOp::Or, x, y)),
+                            5 => wide.push(b.op2(BvOp::Xor, x, y)),
+                            6 => wide.push(b.op2(BvOp::Shl, x, y)),
+                            _ => one_bit.push(b.op2(BvOp::Ult, x, y)),
+                        }
+                    }
+                    Instr::Mux(c, t, e) => {
+                        if one_bit.is_empty() {
+                            continue;
+                        }
+                        let c = pick(&one_bit, *c);
+                        let t = pick(&wide, *t);
+                        let e = pick(&wide, *e);
+                        wide.push(b.mux(c, t, e));
+                    }
+                    Instr::Reg(d) => {
+                        let d = pick(&wide, *d);
+                        wide.push(b.reg(d, WIDTH));
+                    }
+                }
+            }
+            let root = *wide.last().expect("inputs guarantee at least one node");
+            b.finish(root)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn simplified_preserves_wf_and_semantics(
+                instrs in proptest::collection::vec(instr_strategy(), 1..24),
+                inputs in proptest::collection::vec((0u64..=0xff, 0u64..=0xff, 0u64..=0xff), 3),
+            ) {
+                let prog = build(&instrs);
+                prop_assert!(prog.well_formed().is_ok(), "generator must produce wf programs");
+                let simplified = prog.simplified();
+                prop_assert!(
+                    simplified.well_formed().is_ok(),
+                    "simplification broke well-formedness: {:?}",
+                    simplified.well_formed()
+                );
+                prop_assert!(simplified.len() <= prog.len(), "simplification must not grow programs");
+                for (a, bv, c) in inputs {
+                    let env = StreamInputs::from_constants([
+                        ("a".to_string(), BitVec::from_u64(a, WIDTH)),
+                        ("b".to_string(), BitVec::from_u64(bv, WIDTH)),
+                        ("c".to_string(), BitVec::from_u64(c, WIDTH)),
+                    ]);
+                    for t in 0..3 {
+                        prop_assert_eq!(
+                            prog.interp(&env, t).unwrap(),
+                            simplified.interp(&env, t).unwrap(),
+                            "semantics diverged at cycle {} for inputs ({}, {}, {})", t, a, bv, c
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

@@ -19,10 +19,14 @@
 //! [`Architecture`] supplies those during generation, which is what makes a new
 //! architecture supportable by writing only an architecture description.
 
+pub mod guidance;
+
 use std::fmt;
 
 use lr_arch::Architecture;
 use lr_ir::{BvOp, NodeId, Prog, ProgBuilder};
+
+pub use guidance::{rank_for_evidence, rank_from_evidence, rank_templates, rank_templates_for};
 
 /// The architecture-independent sketch templates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

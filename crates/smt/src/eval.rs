@@ -46,9 +46,10 @@ impl fmt::Display for EvalError {
 impl std::error::Error for EvalError {}
 
 /// Applies an operator to concrete operand values. This is the single source of truth
-/// for operator semantics; constant folding, evaluation, and the tests that compare
-/// bit-blasting against evaluation all call it.
-pub(crate) fn apply_op(op: BvOp, args: &[&BitVec]) -> BitVec {
+/// for operator semantics; constant folding, evaluation, the e-graph's
+/// constant-folding analysis (`lr_egraph`), and the tests that compare bit-blasting
+/// against evaluation all call it.
+pub fn apply_op(op: BvOp, args: &[&BitVec]) -> BitVec {
     match op {
         BvOp::Not => args[0].not(),
         BvOp::Neg => args[0].neg(),

@@ -47,7 +47,7 @@ mod op;
 mod pool;
 mod solver;
 
-pub use eval::{EvalError, Env};
+pub use eval::{apply_op, EvalError, Env};
 pub use op::BvOp;
 pub use pool::{PoolStats, Term, TermId, TermPool};
 pub use solver::{BlastStats, BvSession, BvSolver, Model, SatResult};

@@ -864,6 +864,27 @@ mod tests {
         assert_eq!(pool.ule(x, x), t);
     }
 
+    /// The algebraic-gap rules — `x − x → 0`, `x ^ x → 0`, `x & x → x`,
+    /// shift-by-zero — one test per rule, mirrored on the e-graph side by
+    /// `crates/egraph/tests/gap_rules.rs`: both rewriting engines must agree.
+    #[test]
+    fn gap_rules_fold_in_the_pool() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let zero = pool.zero(8);
+        // x − x → 0.
+        assert_eq!(pool.sub(x, x), zero);
+        // x ^ x → 0.
+        assert_eq!(pool.xor(x, x), zero);
+        // x & x → x, and x | x → x.
+        assert_eq!(pool.and(x, x), x);
+        assert_eq!(pool.or(x, x), x);
+        // Shift-by-zero is the identity for all three shift operators.
+        assert_eq!(pool.shl(x, zero), x);
+        assert_eq!(pool.lshr(x, zero), x);
+        assert_eq!(pool.ashr(x, zero), x);
+    }
+
     #[test]
     fn ite_rewrites() {
         let mut pool = TermPool::new();

@@ -30,7 +30,13 @@
 //!
 //! In both modes a candidate is first checked by term rewriting alone (building the
 //! disequality with the holes filled concretely and asking whether it folds to
-//! `false`); the SAT solver only runs when rewriting cannot decide the query.
+//! `false`). When one-shot rewriting cannot decide the query and
+//! [`SynthesisConfig::egraph`] is on (the default), the disequality is pre-folded
+//! through bounded equality saturation (`lr_egraph`): ordering-sensitive forms the
+//! pool misses — re-associable constant chains, mirrored subtractions, negate-path
+//! products — fold to `false` there, and only queries that survive both rewriting
+//! engines reach the SAT solver (carrying the smaller, extracted form of the
+//! disequality).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -349,6 +355,10 @@ impl VerifyStep {
                 return Verification::Equivalent;
             }
         }
+        let differs = match prefold_differs(&mut pool, differs, config, stats) {
+            Prefold::Equivalent => return Verification::Equivalent,
+            Prefold::Undecided(term) => term,
+        };
         stats.verification_used_sat = true;
         let mut solver = BvSolver::with_config(config.solver.clone());
         solver.assert_true(&pool, differs);
@@ -393,6 +403,10 @@ impl VerifyStep {
                 return Verification::Equivalent;
             }
         }
+        let differs = match prefold_differs(verify.session.pool(), differs, config, stats) {
+            Prefold::Equivalent => return Verification::Equivalent,
+            Prefold::Undecided(term) => term,
+        };
         stats.verification_used_sat = true;
         if std::env::var_os("LR_CEGIS_TRACE_TERMS").is_some() {
             let d = verify.session.pool_ref().display(differs);
@@ -428,6 +442,54 @@ impl VerifyStep {
                 Verification::Counterexample(extract_cex(task, &verify.session.model()))
             }
         }
+    }
+}
+
+enum Prefold {
+    /// Saturation folded the disequality to `false`: the candidate is equivalent
+    /// and the SAT solver is never invoked.
+    Equivalent,
+    /// Saturation could not decide the query; the (possibly smaller) extracted
+    /// form goes to SAT.
+    Undecided(TermId),
+}
+
+/// Pre-folds a verification disequality the pool could not decide through bounded
+/// equality saturation. The extracted term lives in the same pool, so in
+/// incremental mode whatever structure it shares with earlier rounds stays cached.
+fn prefold_differs(
+    pool: &mut TermPool,
+    differs: TermId,
+    config: &SynthesisConfig,
+    stats: &mut SynthesisStats,
+) -> Prefold {
+    if !config.egraph {
+        return Prefold::Undecided(differs);
+    }
+    stats.egraph_attempts += 1;
+    let trace_start = Instant::now();
+    let (folded, report) = lr_egraph::fold_term(
+        pool,
+        differs,
+        lr_egraph::rules::bv_rules_cached(),
+        &lr_egraph::Limits::verifier(),
+    );
+    if std::env::var_os("LR_CEGIS_TRACE").is_some() {
+        eprintln!(
+            "[cegis] egraph prefold: {} -> {} nodes, decided={} in {:.1} ms ({:?})",
+            report.input_nodes,
+            report.output_nodes,
+            report.folded_const,
+            trace_start.elapsed().as_secs_f64() * 1e3,
+            report.stats.stop,
+        );
+    }
+    match pool.as_const(folded) {
+        Some(value) if value.is_zero() => {
+            stats.egraph_folds += 1;
+            Prefold::Equivalent
+        }
+        _ => Prefold::Undecided(folded),
     }
 }
 
@@ -688,6 +750,54 @@ mod tests {
                 "from-scratch mode re-encodes prior examples on every iteration"
             );
         }
+    }
+
+    /// A correct candidate whose verification disequality one-shot pool rewriting
+    /// cannot decide (re-association across non-constant operands) must be decided
+    /// by e-graph saturation, never reaching the SAT solver; with the e-graph off,
+    /// the same query must fall through to SAT and still verify.
+    #[test]
+    fn egraph_prefold_decides_reassociation_without_sat() {
+        // spec: (a + b) + c; sketch: a + (b + (c + k)) — correct with k = 0, but
+        // the two association shapes are different pool nodes.
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let c = b.input("c", 8);
+        let ab = b.op2(BvOp::Add, a, bb);
+        let out = b.op2(BvOp::Add, ab, c);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let c = b.input("c", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let ck = b.op2(BvOp::Add, c, k);
+        let bck = b.op2(BvOp::Add, bb, ck);
+        let out = b.op2(BvOp::Add, a, bck);
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        for incremental in [true, false] {
+            let config = SynthesisConfig { incremental, ..SynthesisConfig::default() };
+            let result = synthesize(&task, &config, None).unwrap().success().unwrap();
+            assert_eq!(result.hole_assignment["k"], BitVec::zeros(8));
+            assert!(
+                !result.stats.verification_used_sat,
+                "saturation must decide the reassociated disequality (incremental={incremental})"
+            );
+            assert!(result.stats.egraph_attempts >= 1);
+            assert!(result.stats.egraph_folds >= 1);
+        }
+
+        // Ablation: with the e-graph off the query must reach SAT (and agree).
+        let config = SynthesisConfig { egraph: false, ..SynthesisConfig::default() };
+        let result = synthesize(&task, &config, None).unwrap().success().unwrap();
+        assert_eq!(result.hole_assignment["k"], BitVec::zeros(8));
+        assert!(result.stats.verification_used_sat);
+        assert_eq!(result.stats.egraph_attempts, 0);
+        assert_eq!(result.stats.egraph_folds, 0);
     }
 
     /// Regression test for the former silent `continue` on interp failure: an

@@ -92,6 +92,11 @@ pub struct SynthesisConfig {
     /// example — the original behaviour, kept for comparison and as a differential
     /// oracle.
     pub incremental: bool,
+    /// Pre-fold verification disequalities through equality saturation
+    /// (`lr_egraph`) when one-shot pool rewriting cannot decide them, before any
+    /// SAT work (default on). Turning this off restores the rewriting-or-SAT-only
+    /// verifier, kept measurable for the `exp_egraph` ablation.
+    pub egraph: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -103,6 +108,7 @@ impl Default for SynthesisConfig {
             seed_examples: 3,
             seed: 0xd5b_0001,
             incremental: true,
+            egraph: true,
         }
     }
 }
@@ -137,6 +143,12 @@ pub struct SynthesisStats {
     /// Learnt clauses already present when a synthesis check began, summed over
     /// iterations — clause reuse across iterations. Always 0 in from-scratch mode.
     pub learnt_clauses_reused: u64,
+    /// Verification disequalities handed to the e-graph (pool rewriting alone could
+    /// not decide them). Always 0 with [`SynthesisConfig::egraph`] off.
+    pub egraph_attempts: usize,
+    /// Of those, how many saturation folded to a constant `false` — queries decided
+    /// with no SAT work at all.
+    pub egraph_folds: usize,
 }
 
 /// The verdict of a synthesis run.
