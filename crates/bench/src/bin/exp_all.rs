@@ -1,5 +1,14 @@
 //! Runs every experiment and prints every table/figure of the paper's evaluation.
 //! Scale is selected with `--quick` (default), `--smoke`, or `--full`.
+//!
+//! The completeness sweeps run their independent mapping jobs on the `lr_serve`
+//! work-stealing scheduler; `--jobs <N>` picks the worker count (default: the
+//! machine's parallelism). For jobs that finish within their budget, verdicts,
+//! resources, and tallies are identical at any worker count — per-job wall
+//! times are measured under whatever CPU contention the workers create, and a
+//! job running close to its wall-clock budget can flip to a timeout under
+//! that contention, so use `--jobs 1` for contention-free, paper-faithful
+//! Figure 6/7 numbers.
 
 use lr_arch::Architecture;
 use lr_bench::{
@@ -10,7 +19,10 @@ use lr_bench::{
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Lakeroad reproduction: full evaluation at {scale:?} scale");
+    println!(
+        "Lakeroad reproduction: full evaluation at {scale:?} scale ({} scheduler workers)",
+        Scale::workers_from_args()
+    );
     let results = run_all(scale);
     for (name, arch_results) in &results {
         let arch = Architecture::load(*name);

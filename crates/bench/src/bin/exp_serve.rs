@@ -1,0 +1,22 @@
+//! The batch-serving experiment: scheduler scaling over a mixed workload and
+//! warm-cache effectiveness over a repeated one. Writes `BENCH_serve.json` and
+//! exits non-zero if an acceptance gate fails (warm hit rate below 100%, warm
+//! verdict drift, or 4 workers slower than 1) — CI runs this at `--quick`.
+
+use std::process::ExitCode;
+
+use lr_bench::serve::{report_and_write, run_serve_experiment};
+use lr_bench::Scale;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    println!("Batch-serving experiment at {scale:?} scale");
+    let report = run_serve_experiment(scale);
+    match report_and_write(&report) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            eprintln!("exp_serve gates failed: {failures}");
+            ExitCode::FAILURE
+        }
+    }
+}

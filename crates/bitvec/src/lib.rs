@@ -29,7 +29,12 @@ pub use format::ParseBitVecError;
 /// The width may be any non-zero number of bits. All operations are width-checked:
 /// mixing operands of different widths panics (this mirrors the strictness of the
 /// SMT-LIB QF_BV theory the paper's synthesis queries are expressed in).
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// The derived `Ord` compares `(width, limbs)` lexicographically. It is a *total*
+/// order (used to keep e-graph rebuilds and canonical-form extraction
+/// deterministic across processes), not the numeric order of the values —
+/// use [`BitVec::ult`] and friends for numeric comparison.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BitVec {
     /// Width in bits. Always >= 1.
     width: u32,

@@ -28,20 +28,25 @@
 //! assert!(outcome.is_success());
 //! ```
 
+pub mod cache;
 pub mod report;
 pub mod suite;
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use lr_arch::Architecture;
 use lr_ir::{Node, Prog};
 use lr_synth::portfolio::synthesize_portfolio_with;
-use lr_synth::{SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisTask};
+use lr_synth::{
+    SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisStats, SynthesisTask,
+};
 
+pub use cache::{CacheKey, CachedOutcome, MapCache};
 pub use lr_sketch::{generate_sketch, SketchError, Template};
 
 /// Configuration for one mapping run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MapConfig {
     /// Wall-clock budget for synthesis (the paper uses 120 s / 40 s / 20 s per
     /// architecture).
@@ -63,6 +68,34 @@ pub struct MapConfig {
     /// Turning this off restores the pool-rewriting-only pipeline, kept measurable
     /// for the `exp_egraph` ablation.
     pub egraph: bool,
+    /// Content-addressed synthesis cache (see [`cache`]): consulted before
+    /// synthesis under the canonical spec's [`CacheKey`], fed after. `None`
+    /// (the default) synthesizes every request from scratch; the `lr_serve`
+    /// batch engine installs its sharded [`MapCache`] here.
+    pub cache: Option<Arc<dyn MapCache>>,
+    /// The budget used for the cache key's timeout tier; defaults to
+    /// [`MapConfig::timeout`]. Callers that shrink `timeout` *dynamically* —
+    /// the auto-template loop handing each attempt only the remaining budget,
+    /// the batch scheduler clamping a job to its deadline — must pin this to
+    /// the originally requested budget, or the same job would hash to
+    /// different tiers depending on wall-clock accidents and warm caches would
+    /// miss.
+    pub cache_budget: Option<Duration>,
+}
+
+impl std::fmt::Debug for MapConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapConfig")
+            .field("timeout", &self.timeout)
+            .field("bmc_window", &self.bmc_window)
+            .field("solvers", &self.solvers)
+            .field("max_iterations", &self.max_iterations)
+            .field("incremental", &self.incremental)
+            .field("egraph", &self.egraph)
+            .field("cache", &self.cache.as_ref().map(|_| "<MapCache>"))
+            .field("cache_budget", &self.cache_budget)
+            .finish()
+    }
 }
 
 impl Default for MapConfig {
@@ -74,6 +107,8 @@ impl Default for MapConfig {
             max_iterations: 64,
             incremental: true,
             egraph: true,
+            cache: None,
+            cache_budget: None,
         }
     }
 }
@@ -88,6 +123,12 @@ impl MapConfig {
     /// Sets the synthesis timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Installs a synthesis cache (see [`cache`]).
+    pub fn with_cache(mut self, cache: Arc<dyn MapCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -140,12 +181,20 @@ pub struct MappedDesign {
     pub verilog: String,
     /// Resources used by the implementation.
     pub resources: Resources,
-    /// Total synthesis wall-clock time.
+    /// Total synthesis wall-clock time — or, for cache-served results, the
+    /// lookup-plus-replay time (near zero).
     pub elapsed: Duration,
-    /// Which portfolio member produced the verdict.
+    /// Which portfolio member produced the verdict (`None` for cache hits).
     pub winning_solver: Option<String>,
-    /// CEGIS iterations of the winning run.
+    /// CEGIS iterations of the winning run (0 for cache hits).
     pub iterations: usize,
+    /// Whether this mapping was replayed from the synthesis cache rather than
+    /// synthesized. Cached results carry near-zero [`MappedDesign::elapsed`], so
+    /// reports must not average them in with solver latencies.
+    pub from_cache: bool,
+    /// Full statistics of the winning synthesis run (a `"cache"`-labelled stub
+    /// with [`SynthesisStats::from_cache`] set for replayed hits).
+    pub stats: SynthesisStats,
 }
 
 /// The verdict of a mapping run.
@@ -155,10 +204,12 @@ pub enum MapOutcome {
     Success(Box<MappedDesign>),
     /// The solver proved no configuration of the sketch implements the design.
     Unsat {
-        /// Synthesis wall-clock time.
+        /// Synthesis wall-clock time (near zero for cache-served verdicts).
         elapsed: Duration,
-        /// Which portfolio member produced the verdict.
+        /// Which portfolio member produced the verdict (`None` for cache hits).
         winning_solver: Option<String>,
+        /// Whether the verdict was served from the synthesis cache.
+        from_cache: bool,
     },
     /// The time/iteration budget was exhausted.
     Timeout {
@@ -191,11 +242,23 @@ impl MapOutcome {
         }
     }
 
-    /// The synthesis wall-clock time, regardless of verdict.
+    /// The synthesis wall-clock time, regardless of verdict. For cache-served
+    /// results this is the lookup-plus-replay time, not the original solver
+    /// time — check [`MapOutcome::served_from_cache`] before aggregating.
     pub fn elapsed(&self) -> Duration {
         match self {
             MapOutcome::Success(m) => m.elapsed,
             MapOutcome::Unsat { elapsed, .. } | MapOutcome::Timeout { elapsed } => *elapsed,
+        }
+    }
+
+    /// Whether the verdict was replayed from the synthesis cache rather than
+    /// synthesized (always false for timeouts — they are never cached).
+    pub fn served_from_cache(&self) -> bool {
+        match self {
+            MapOutcome::Success(m) => m.from_cache,
+            MapOutcome::Unsat { from_cache, .. } => *from_cache,
+            MapOutcome::Timeout { .. } => false,
         }
     }
 }
@@ -290,6 +353,32 @@ fn map_prepared_design(
     arch: &Architecture,
     config: &MapConfig,
 ) -> Result<MapOutcome, MapError> {
+    // Cache front door: address the job by its canonical content and replay a
+    // stored verdict when one verifies. A hit that fails verification (stale or
+    // colliding entry) is dropped and the request falls through to synthesis.
+    let started = Instant::now();
+    let key = config.cache.as_ref().map(|_| {
+        CacheKey::for_mapping(spec, arch, template, config.cache_budget.unwrap_or(config.timeout))
+    });
+    if let (Some(cache), Some(key)) = (config.cache.as_deref(), key) {
+        match cache.lookup(&key) {
+            Some(CachedOutcome::Success { holes }) => {
+                match cache::replay(spec, template, arch, config, &holes, started) {
+                    Some(mapped) => return Ok(MapOutcome::Success(Box::new(mapped))),
+                    None => cache.invalidate(&key),
+                }
+            }
+            Some(CachedOutcome::Unsat) => {
+                return Ok(MapOutcome::Unsat {
+                    elapsed: started.elapsed(),
+                    winning_solver: None,
+                    from_cache: true,
+                });
+            }
+            None => {}
+        }
+    }
+
     let sketch = generate_sketch(template, arch, spec)?;
     let t = pipeline_depth(spec);
     let task = SynthesisTask::over_window(spec, &sketch, t, config.bmc_window);
@@ -305,6 +394,9 @@ fn map_prepared_design(
     let winner = result.winner.clone();
     Ok(match result.outcome {
         SynthesisOutcome::Success(s) => {
+            if let (Some(cache), Some(key)) = (config.cache.as_deref(), key) {
+                cache.store(key, CachedOutcome::Success { holes: s.hole_assignment.clone() });
+            }
             let implementation = s.implementation.simplified().with_name(format!("{}_impl", spec.name()));
             let resources = count_resources(&implementation);
             let verilog = lr_hdl::emit_verilog(&implementation);
@@ -315,10 +407,15 @@ fn map_prepared_design(
                 elapsed: s.stats.elapsed,
                 winning_solver: winner,
                 iterations: s.stats.iterations,
+                from_cache: false,
+                stats: s.stats,
             }))
         }
         SynthesisOutcome::Unsat { stats } => {
-            MapOutcome::Unsat { elapsed: stats.elapsed, winning_solver: winner }
+            if let (Some(cache), Some(key)) = (config.cache.as_deref(), key) {
+                cache.store(key, CachedOutcome::Unsat);
+            }
+            MapOutcome::Unsat { elapsed: stats.elapsed, winning_solver: winner, from_cache: false }
         }
         SynthesisOutcome::Timeout { stats } => MapOutcome::Timeout { elapsed: stats.elapsed },
     })
@@ -360,7 +457,14 @@ pub fn map_design_auto(
             timed_out = true;
             break;
         };
-        let attempt = MapConfig { timeout: remaining, ..config.clone() };
+        // Each attempt solves under the *remaining* budget but is cache-keyed
+        // under the requested one — the remainder depends on how long earlier
+        // attempts ran, and a wall-clock-dependent key could never hit warm.
+        let attempt = MapConfig {
+            timeout: remaining,
+            cache_budget: Some(config.cache_budget.unwrap_or(config.timeout)),
+            ..config.clone()
+        };
         match map_prepared_design(&spec, template, arch, &attempt) {
             Ok(outcome) if outcome.is_success() => return Ok(outcome),
             Ok(MapOutcome::Timeout { .. }) => {

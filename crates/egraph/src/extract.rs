@@ -115,12 +115,19 @@ impl<'a> Extractor<'a> {
                         });
                     let Some(children_cost) = children else { continue };
                     let total = cost.node_cost(node).saturating_add(children_cost);
-                    match best.get(&class.id.0) {
-                        Some(&(existing, _)) if existing <= total => {}
-                        _ => {
-                            best.insert(class.id.0, (total, node.clone()));
-                            changed = true;
+                    // Equal-cost candidates (ubiquitous once commutativity has run:
+                    // `a+b` and `b+a` share a class at the same cost) are broken by
+                    // the total order on `ENode`, not by class-list position, so
+                    // the extracted canonical form never depends on union history.
+                    let replace = match best.get(&class.id.0) {
+                        None => true,
+                        Some((existing, chosen)) => {
+                            total < *existing || (total == *existing && node < chosen)
                         }
+                    };
+                    if replace {
+                        best.insert(class.id.0, (total, node.clone()));
+                        changed = true;
                     }
                 }
             }
@@ -252,6 +259,26 @@ mod tests {
             .nodes
             .iter()
             .all(|n| !matches!(n, RecNode::Op { op: BvOp::Mul, .. })));
+    }
+
+    /// Equal-cost candidates must extract identically regardless of the order
+    /// they entered their class — the property the synthesis cache's stable
+    /// keys rest on.
+    #[test]
+    fn equal_cost_ties_break_on_node_order_not_insertion_order() {
+        let build = |swapped: bool| {
+            let mut eg = EGraph::new();
+            let x = eg.add(ENode::Symbol { name: "x".into(), width: 8 });
+            let y = eg.add(ENode::Symbol { name: "y".into(), width: 8 });
+            let (first, second) = if swapped { (y, x) } else { (x, y) };
+            let a = eg.add(ENode::Op { op: BvOp::Add, args: vec![first, second] });
+            let b = eg.add(ENode::Op { op: BvOp::Add, args: vec![second, first] });
+            eg.union(a, b);
+            eg.rebuild();
+            let extractor = Extractor::new(&eg, &NodeCount);
+            extractor.extract(a)
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

@@ -28,7 +28,13 @@ impl EClassId {
 }
 
 /// An e-node: one operator application (or leaf) whose children are e-classes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The derived `Ord` (constants, then symbols, then operator nodes) is the total
+/// order [`EGraph::rebuild`] sorts by before processing hash-table contents: every
+/// iteration-order-dependent step runs over sorted data, so rebuilds — and
+/// therefore saturation and extraction — are bit-for-bit reproducible across
+/// processes. The content-addressed synthesis cache depends on this.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ENode {
     /// A constant bitvector.
     Const(BitVec),
@@ -305,8 +311,15 @@ impl EGraph {
             let mut changed = false;
 
             // Re-key the hash-cons table under canonical children/classes, and
-            // union any classes that collide (congruence).
-            let memo = std::mem::take(&mut self.memo);
+            // union any classes that collide (congruence). The table is processed
+            // in sorted order: HashMap iteration order is seeded per process, and
+            // letting it leak into union order would make the surviving canonical
+            // ids — and with them extraction tie-breaks, hence `Prog::saturated`
+            // output — differ from run to run, which the content-addressed
+            // synthesis cache cannot tolerate.
+            let mut memo: Vec<(ENode, EClassId)> =
+                std::mem::take(&mut self.memo).into_iter().collect();
+            memo.sort_unstable();
             let mut pending: Vec<(EClassId, EClassId)> = Vec::new();
             let mut new_memo: HashMap<ENode, EClassId> = HashMap::with_capacity(memo.len());
             for (node, id) in memo {
@@ -327,8 +340,11 @@ impl EGraph {
             }
 
             // Re-canonicalize and dedupe each class's node list, and fold any node
-            // whose children have all become constant (upward propagation).
-            let ids: Vec<u32> = self.classes.keys().copied().collect();
+            // whose children have all become constant (upward propagation). Sorted
+            // for the same reason as the memo loop above: the order of the
+            // constant-unions below must not depend on hash-table iteration.
+            let mut ids: Vec<u32> = self.classes.keys().copied().collect();
+            ids.sort_unstable();
             let mut const_unions: Vec<(EClassId, BitVec)> = Vec::new();
             for raw in ids {
                 let Some(class) = self.classes.get(&raw) else { continue };

@@ -1,0 +1,326 @@
+//! The batch front end: manifest parsing and batch reporting for
+//! `lakeroad batch <manifest>`.
+//!
+//! A manifest is a line-oriented text file; each non-comment line names one
+//! mapping job:
+//!
+//! ```text
+//! # design                     architecture          template  [options…]
+//! designs/add_mul_and.v        xilinx-ultrascale-plus dsp      priority=2
+//! designs/mac.v                lattice-ecp5           auto     timeout=40
+//! bench:mul_w8_s1              intel-cyclone10lp      dsp      deadline=15
+//! ```
+//!
+//! The design column is either a Verilog file (resolved relative to the
+//! manifest) or `bench:<name>`, one of the §5.1 microbenchmarks of the chosen
+//! architecture. Options: `priority=<0-255>` (higher first), `timeout=<secs>`
+//! (per-job budget), `deadline=<secs>` (wall-clock, relative to batch start),
+//! `name=<label>` (report label; defaults to the design column).
+
+use std::path::Path;
+use std::time::Duration;
+
+use lakeroad::report::summarize_timing;
+use lakeroad::suite::suite_for;
+use lakeroad::{MapOutcome, Template};
+use lr_arch::{ArchName, Architecture};
+
+use crate::cache::CacheSnapshot;
+use crate::scheduler::{BatchJob, BatchRun, JobResult, TemplateChoice};
+
+/// Parses an architecture column (the CLI spellings of `--arch-desc`).
+pub fn parse_arch_name(name: &str) -> Option<ArchName> {
+    let name = name.trim_end_matches(".yml").trim_end_matches(".yaml");
+    Some(match name {
+        "xilinx-ultrascale-plus" | "xilinx" => ArchName::XilinxUltraScalePlus,
+        "lattice-ecp5" | "lattice" | "ecp5" => ArchName::LatticeEcp5,
+        "intel-cyclone10lp" | "intel" | "cyclone10lp" => ArchName::IntelCyclone10Lp,
+        "sofa" => ArchName::Sofa,
+        _ => return None,
+    })
+}
+
+/// Parses a template column: a named template or `auto`.
+pub fn parse_template(name: &str) -> Option<TemplateChoice> {
+    if name == "auto" {
+        return Some(TemplateChoice::Auto);
+    }
+    Template::from_cli_name(name).map(TemplateChoice::Named)
+}
+
+/// Parses a manifest into batch jobs. `base` anchors relative Verilog paths
+/// (pass the manifest's directory).
+///
+/// # Errors
+/// Returns a message naming the offending line for unreadable designs, unknown
+/// architectures/templates, and malformed options.
+pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<BatchJob>, String> {
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("manifest line {}: {msg}", lineno + 1);
+        let mut fields = line.split_whitespace();
+        let design = fields.next().expect("non-empty line has a first field");
+        let arch_field =
+            fields.next().ok_or_else(|| at("missing architecture column".into()))?;
+        let template_field = fields.next().ok_or_else(|| at("missing template column".into()))?;
+        let arch_name = parse_arch_name(arch_field)
+            .ok_or_else(|| at(format!("unknown architecture `{arch_field}`")))?;
+        let template = parse_template(template_field)
+            .ok_or_else(|| at(format!("unknown template `{template_field}`")))?;
+
+        let spec = if let Some(bench_name) = design.strip_prefix("bench:") {
+            suite_for(arch_name, lakeroad::suite::FULL_WIDTHS)
+                .into_iter()
+                .find(|b| b.name == bench_name)
+                .map(|b| b.build())
+                .ok_or_else(|| {
+                    at(format!("no microbenchmark `{bench_name}` in the {arch_name} suite"))
+                })?
+        } else {
+            let path = base.join(design);
+            let verilog = std::fs::read_to_string(&path)
+                .map_err(|e| at(format!("cannot read `{}`: {e}", path.display())))?;
+            lr_hdl::parse_and_elaborate(&verilog)
+                .map_err(|e| at(format!("`{design}` does not elaborate: {e}")))?
+        };
+
+        let mut job = BatchJob::new(design, spec, Architecture::load(arch_name), template);
+        for option in fields {
+            let (key, value) = option
+                .split_once('=')
+                .ok_or_else(|| at(format!("malformed option `{option}` (expected key=value)")))?;
+            match key {
+                "priority" => {
+                    job.priority = value
+                        .parse()
+                        .map_err(|_| at(format!("priority `{value}` is not 0-255")))?;
+                }
+                "timeout" => {
+                    let secs: u64 = value
+                        .parse()
+                        .map_err(|_| at(format!("timeout `{value}` is not a number of seconds")))?;
+                    job.timeout = Some(Duration::from_secs(secs));
+                }
+                "deadline" => {
+                    let secs: u64 = value
+                        .parse()
+                        .map_err(|_| at(format!("deadline `{value}` is not a number of seconds")))?;
+                    job.deadline = Some(Duration::from_secs(secs));
+                }
+                "name" => job.name = value.to_string(),
+                other => return Err(at(format!("unknown option `{other}`"))),
+            }
+        }
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+/// Aggregate statistics of one batch run: verdict tallies, throughput, and the
+/// cached-vs-synthesized latency split the `from_cache` flags make possible.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Successful mappings.
+    pub successes: usize,
+    /// UNSAT verdicts.
+    pub unsats: usize,
+    /// Solver timeouts.
+    pub timeouts: usize,
+    /// Jobs that could not be posed.
+    pub errors: usize,
+    /// Jobs whose deadline expired before they ran.
+    pub deadline_expired: usize,
+    /// Jobs drained by cancellation.
+    pub cancelled: usize,
+    /// Verdicts served from the synthesis cache.
+    pub cache_served: usize,
+    /// Wall-clock time of the batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs that migrated between workers.
+    pub steals: u64,
+    /// Per-job execution times of *synthesized* verdicts.
+    pub synth_latencies: Vec<Duration>,
+    /// Per-job execution times of *cache-served* verdicts.
+    pub cached_latencies: Vec<Duration>,
+    /// Cache counter deltas over the batch, when a cache was installed.
+    pub cache: Option<CacheSnapshot>,
+}
+
+impl BatchReport {
+    /// Builds the report from a run, optionally with the cache counter delta
+    /// accumulated during it.
+    pub fn from_run(run: &BatchRun, cache: Option<CacheSnapshot>) -> BatchReport {
+        let mut report = BatchReport {
+            jobs: run.records.len(),
+            successes: 0,
+            unsats: 0,
+            timeouts: 0,
+            errors: 0,
+            deadline_expired: 0,
+            cancelled: 0,
+            cache_served: 0,
+            wall: run.wall,
+            workers: run.workers,
+            steals: run.steals,
+            synth_latencies: Vec::new(),
+            cached_latencies: Vec::new(),
+            cache,
+        };
+        for record in &run.records {
+            match &record.result {
+                JobResult::Finished(outcome) => {
+                    match outcome {
+                        MapOutcome::Success(_) => report.successes += 1,
+                        MapOutcome::Unsat { .. } => report.unsats += 1,
+                        MapOutcome::Timeout { .. } => report.timeouts += 1,
+                    }
+                    if outcome.served_from_cache() {
+                        report.cache_served += 1;
+                        report.cached_latencies.push(record.elapsed);
+                    } else {
+                        report.synth_latencies.push(record.elapsed);
+                    }
+                }
+                JobResult::Error(_) => report.errors += 1,
+                JobResult::DeadlineExpired => report.deadline_expired += 1,
+                JobResult::Cancelled => report.cancelled += 1,
+            }
+        }
+        report
+    }
+
+    /// Jobs per second of batch wall time.
+    pub fn throughput(&self) -> f64 {
+        self.jobs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Renders the human-readable report the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "batch: {} jobs on {} workers in {:.2?}  ({:.2} jobs/s, {} steals)\n",
+            self.jobs,
+            self.workers,
+            self.wall,
+            self.throughput(),
+            self.steals,
+        ));
+        out.push_str(&format!(
+            "verdicts: {} success / {} unsat / {} timeout / {} error / {} expired / {} cancelled\n",
+            self.successes,
+            self.unsats,
+            self.timeouts,
+            self.errors,
+            self.deadline_expired,
+            self.cancelled,
+        ));
+        if let Some(t) = summarize_timing(&self.synth_latencies) {
+            out.push_str(&format!(
+                "synthesized: {}  (median {:.3} s, min {:.3} s, max {:.3} s)\n",
+                self.synth_latencies.len(),
+                t.median_s,
+                t.min_s,
+                t.max_s
+            ));
+        }
+        if let Some(t) = summarize_timing(&self.cached_latencies) {
+            out.push_str(&format!(
+                "cache-served: {}  (median {:.3} s, min {:.3} s, max {:.3} s)\n",
+                self.cached_latencies.len(),
+                t.median_s,
+                t.min_s,
+                t.max_s
+            ));
+        }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "cache: {} hits / {} misses ({:.1}% hit rate), {} stores, {} invalidations\n",
+                c.hits,
+                c.misses,
+                100.0 * c.hit_rate(),
+                c.stores,
+                c.invalidations,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{run_batch, BatchOptions};
+    use lakeroad::MapConfig;
+
+    #[test]
+    fn manifest_parses_paths_benches_and_options() {
+        let dir = std::env::temp_dir().join("lr_serve_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("mul.v"),
+            "module mul8(input clk, input [7:0] a, b, output [7:0] out);\n  assign out = a * b;\nendmodule\n",
+        )
+        .unwrap();
+        let manifest = "\
+# a comment line
+mul.v intel-cyclone10lp dsp priority=3 timeout=9 name=from_file
+
+bench:mul_w8_s0 intel-cyclone10lp auto deadline=30  # trailing comment
+";
+        let jobs = parse_manifest(manifest, &dir).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "from_file");
+        assert_eq!(jobs[0].priority, 3);
+        assert_eq!(jobs[0].timeout, Some(Duration::from_secs(9)));
+        assert!(matches!(jobs[0].template, TemplateChoice::Named(Template::Dsp)));
+        assert_eq!(jobs[1].name, "bench:mul_w8_s0");
+        assert_eq!(jobs[1].deadline, Some(Duration::from_secs(30)));
+        assert!(matches!(jobs[1].template, TemplateChoice::Auto));
+    }
+
+    #[test]
+    fn manifest_errors_name_the_line() {
+        let base = Path::new(".");
+        for (manifest, needle) in [
+            ("x.v nope dsp", "unknown architecture"),
+            ("x.v intel nope", "unknown template"),
+            ("bench:missing intel dsp", "no microbenchmark"),
+            ("x.v intel", "missing template"),
+            ("bench:mul_w8_s0 intel dsp weird", "malformed option"),
+            ("bench:mul_w8_s0 intel dsp pri=2", "unknown option"),
+            ("bench:mul_w8_s0 intel dsp timeout=abc", "not a number"),
+        ] {
+            let err = parse_manifest(manifest, base).unwrap_err();
+            assert!(err.contains(needle), "{manifest}: {err}");
+            assert!(err.contains("line 1"), "{manifest}: {err}");
+        }
+    }
+
+    #[test]
+    fn report_tallies_a_run() {
+        let mut jobs = crate::scenario::suite_jobs(ArchName::IntelCyclone10Lp, 2);
+        jobs[1].deadline = Some(Duration::ZERO);
+        let opts = BatchOptions::new(
+            2,
+            MapConfig::single_solver().with_timeout(Duration::from_secs(30)),
+        );
+        let run = run_batch(&jobs, &opts);
+        let report = BatchReport::from_run(&run, None);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.successes, 1);
+        assert_eq!(report.deadline_expired, 1);
+        assert_eq!(report.cache_served, 0);
+        let rendered = report.render();
+        assert!(rendered.contains("2 jobs"));
+        assert!(rendered.contains("1 success"));
+        assert!(rendered.contains("1 expired"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The `lakeroad` command-line tool.
+//!
+//! Single-design mode — the interface shown in the paper's §2.2:
+//!
+//! ```text
+//! $ lakeroad --template dsp --arch-desc xilinx-ultrascale-plus add_mul_and.v
+//! ```
+//!
+//! reads a behavioral mini-Verilog module, maps it onto the requested
+//! architecture with the requested sketch template, and writes the synthesized
+//! structural Verilog to stdout (or `--output <file>`).
+//!
+//! Batch mode — the `lr_serve` engine:
+//!
+//! ```text
+//! $ lakeroad batch jobs.manifest --jobs 4 --cache warm.lrc
+//! ```
+//!
+//! runs every job of a manifest (designs × architectures × templates, see
+//! `lr_serve::parse_manifest` for the format) over the work-stealing scheduler,
+//! sharing one content-addressed synthesis cache across all jobs; `--cache`
+//! persists that cache across invocations, so a repeated batch is served warm.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lakeroad::{map_design_auto, map_verilog, MapConfig, MapOutcome, Template};
+use lr_arch::Architecture;
+use lr_serve::{
+    parse_arch_name, parse_manifest, run_batch_streaming, BatchOptions, BatchReport, JobResult,
+    SynthCache,
+};
+
+/// Which sketch template(s) to try: a named template, or `auto` — the ranking the
+/// rule-driven sketch guidance derives from the design's saturated e-graph.
+enum TemplateChoice {
+    Named(Template),
+    Auto,
+}
+
+struct Options {
+    template: TemplateChoice,
+    arch: Architecture,
+    input: String,
+    output: Option<String>,
+    timeout: Duration,
+    incremental: bool,
+    egraph: bool,
+}
+
+fn usage() -> String {
+    "usage: lakeroad --template <auto|dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
+     \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
+     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--output <file>] <design.v>\n\
+     \x20      lakeroad batch <manifest> [--jobs <N>] [--cache <file>] [--no-cache]\n\
+     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph]"
+        .to_string()
+}
+
+fn parse_arch(name: &str) -> Option<Architecture> {
+    // One alias table for both the CLI and batch manifests.
+    parse_arch_name(name).map(Architecture::load)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut template = None;
+    let mut arch = None;
+    let mut input = None;
+    let mut output = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut incremental = true;
+    let mut egraph = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--template" => {
+                i += 1;
+                let name = args.get(i).ok_or("--template needs a value")?;
+                template = Some(if name == "auto" {
+                    TemplateChoice::Auto
+                } else {
+                    TemplateChoice::Named(
+                        Template::from_cli_name(name).ok_or(format!("unknown template `{name}`"))?,
+                    )
+                });
+            }
+            "--arch-desc" => {
+                i += 1;
+                let name = args.get(i).ok_or("--arch-desc needs a value")?;
+                arch = Some(parse_arch(name).ok_or(format!("unknown architecture `{name}`"))?);
+            }
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout expects a number of seconds".to_string())?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--no-incremental" => incremental = false,
+            "--no-egraph" => egraph = false,
+            "--egraph" => egraph = true,
+            "--output" | "-o" => {
+                i += 1;
+                output = Some(args.get(i).ok_or("--output needs a value")?.clone());
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        template: template.ok_or(format!("missing --template\n{}", usage()))?,
+        arch: arch.ok_or(format!("missing --arch-desc\n{}", usage()))?,
+        input: input.ok_or(format!("missing input design\n{}", usage()))?,
+        output,
+        timeout,
+        incremental,
+        egraph,
+    })
+}
+
+struct BatchArgs {
+    manifest: String,
+    jobs: usize,
+    cache_path: Option<String>,
+    use_cache: bool,
+    timeout: Duration,
+    incremental: bool,
+    egraph: bool,
+}
+
+fn parse_batch_args(args: &[String]) -> Result<BatchArgs, String> {
+    let mut manifest = None;
+    let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut cache_path = None;
+    let mut use_cache = true;
+    let mut timeout = Duration::from_secs(120);
+    let mut incremental = true;
+    let mut egraph = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" | "-j" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--jobs expects a worker count of at least 1".to_string())?;
+            }
+            "--cache" => {
+                i += 1;
+                cache_path = Some(args.get(i).ok_or("--cache needs a file path")?.clone());
+            }
+            "--no-cache" => use_cache = false,
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout expects a number of seconds".to_string())?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--no-incremental" => incremental = false,
+            "--no-egraph" => egraph = false,
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => manifest = Some(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(BatchArgs {
+        manifest: manifest.ok_or(format!("missing batch manifest\n{}", usage()))?,
+        jobs,
+        cache_path,
+        use_cache,
+        timeout,
+        incremental,
+        egraph,
+    })
+}
+
+fn batch_main(args: &[String]) -> ExitCode {
+    let options = match parse_batch_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let manifest_path = std::path::Path::new(&options.manifest);
+    let text = match std::fs::read_to_string(manifest_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", options.manifest);
+            return ExitCode::from(2);
+        }
+    };
+    let base = manifest_path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let jobs = match parse_manifest(&text, base) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // `--cache <path>` loads/saves a persistent cache; the default is a cache
+    // that lives for this batch only; `--no-cache` synthesizes every job.
+    let cache = if options.use_cache {
+        let cache = match &options.cache_path {
+            Some(path) => match SynthCache::load(std::path::Path::new(path)) {
+                Ok(cache) => {
+                    if !cache.is_empty() {
+                        eprintln!("loaded {} cached verdicts from `{path}`", cache.len());
+                    }
+                    cache
+                }
+                Err(e) => {
+                    eprintln!("cannot load cache `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => SynthCache::new(),
+        };
+        Some(Arc::new(cache))
+    } else {
+        None
+    };
+
+    let mut map = MapConfig {
+        incremental: options.incremental,
+        egraph: options.egraph,
+        ..MapConfig::default().with_timeout(options.timeout)
+    };
+    if let Some(cache) = &cache {
+        let shared: Arc<dyn lakeroad::MapCache> = Arc::<SynthCache>::clone(cache);
+        map = map.with_cache(shared);
+    }
+    let opts = BatchOptions::new(options.jobs, map);
+
+    let total = jobs.len();
+    let before = cache.as_ref().map(|c| c.snapshot());
+    let run = run_batch_streaming(&jobs, &opts, |record| {
+        let verdict = match &record.result {
+            JobResult::Finished(MapOutcome::Success(m)) => format!(
+                "success ({} DSP, {} LEs, {} regs){}",
+                m.resources.dsps,
+                m.resources.logic_elements,
+                m.resources.registers,
+                if m.from_cache { " [cache]" } else { "" },
+            ),
+            JobResult::Finished(MapOutcome::Unsat { from_cache, .. }) => {
+                format!("unsat{}", if *from_cache { " [cache]" } else { "" })
+            }
+            JobResult::Finished(MapOutcome::Timeout { .. }) => "timeout".to_string(),
+            JobResult::Error(e) => format!("error: {e}"),
+            JobResult::DeadlineExpired => "deadline expired".to_string(),
+            JobResult::Cancelled => "cancelled".to_string(),
+        };
+        eprintln!(
+            "[{}/{}] {:32} {:.3}s  {}",
+            record.index + 1,
+            total,
+            record.name,
+            record.elapsed.as_secs_f64(),
+            verdict
+        );
+    });
+    let delta = match (&before, &cache) {
+        (Some(before), Some(cache)) => Some(before.delta(&cache.snapshot())),
+        _ => None,
+    };
+    let report = BatchReport::from_run(&run, delta);
+    print!("{}", report.render());
+
+    if let (Some(cache), Some(path)) = (&cache, &options.cache_path) {
+        if let Err(e) = cache.save(std::path::Path::new(path)) {
+            eprintln!("cannot save cache `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("saved {} cached verdicts to `{path}`", cache.len());
+    }
+    if report.errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch") {
+        return batch_main(&args[1..]);
+    }
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let verilog = match std::fs::read_to_string(&options.input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", options.input);
+            return ExitCode::from(2);
+        }
+    };
+    let config = MapConfig {
+        incremental: options.incremental,
+        egraph: options.egraph,
+        ..MapConfig::default().with_timeout(options.timeout)
+    };
+    let result = match options.template {
+        TemplateChoice::Named(template) => {
+            map_verilog(&verilog, template, &options.arch, &config)
+        }
+        TemplateChoice::Auto => lr_hdl::parse_and_elaborate(&verilog)
+            .map_err(|e| lakeroad::MapError::Frontend(e.to_string()))
+            .and_then(|spec| map_design_auto(&spec, &options.arch, &config)),
+    };
+    match result {
+        Ok(MapOutcome::Success(mapped)) => {
+            eprintln!(
+                "mapped onto {} in {:.2?}: {} DSP, {} LEs, {} registers",
+                options.arch.name(),
+                mapped.elapsed,
+                mapped.resources.dsps,
+                mapped.resources.logic_elements,
+                mapped.resources.registers
+            );
+            match options.output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &mapped.verilog) {
+                        eprintln!("cannot write `{path}`: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                None => println!("{}", mapped.verilog),
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(MapOutcome::Unsat { elapsed, .. }) => {
+            let what = match options.template {
+                TemplateChoice::Named(t) => format!("the {t} sketch"),
+                TemplateChoice::Auto => "any ranked sketch".to_string(),
+            };
+            eprintln!("UNSAT after {elapsed:.2?}: no configuration of {what} implements this design");
+            ExitCode::FAILURE
+        }
+        Ok(MapOutcome::Timeout { elapsed }) => {
+            eprintln!("timeout after {elapsed:.2?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The sharded, optionally-persistent synthesis cache behind
+//! [`lakeroad::MapCache`].
+//!
+//! Entries are keyed by [`lakeroad::CacheKey`] (canonical spec × architecture ×
+//! template × timeout tier) and store replayable verdicts
+//! ([`lakeroad::CachedOutcome`]): hole assignments for successes, a bare marker
+//! for UNSATs. The map is split into fixed shards, each behind its own
+//! `std::sync::Mutex`, so scheduler workers hitting different shards never
+//! contend; hit/miss/store/invalidation counters are lock-free atomics.
+//!
+//! [`SynthCache::save`] / [`SynthCache::load`] persist the table as a sorted
+//! line-oriented text file, written atomically (temp file + rename), so a warm
+//! cache survives across CLI invocations (`lakeroad batch --cache <path>`).
+//! The format is versioned and forward-fails: an unrecognized header is an
+//! error, a torn line is an error, and a key that does not parse is an error —
+//! a corrupt cache file must never silently load as a smaller cache. Bump the
+//! format header's version whenever sketch generation or synthesis semantics
+//! change what is mappable: success entries self-check on replay,
+//! but UNSAT entries are trusted from the address alone, so a semantic change
+//! must orphan old files rather than let them answer for the new engine.
+
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lakeroad::{CacheKey, CachedOutcome, MapCache};
+use lr_bv::BitVec;
+
+/// Number of independently-locked shards. A power of two comfortably above any
+/// realistic worker count, so two workers rarely serialize on one mutex.
+const SHARDS: usize = 16;
+
+/// Point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (including overwrites).
+    pub stores: u64,
+    /// Entries dropped because a replay failed verification.
+    pub invalidations: u64,
+}
+
+impl CacheSnapshot {
+    /// Hits as a fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas between two snapshots (`later - self`).
+    pub fn delta(&self, later: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: later.hits - self.hits,
+            misses: later.misses - self.misses,
+            stores: later.stores - self.stores,
+            invalidations: later.invalidations - self.invalidations,
+        }
+    }
+}
+
+/// A sharded in-memory synthesis cache with optional on-disk persistence.
+#[derive(Debug)]
+pub struct SynthCache {
+    shards: Vec<Mutex<HashMap<CacheKey, CachedOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for SynthCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SynthCache {
+    /// An empty cache.
+    pub fn new() -> SynthCache {
+        SynthCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, CachedOutcome>> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// All entries, sorted by key (the persistence order; also handy for tests).
+    pub fn entries(&self) -> Vec<(CacheKey, CachedOutcome)> {
+        let mut out: Vec<(CacheKey, CachedOutcome)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap();
+            out.extend(guard.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Writes the cache to `path` in the versioned text format. The write is
+    /// atomic (a temp file in the same directory, renamed over the target): a
+    /// crash or full disk mid-save must not replace a good warm cache with a
+    /// torn file that the strict loader would then reject forever.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = Vec::new();
+        writeln!(out, "{FORMAT_HEADER}")?;
+        for (key, outcome) in self.entries() {
+            match outcome {
+                CachedOutcome::Unsat => writeln!(out, "{key} unsat")?,
+                CachedOutcome::Success { holes } => {
+                    write!(out, "{key} success")?;
+                    for (name, value) in &holes {
+                        write!(out, " {name}={value}")?;
+                    }
+                    writeln!(out)?;
+                }
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a cache from `path`. A missing file yields an empty cache (cold
+    /// start); an unreadable or malformed file is an error.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; malformed content maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<SynthCache> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SynthCache::new()),
+            Err(e) => return Err(e),
+        };
+        let cache = SynthCache::new();
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(FORMAT_HEADER) => {}
+            other => {
+                return Err(invalid(format!("unrecognized cache header {other:?}")));
+            }
+        }
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = parse_entry(line)
+                .map_err(|e| invalid(format!("cache line {}: {e}", lineno + 2)))?;
+            let (key, outcome) = entry;
+            cache.shard(&key).lock().unwrap().insert(key, outcome);
+        }
+        Ok(cache)
+    }
+}
+
+const FORMAT_HEADER: &str = "lakeroad-serve-cache v1";
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_entry(line: &str) -> Result<(CacheKey, CachedOutcome), String> {
+    let mut fields = line.split_whitespace();
+    let key: CacheKey = fields.next().ok_or("missing key")?.parse()?;
+    match fields.next() {
+        Some("unsat") => match fields.next() {
+            None => Ok((key, CachedOutcome::Unsat)),
+            Some(extra) => Err(format!("trailing field `{extra}` after unsat")),
+        },
+        Some("success") => {
+            let mut holes = std::collections::BTreeMap::new();
+            for field in fields {
+                let (name, literal) =
+                    field.split_once('=').ok_or_else(|| format!("malformed hole `{field}`"))?;
+                let value = BitVec::parse_verilog(literal)
+                    .map_err(|e| format!("hole `{name}`: {e}"))?;
+                holes.insert(name.to_string(), value);
+            }
+            Ok((key, CachedOutcome::Success { holes }))
+        }
+        other => Err(format!("unknown verdict {other:?}")),
+    }
+}
+
+impl MapCache for SynthCache {
+    fn lookup(&self, key: &CacheKey) -> Option<CachedOutcome> {
+        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: CacheKey, outcome: CachedOutcome) {
+        self.shard(&key).lock().unwrap().insert(key, outcome);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn invalidate(&self, key: &CacheKey) {
+        if self.shard(key).lock().unwrap().remove(key).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey([n, n.wrapping_mul(0x9E37_79B9_7F4A_7C15)])
+    }
+
+    fn success(bits: u64) -> CachedOutcome {
+        let mut holes = BTreeMap::new();
+        holes.insert("k".to_string(), BitVec::from_u64(bits, 8));
+        holes.insert("mode".to_string(), BitVec::from_u64(bits % 4, 2));
+        CachedOutcome::Success { holes }
+    }
+
+    #[test]
+    fn lookup_store_invalidate_and_counters() {
+        let cache = SynthCache::new();
+        assert_eq!(cache.lookup(&key(1)), None);
+        cache.store(key(1), success(7));
+        cache.store(key(2), CachedOutcome::Unsat);
+        assert_eq!(cache.lookup(&key(1)), Some(success(7)));
+        assert_eq!(cache.lookup(&key(2)), Some(CachedOutcome::Unsat));
+        cache.invalidate(&key(1));
+        cache.invalidate(&key(1)); // second invalidation of a gone key is a no-op
+        assert_eq!(cache.lookup(&key(1)), None);
+        let snap = cache.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.stores, 2);
+        assert_eq!(snap.invalidations, 1);
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entries_spread_over_shards() {
+        let cache = SynthCache::new();
+        for n in 0..64 {
+            cache.store(key(n), CachedOutcome::Unsat);
+        }
+        assert_eq!(cache.len(), 64);
+        let populated =
+            cache.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
+        assert!(populated > 1, "64 keys should not all land in one shard");
+    }
+
+    #[test]
+    fn persistence_roundtrips() {
+        let cache = SynthCache::new();
+        cache.store(key(10), success(0xAB));
+        cache.store(key(11), CachedOutcome::Unsat);
+        let dir = std::env::temp_dir().join("lr_serve_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.lrc");
+        cache.save(&path).unwrap();
+        let loaded = SynthCache::load(&path).unwrap();
+        assert_eq!(loaded.entries(), cache.entries());
+        std::fs::remove_file(&path).unwrap();
+        // A missing file is a cold start, not an error.
+        assert!(SynthCache::load(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        let dir = std::env::temp_dir().join("lr_serve_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, content) in [
+            ("bad_header.lrc", "some-other-format v9\n"),
+            ("bad_key.lrc", "lakeroad-serve-cache v1\nnothex unsat\n"),
+            ("bad_verdict.lrc", &format!("lakeroad-serve-cache v1\n{} maybe\n", key(1))),
+            ("bad_hole.lrc", &format!("lakeroad-serve-cache v1\n{} success k=zz'q0\n", key(1))),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            let err = SynthCache::load(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{name}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = SynthCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let k = key(t * 1000 + i);
+                        cache.store(k, CachedOutcome::Unsat);
+                        assert!(cache.lookup(&k).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 400);
+        assert_eq!(cache.snapshot().hits, 400);
+    }
+}

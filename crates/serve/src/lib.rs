@@ -1,0 +1,55 @@
+//! # lr-serve: the batch mapping engine
+//!
+//! The paper runs Lakeroad once per compilation; this crate turns the mapper
+//! into a *serving* system that handles batches of mapping requests the way the
+//! ROADMAP's production deployment would see them — many designs × architectures
+//! × templates, arriving together, with priorities and deadlines.
+//!
+//! Two pieces do the scaling work:
+//!
+//! * **A content-addressed synthesis cache** ([`SynthCache`]): verdicts are
+//!   stored under a stable hash of the e-graph-canonicalized spec plus
+//!   architecture, template, and timeout tier (`lakeroad::CacheKey`), sharded
+//!   behind `std::sync` mutexes, and optionally persisted to disk so warm
+//!   caches survive across CLI invocations. Success hits replay the stored
+//!   hole assignment through sketch generation and are **verified by `lr_ir`
+//!   interpretation** before being served — a stale entry costs a wasted
+//!   replay and falls back to synthesis. (UNSAT entries have nothing to
+//!   replay and rest on the 128-bit content address plus the persisted
+//!   format's version header.)
+//! * **A work-stealing scheduler** ([`run_batch`]): per-worker deques of jobs
+//!   with steal-on-empty, priority-ordered dealing, per-job deadlines, and
+//!   cooperative cancellation, built on `std::thread::scope`. Results stream
+//!   back in submission order, so batch output is stable regardless of worker
+//!   count — a property the determinism tests pin down.
+//!
+//! The `lakeroad batch <manifest>` CLI subcommand and the `exp_serve`/`exp_all`
+//! experiment binaries sit on top of [`batch`] and [`scenario`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use lakeroad::MapConfig;
+//! use lr_arch::ArchName;
+//! use lr_serve::{run_batch, suite_jobs, BatchOptions, BatchReport, SynthCache};
+//!
+//! let cache = Arc::new(SynthCache::new());
+//! let opts = BatchOptions::new(4, MapConfig::default().with_cache(cache.clone()));
+//! let jobs = suite_jobs(ArchName::IntelCyclone10Lp, 16);
+//! let before = cache.snapshot();
+//! let run = run_batch(&jobs, &opts);
+//! let report = BatchReport::from_run(&run, Some(before.delta(&cache.snapshot())));
+//! println!("{}", report.render());
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod scenario;
+pub mod scheduler;
+
+pub use batch::{parse_arch_name, parse_manifest, parse_template, BatchReport};
+pub use cache::{CacheSnapshot, SynthCache};
+pub use scenario::{grinder_jobs, random_program, suite_jobs, synthetic_jobs, Rng};
+pub use scheduler::{
+    run_batch, run_batch_streaming, BatchJob, BatchOptions, BatchRun, JobRecord, JobResult,
+    TemplateChoice,
+};

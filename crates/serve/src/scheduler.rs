@@ -1,0 +1,424 @@
+//! The work-stealing batch scheduler.
+//!
+//! A batch is a list of independent mapping jobs (spec × architecture ×
+//! template). Jobs are distributed round-robin over per-worker deques in
+//! priority order; each worker pops from the front of its own deque and, when
+//! empty, steals from the back of a sibling's — the classic split that keeps
+//! hot jobs local and contention at the cold end. Workers are plain scoped
+//! threads (`std::thread::scope`), so the scheduler borrows the jobs and needs
+//! no `'static` plumbing.
+//!
+//! Three control mechanisms ride on the queue:
+//!
+//! * **Priorities** (higher first) order the initial distribution; stealing
+//!   preserves them approximately, which is all a batch engine needs.
+//! * **Per-job deadlines** are relative to batch start. A job popped after its
+//!   deadline is not posed at all ([`JobResult::DeadlineExpired`]); a job
+//!   popped before it has its synthesis timeout clamped so it cannot overrun.
+//! * **Cooperative cancellation**: flip the [`BatchOptions::cancel`] flag and
+//!   every not-yet-started job drains as [`JobResult::Cancelled`] (in-flight
+//!   solver runs also observe the flag between iterations via the portfolio's
+//!   own cancellation).
+//!
+//! Results stream back **in submission order** regardless of completion order:
+//! [`run_batch_streaming`] invokes its callback for job *i* only once jobs
+//! `0..i` have been delivered, which is what lets a manifest run print a stable
+//! report while overlapping work.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lakeroad::{map_design_auto, MapConfig, MapError, MapOutcome, Template};
+use lr_arch::Architecture;
+use lr_ir::Prog;
+
+/// Which sketch template(s) a job tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateChoice {
+    /// One named template.
+    Named(Template),
+    /// The guidance ranking (`lakeroad::map_design_auto`).
+    Auto,
+}
+
+/// One independent mapping job of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name (manifest line, benchmark name, …).
+    pub name: String,
+    /// The behavioral design to map.
+    pub spec: Prog,
+    /// Target architecture.
+    pub arch: Architecture,
+    /// Template selection.
+    pub template: TemplateChoice,
+    /// Scheduling priority; higher runs earlier. Ties keep submission order.
+    pub priority: u8,
+    /// Per-job synthesis budget; `None` inherits [`BatchOptions::map`]'s.
+    pub timeout: Option<Duration>,
+    /// Wall-clock deadline relative to batch start. Expired jobs are reported
+    /// as [`JobResult::DeadlineExpired`] without posing a query; running jobs
+    /// have their budget clamped to what remains.
+    pub deadline: Option<Duration>,
+}
+
+impl BatchJob {
+    /// A job with default priority, no deadline, and the batch-wide budget.
+    pub fn new(
+        name: impl Into<String>,
+        spec: Prog,
+        arch: Architecture,
+        template: TemplateChoice,
+    ) -> BatchJob {
+        BatchJob { name: name.into(), spec, arch, template, priority: 0, timeout: None, deadline: None }
+    }
+}
+
+/// Scheduler configuration for one batch run.
+#[derive(Clone)]
+pub struct BatchOptions {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Base mapping configuration; install the synthesis cache on
+    /// [`MapConfig::cache`] to share verdicts across jobs and batches.
+    pub map: MapConfig,
+    /// Cooperative cancellation flag for the whole batch.
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 1,
+            map: MapConfig::default(),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options with `workers` threads over `map`.
+    pub fn new(workers: usize, map: MapConfig) -> BatchOptions {
+        BatchOptions { workers, map, ..BatchOptions::default() }
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// The mapping ran to a verdict (success, UNSAT, or timeout).
+    Finished(MapOutcome),
+    /// The mapping could not be posed (sketch/frontend/task error).
+    Error(String),
+    /// The job's deadline passed before a worker picked it up.
+    DeadlineExpired,
+    /// The batch was cancelled before the job ran.
+    Cancelled,
+}
+
+impl JobResult {
+    /// Whether the job produced a successful mapping.
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobResult::Finished(o) if o.is_success())
+    }
+
+    /// The finished outcome, if any.
+    pub fn outcome(&self) -> Option<&MapOutcome> {
+        match self {
+            JobResult::Finished(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// One job's record in the batch result.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Submission index.
+    pub index: usize,
+    /// Job name.
+    pub name: String,
+    /// Worker that delivered the result.
+    pub worker: usize,
+    /// Whether the job reached its worker by stealing.
+    pub stolen: bool,
+    /// Wall-clock time the job spent executing (zero for expired/cancelled).
+    pub elapsed: Duration,
+    /// Time from batch start until the result was delivered.
+    pub completed_at: Duration,
+    /// How the job ended.
+    pub result: JobResult,
+}
+
+/// The result of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-job records in submission order.
+    pub records: Vec<JobRecord>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs that migrated to a worker other than the one they were dealt to.
+    pub steals: u64,
+}
+
+impl BatchRun {
+    /// Jobs per second of batch wall time.
+    pub fn throughput(&self) -> f64 {
+        self.records.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Records whose outcome was served from the synthesis cache.
+    pub fn cache_served(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.result.outcome().is_some_and(MapOutcome::served_from_cache))
+            .count()
+    }
+}
+
+/// Runs a batch and returns all records in submission order.
+pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchRun {
+    run_batch_streaming(jobs, opts, |_| {})
+}
+
+/// [`run_batch`], invoking `on_ready` for every record **in submission order**
+/// as soon as it and all of its predecessors are available.
+pub fn run_batch_streaming(
+    jobs: &[BatchJob],
+    opts: &BatchOptions,
+    on_ready: impl Fn(&JobRecord) + Sync,
+) -> BatchRun {
+    let workers = opts.workers.max(1);
+    let start = Instant::now();
+
+    // Deal job indices round-robin in priority order (stable: ties keep
+    // submission order), so every worker starts with a fair, priority-sorted
+    // slice of the batch.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].priority));
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (slot, &job) in order.iter().enumerate() {
+        deques[slot % workers].lock().unwrap().push_back(job);
+    }
+
+    let slots: Vec<Mutex<Option<JobRecord>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    // Emission frontier: index of the next record to hand to `on_ready`.
+    // Advancing it under a lock is what serializes the callback in submission
+    // order even though completions arrive out of order.
+    let frontier: Mutex<usize> = Mutex::new(0);
+    let steals = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let (deques, slots, frontier, steals, on_ready) =
+                (&deques, &slots, &frontier, &steals, &on_ready);
+            scope.spawn(move || loop {
+                // Own deque first (front), then steal from siblings (back).
+                let mut claimed: Option<(usize, bool)> =
+                    deques[me].lock().unwrap().pop_front().map(|j| (j, false));
+                if claimed.is_none() {
+                    for other in (1..workers).map(|d| (me + d) % workers) {
+                        if let Some(j) = deques[other].lock().unwrap().pop_back() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            claimed = Some((j, true));
+                            break;
+                        }
+                    }
+                }
+                let Some((index, stolen)) = claimed else { return };
+
+                let job = &jobs[index];
+                let elapsed_at_start = start.elapsed();
+                let (result, elapsed) = if opts.cancel.load(Ordering::Relaxed) {
+                    (JobResult::Cancelled, Duration::ZERO)
+                } else if job.deadline.is_some_and(|d| elapsed_at_start >= d) {
+                    (JobResult::DeadlineExpired, Duration::ZERO)
+                } else {
+                    let job_start = Instant::now();
+                    let result = execute(job, opts, elapsed_at_start);
+                    (result, job_start.elapsed())
+                };
+                let record = JobRecord {
+                    index,
+                    name: job.name.clone(),
+                    worker: me,
+                    stolen,
+                    elapsed,
+                    completed_at: start.elapsed(),
+                    result,
+                };
+                *slots[index].lock().unwrap() = Some(record);
+
+                // Drain every in-order record that is now ready.
+                let mut next = frontier.lock().unwrap();
+                while *next < slots.len() {
+                    let slot = slots[*next].lock().unwrap();
+                    let Some(record) = slot.as_ref() else { break };
+                    on_ready(record);
+                    *next += 1;
+                }
+            });
+        }
+    });
+
+    let records: Vec<JobRecord> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every job index is claimed exactly once"))
+        .collect();
+    BatchRun { records, wall: start.elapsed(), workers, steals: steals.load(Ordering::Relaxed) }
+}
+
+/// Poses one job, clamping its budget to its deadline. A panic inside the
+/// mapping stack (a poison job) is contained to this job — one bad request must
+/// not take the whole batch down with it.
+fn execute(job: &BatchJob, opts: &BatchOptions, already_elapsed: Duration) -> JobResult {
+    let mut config = opts.map.clone();
+    if let Some(timeout) = job.timeout {
+        config.timeout = timeout;
+    }
+    // Cache addressing must see the job's *requested* budget: the deadline
+    // clamp below depends on when a worker happened to pick the job up, and a
+    // wall-clock-dependent key tier would defeat warm batches.
+    if config.cache_budget.is_none() {
+        config.cache_budget = Some(config.timeout);
+    }
+    if let Some(deadline) = job.deadline {
+        let remaining = deadline.saturating_sub(already_elapsed);
+        config.timeout = config.timeout.min(remaining);
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.template {
+        TemplateChoice::Named(template) => {
+            lakeroad::map_design(&job.spec, template, &job.arch, &config)
+        }
+        TemplateChoice::Auto => map_design_auto(&job.spec, &job.arch, &config),
+    }));
+    match outcome {
+        Ok(Ok(outcome)) => JobResult::Finished(outcome),
+        Ok(Err(e)) => JobResult::Error(render_error(&e)),
+        Err(panic) => JobResult::Error(format!("panicked: {}", render_panic(&panic))),
+    }
+}
+
+fn render_error(e: &MapError) -> String {
+    e.to_string()
+}
+
+fn render_panic(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_ir::{BvOp, ProgBuilder};
+
+    fn mul_spec(name: &str) -> Prog {
+        let mut b = ProgBuilder::new(name);
+        let a = b.input("a", 8);
+        let x = b.input("b", 8);
+        let out = b.op2(BvOp::Mul, a, x);
+        b.finish(out)
+    }
+
+    fn quick_opts(workers: usize) -> BatchOptions {
+        let map = MapConfig::single_solver().with_timeout(Duration::from_secs(30));
+        BatchOptions::new(workers, map)
+    }
+
+    fn quick_jobs(n: usize) -> Vec<BatchJob> {
+        (0..n)
+            .map(|i| {
+                BatchJob::new(
+                    format!("mul_{i}"),
+                    mul_spec(&format!("mul_{i}")),
+                    Architecture::intel_cyclone10lp(),
+                    TemplateChoice::Named(Template::Dsp),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let jobs = quick_jobs(5);
+        let seen = Mutex::new(Vec::new());
+        let run = run_batch_streaming(&jobs, &quick_opts(3), |record| {
+            seen.lock().unwrap().push(record.index);
+        });
+        assert_eq!(seen.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(run.records.len(), 5);
+        for (i, record) in run.records.iter().enumerate() {
+            assert_eq!(record.index, i);
+            assert!(record.result.is_success(), "{:?}", record.result);
+        }
+    }
+
+    #[test]
+    fn priorities_order_the_initial_deal() {
+        // Single worker: execution strictly follows the priority-sorted deal.
+        // Streaming is submission-ordered by design, so observe completion
+        // times instead.
+        let mut jobs = quick_jobs(3);
+        jobs[2].priority = 9;
+        let run = run_batch(&jobs, &quick_opts(1));
+        let mut by_completion: Vec<(Duration, usize)> =
+            run.records.iter().map(|r| (r.completed_at, r.index)).collect();
+        by_completion.sort();
+        assert_eq!(by_completion[0].1, 2, "the high-priority job must run first");
+    }
+
+    #[test]
+    fn expired_deadlines_are_reported_without_posing() {
+        let mut jobs = quick_jobs(2);
+        jobs[1].deadline = Some(Duration::ZERO); // expired before the batch starts
+        let run = run_batch(&jobs, &quick_opts(2));
+        assert!(run.records[0].result.is_success());
+        assert!(matches!(run.records[1].result, JobResult::DeadlineExpired));
+        assert_eq!(run.records[1].elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn cancellation_drains_pending_jobs() {
+        let jobs = quick_jobs(4);
+        let opts = quick_opts(2);
+        opts.cancel.store(true, Ordering::Relaxed);
+        let run = run_batch(&jobs, &opts);
+        assert!(run.records.iter().all(|r| matches!(r.result, JobResult::Cancelled)));
+    }
+
+    #[test]
+    fn stealing_happens_when_a_worker_starves() {
+        // More workers than jobs in one worker's deque: with 4 workers and 8
+        // jobs the deal gives each worker 2; uneven finish times make steals
+        // likely but not certain, so only assert the counters are consistent.
+        let jobs = quick_jobs(8);
+        let run = run_batch(&jobs, &quick_opts(4));
+        let stolen = run.records.iter().filter(|r| r.stolen).count() as u64;
+        assert_eq!(stolen, run.steals);
+        assert!(run.records.iter().all(|r| r.worker < 4));
+    }
+
+    #[test]
+    fn unposeable_jobs_surface_as_errors() {
+        // SOFA has no DSP: the DSP template cannot be instantiated.
+        let job = BatchJob::new(
+            "no_dsp",
+            mul_spec("no_dsp"),
+            Architecture::sofa(),
+            TemplateChoice::Named(Template::Dsp),
+        );
+        let run = run_batch(&[job], &quick_opts(1));
+        assert!(matches!(&run.records[0].result, JobResult::Error(_)));
+    }
+}

@@ -8,7 +8,7 @@ use std::fmt;
 /// operands and produce that width; comparisons produce width 1; `Concat`, `Extract`,
 /// `ZeroExt`, and `SignExt` change widths structurally; `Ite` takes a 1-bit condition
 /// and two equal-width branches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BvOp {
     /// Bitwise NOT.
     Not,

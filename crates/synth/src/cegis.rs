@@ -166,6 +166,16 @@ fn validate(task: &SynthesisTask<'_>) -> Result<(), SynthesisError> {
     if spec_inputs != sketch_inputs {
         return Err(SynthesisError::InputMismatch { spec: spec_inputs, sketch: sketch_inputs });
     }
+    // The equivalence queries equate the two roots, so their widths must agree;
+    // posing a mismatched pair (e.g. a 1-bit comparison sketch against a wide
+    // spec) would panic inside the term pool instead of failing the task.
+    let spec_width = task.spec.width(task.spec.root());
+    let sketch_width = task.sketch.width(task.sketch.root());
+    if spec_width != sketch_width {
+        return Err(SynthesisError::IllFormed(format!(
+            "spec root is {spec_width} bits but sketch root is {sketch_width} bits"
+        )));
+    }
     Ok(())
 }
 
@@ -543,6 +553,31 @@ mod tests {
         let result = outcome.success().expect("synthesis should succeed");
         assert_eq!(result.hole_assignment["k"], BitVec::from_u64(5, 8));
         assert!(!result.implementation.has_holes());
+    }
+
+    /// A sketch whose root width differs from the spec's (a 1-bit comparison
+    /// sketch posed against a wide spec) must fail validation instead of
+    /// panicking inside the term pool when the equivalence query is built.
+    #[test]
+    fn root_width_mismatch_is_rejected_not_a_panic() {
+        let mut b = ProgBuilder::new("spec");
+        let a = b.input("a", 8);
+        let five = b.constant_u64(5, 8);
+        let out = b.op2(BvOp::Add, a, five);
+        let spec = b.finish(out);
+
+        let mut b = ProgBuilder::new("sketch");
+        let a = b.input("a", 8);
+        let k = b.hole("k", 8, HoleDomain::AnyConstant);
+        let out = b.op2(BvOp::Ult, a, k); // 1-bit root
+        let sketch = b.finish(out);
+
+        let task = SynthesisTask::at(&spec, &sketch, 0);
+        let err = synthesize(&task, &SynthesisConfig::default(), None).unwrap_err();
+        assert!(
+            matches!(&err, SynthesisError::IllFormed(msg) if msg.contains("root")),
+            "{err:?}"
+        );
     }
 
     /// spec: out = a & 0xF0; sketch: out = a & ?? — and also check the masked value

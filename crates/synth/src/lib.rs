@@ -149,6 +149,12 @@ pub struct SynthesisStats {
     /// Of those, how many saturation folded to a constant `false` — queries decided
     /// with no SAT work at all.
     pub egraph_folds: usize,
+    /// True when this outcome was *replayed* from a synthesis cache rather than
+    /// synthesized: `elapsed` is then the lookup-plus-replay time (near zero) and
+    /// every solver counter is zero. The CEGIS engine itself never sets this —
+    /// the serving layer (`lakeroad`'s cache hooks) does, so reports and benches
+    /// can separate cached from synthesized latencies.
+    pub from_cache: bool,
 }
 
 /// The verdict of a synthesis run.

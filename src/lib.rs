@@ -8,6 +8,8 @@
 //!
 //! * [`lakeroad`] — the technology mapper itself (`map_design`, `map_verilog`,
 //!   microbenchmark suites, reporting).
+//! * [`lr_serve`] — the batch mapping engine: content-addressed synthesis
+//!   cache and work-stealing scheduler.
 //! * [`lr_sketch`] — architecture-independent sketch templates.
 //! * [`lr_arch`] — architecture descriptions and primitive semantics.
 //! * [`lr_synth`] — the CEGIS synthesis engine and solver portfolio.
@@ -21,6 +23,7 @@ pub use lr_baselines;
 pub use lr_bv;
 pub use lr_hdl;
 pub use lr_ir;
+pub use lr_serve;
 pub use lr_sketch;
 pub use lr_smt;
 pub use lr_synth;
@@ -31,6 +34,7 @@ pub mod prelude {
     pub use lr_arch::{ArchName, Architecture};
     pub use lr_bv::BitVec;
     pub use lr_ir::{BvOp, Prog, ProgBuilder, StreamInputs};
+    pub use lr_serve::{run_batch, BatchJob, BatchOptions, SynthCache, TemplateChoice};
 }
 
 #[cfg(test)]
