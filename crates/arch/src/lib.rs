@@ -315,8 +315,7 @@ impl Architecture {
                 })
             }
             ArchName::IntelCyclone10Lp => {
-                let semantics =
-                    primitives::cyclone10_mac_mult_semantics().with_id_offset(offset);
+                let semantics = primitives::cyclone10_mac_mult_semantics().with_id_offset(offset);
                 let a = select_input(builder, design_inputs, 18, &prefix, "A_SEL", &mut holes);
                 let b = select_input(builder, design_inputs, 18, &prefix, "B_SEL", &mut holes);
                 let mut bindings = std::collections::BTreeMap::new();
@@ -370,9 +369,8 @@ impl Architecture {
         );
         let offset = semantics_id_offset(instance_index);
         let zero1 = builder.constant_u64(0, 1);
-        let padded: Vec<NodeId> = (0..size as usize)
-            .map(|i| inputs.get(i).copied().unwrap_or(zero1))
-            .collect();
+        let padded: Vec<NodeId> =
+            (0..size as usize).map(|i| inputs.get(i).copied().unwrap_or(zero1)).collect();
         let init_width = 1u32 << size;
         let hole_name = format!("lut{instance_index}.INIT");
         let init = builder.hole(&hole_name, init_width, HoleDomain::AnyConstant);

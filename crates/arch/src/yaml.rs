@@ -189,7 +189,10 @@ fn insert_key_value(
     indent: usize,
 ) -> Result<(), YamlError> {
     let Some(colon) = find_key_colon(text) else {
-        return Err(YamlError { line: number, message: format!("expected `key: value`, got `{text}`") });
+        return Err(YamlError {
+            line: number,
+            message: format!("expected `key: value`, got `{text}`"),
+        });
     };
     let key = unquote(text[..colon].trim());
     let rest = text[colon + 1..].trim();
@@ -232,10 +235,9 @@ fn find_key_colon(text: &str) -> Option<usize> {
 fn parse_scalar_or_flow(text: &str, line: usize) -> Result<Yaml, YamlError> {
     let text = text.trim();
     if let Some(inner) = text.strip_prefix('{') {
-        let inner = inner.strip_suffix('}').ok_or(YamlError {
-            line,
-            message: "unterminated flow mapping".to_string(),
-        })?;
+        let inner = inner
+            .strip_suffix('}')
+            .ok_or(YamlError { line, message: "unterminated flow mapping".to_string() })?;
         let mut map = BTreeMap::new();
         for part in split_flow(inner) {
             let part = part.trim();
@@ -253,10 +255,9 @@ fn parse_scalar_or_flow(text: &str, line: usize) -> Result<Yaml, YamlError> {
         return Ok(Yaml::Map(map));
     }
     if let Some(inner) = text.strip_prefix('[') {
-        let inner = inner.strip_suffix(']').ok_or(YamlError {
-            line,
-            message: "unterminated flow sequence".to_string(),
-        })?;
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or(YamlError { line, message: "unterminated flow sequence".to_string() })?;
         let items: Result<Vec<Yaml>, YamlError> = split_flow(inner)
             .into_iter()
             .filter(|p| !p.trim().is_empty())
@@ -364,10 +365,7 @@ implementations:
         let ports = modules[0].get("ports").unwrap().as_list().unwrap();
         assert_eq!(ports.len(), 3);
         assert_eq!(ports[0].get("width").unwrap().as_int(), Some(4));
-        assert_eq!(
-            impls[0].get("internal_data").unwrap().get("sram").unwrap().as_int(),
-            Some(16)
-        );
+        assert_eq!(impls[0].get("internal_data").unwrap().get("sram").unwrap().as_int(), Some(16));
     }
 
     #[test]

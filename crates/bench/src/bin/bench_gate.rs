@@ -1,0 +1,52 @@
+//! The deterministic bench-regression gate.
+//!
+//! ```text
+//! bench_gate [<baseline-dir>] [<fresh-dir>]
+//! ```
+//!
+//! Compares the freshly emitted `BENCH_*.json` records in `<fresh-dir>` (default
+//! `.`) against the committed baselines in `<baseline-dir>` (default
+//! `ci-baselines`) on deterministic counters only — conflicts, propagations,
+//! fold counts, cache hit rates, verdict tallies; never wall clock — and exits
+//! non-zero on any regression. CI stashes the committed records into the
+//! baseline directory before rerunning the sweeps, then runs this binary.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use lr_bench::gate::run_gate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.len() > 2 {
+        eprintln!("usage: bench_gate [<baseline-dir>] [<fresh-dir>]");
+        return ExitCode::from(2);
+    }
+    let baseline_dir = args.first().map(String::as_str).unwrap_or("ci-baselines");
+    let fresh_dir = args.get(1).map(String::as_str).unwrap_or(".");
+    match run_gate(Path::new(baseline_dir), Path::new(fresh_dir)) {
+        Ok(checked) => {
+            if checked.is_empty() {
+                eprintln!("bench_gate: no baselines found in `{baseline_dir}` — nothing gated");
+            } else {
+                println!(
+                    "bench_gate: {} record(s) within tolerance of `{baseline_dir}`: {}",
+                    checked.len(),
+                    checked.join(", ")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            eprintln!("bench_gate: {} regression(s) detected:", failures.len());
+            for failure in failures {
+                eprintln!("  - {failure}");
+            }
+            eprintln!(
+                "(deterministic counters only; if this change is intentional, regenerate \
+                 and commit the BENCH_*.json baselines)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

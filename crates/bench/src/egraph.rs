@@ -219,7 +219,10 @@ impl EgraphReport {
             );
         }
         println!("\n-- CEGIS with / without the e-graph pre-fold --");
-        println!("  {:44} {:>12} {:>12} {:>9} {:>7}", "benchmark", "egraph (ms)", "no-eg (ms)", "folds", "SAT?");
+        println!(
+            "  {:44} {:>12} {:>12} {:>9} {:>7}",
+            "benchmark", "egraph (ms)", "no-eg (ms)", "folds", "SAT?"
+        );
         let mut i = 0;
         while i + 1 < self.cegis.len() {
             let (on, off) = (&self.cegis[i], &self.cegis[i + 1]);
@@ -311,8 +314,7 @@ fn run_monsters() -> Vec<MonsterRecord> {
             let start = Instant::now();
             let (folded, report) = fold_term(&mut pool, ne, &rules, &Limits::verifier());
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            let folded_false =
-                pool.as_const(folded).map(|v| v.is_zero()).unwrap_or(false);
+            let folded_false = pool.as_const(folded).map(|v| v.is_zero()).unwrap_or(false);
             MonsterRecord {
                 name,
                 folded: folded_false,

@@ -1,0 +1,557 @@
+//! The deterministic bench-regression gate.
+//!
+//! CI regenerates the `BENCH_*.json` records on every run; this module compares
+//! them against the committed baselines on **deterministic counters only** —
+//! conflicts, propagations, iteration counts, cache hit rates, fold counts,
+//! verdict tallies. Wall-clock numbers are never compared: they depend on the
+//! machine, and a gate that flakes with the weather teaches people to ignore it.
+//!
+//! The counters it does compare are reproducible bit-for-bit because the sweeps
+//! that emit them run a single solver configuration on a single thread with fixed
+//! seeds. A small relative tolerance ([`TOLERANCE`]) still applies so that an
+//! intentional, reviewed behaviour change only trips the gate when it actually
+//! regresses search work; improvements always pass (and should be followed by a
+//! baseline refresh).
+//!
+//! The JSON reader is a deliberately tiny recursive-descent parser — the bench
+//! records are written by this crate without any serde dependency, and read back
+//! the same way.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Relative headroom a counter may grow by before the gate fails (plus a small
+/// absolute slack for near-zero baselines).
+pub const TOLERANCE: f64 = 0.10;
+
+/// Absolute slack added on top of the relative tolerance.
+pub const ABSOLUTE_SLACK: f64 = 100.0;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for the `BENCH_*.json` records).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the bench records stay well within `f64` precision).
+    Num(f64),
+    /// A string (no escape sequences beyond `\"`, `\\`, `\/`, `\n`, `\t` needed).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion order irrelevant for the gate).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    /// Returns a byte-offset description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a path of object keys, e.g. `get(&["cache", "hits"])`.
+    pub fn get(&self, path: &[&str]) -> Option<&Json> {
+        let mut cur = self;
+        for key in path {
+            match cur {
+                Json::Obj(map) => cur = map.get(*key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            // Accumulate raw bytes and validate as UTF-8 once, so multi-byte
+            // sequences survive intact.
+            let mut out: Vec<u8> = Vec::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return String::from_utf8(out)
+                            .map(Json::Str)
+                            .map_err(|_| "invalid UTF-8 in string".to_string());
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push(b'"'),
+                            Some(b'\\') => out.push(b'\\'),
+                            Some(b'/') => out.push(b'/'),
+                            Some(b'n') => out.push(b'\n'),
+                            Some(b't') => out.push(b'\t'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("malformed number at byte {start}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate rules
+// ---------------------------------------------------------------------------
+
+/// `fresh` may not exceed `baseline` by more than the tolerance.
+fn check_counter(failures: &mut Vec<String>, file: &str, label: &str, baseline: f64, fresh: f64) {
+    let limit = baseline * (1.0 + TOLERANCE) + ABSOLUTE_SLACK;
+    if fresh > limit {
+        failures.push(format!(
+            "{file}: {label} regressed: {fresh:.0} exceeds baseline {baseline:.0} \
+             (limit {limit:.0})"
+        ));
+    }
+}
+
+fn scales_match(failures: &mut Vec<String>, file: &str, baseline: &Json, fresh: &Json) -> bool {
+    let b = baseline.get(&["scale"]).and_then(Json::as_str);
+    let f = fresh.get(&["scale"]).and_then(Json::as_str);
+    if b != f {
+        failures.push(format!("{file}: scale mismatch (baseline {b:?}, fresh {f:?})"));
+        return false;
+    }
+    true
+}
+
+/// Sums a numeric field over the entries of `array` that `select` accepts.
+fn sum_field(doc: &Json, array: &str, field: &str, select: impl Fn(&Json) -> bool) -> f64 {
+    doc.get(&[array])
+        .and_then(Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter(|e| select(e))
+                .filter_map(|e| e.get(&[field]).and_then(Json::as_f64))
+                .sum()
+        })
+        .unwrap_or(0.0)
+}
+
+/// Tallies the `verdict` strings of the entries `select` accepts.
+fn verdict_tally(
+    doc: &Json,
+    array: &str,
+    select: impl Fn(&Json) -> bool,
+) -> BTreeMap<String, usize> {
+    let mut tally = BTreeMap::new();
+    if let Some(items) = doc.get(&[array]).and_then(Json::as_arr) {
+        for item in items.iter().filter(|e| select(e)) {
+            if let Some(v) = item.get(&["verdict"]).and_then(Json::as_str) {
+                *tally.entry(v.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    tally
+}
+
+fn check_cegis(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_cegis.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    for (mode, label) in [(true, "incremental"), (false, "from-scratch")] {
+        let select = |e: &Json| e.get(&["incremental"]).and_then(Json::as_bool) == Some(mode);
+        for field in ["conflicts", "iterations"] {
+            check_counter(
+                failures,
+                FILE,
+                &format!("{label} total {field}"),
+                sum_field(baseline, "benchmarks", field, select),
+                sum_field(fresh, "benchmarks", field, select),
+            );
+        }
+        let (b, f) = (
+            verdict_tally(baseline, "benchmarks", select),
+            verdict_tally(fresh, "benchmarks", select),
+        );
+        if b != f {
+            failures.push(format!(
+                "{FILE}: {label} verdict tally changed: baseline {b:?}, fresh {f:?}"
+            ));
+        }
+    }
+}
+
+fn check_egraph(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_egraph.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["all_monsters_fold"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!("{FILE}: a monster disequality no longer folds"));
+    }
+    let select = |e: &Json| e.get(&["egraph"]).and_then(Json::as_bool) == Some(true);
+    let baseline_folds = sum_field(baseline, "cegis", "egraph_folds", select);
+    let fresh_folds = sum_field(fresh, "cegis", "egraph_folds", select);
+    if fresh_folds < baseline_folds {
+        failures.push(format!(
+            "{FILE}: egraph fold count regressed: {fresh_folds:.0} below baseline \
+             {baseline_folds:.0} (queries now falling through to SAT)"
+        ));
+    }
+}
+
+fn check_serve(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_serve.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!("{FILE}: the serving experiment's own gates failed"));
+    }
+    let baseline_rate = baseline.get(&["warm_hit_rate"]).and_then(Json::as_f64).unwrap_or(0.0);
+    let fresh_rate = fresh.get(&["warm_hit_rate"]).and_then(Json::as_f64).unwrap_or(0.0);
+    if fresh_rate < baseline_rate {
+        failures.push(format!(
+            "{FILE}: warm cache hit rate regressed: {fresh_rate} below baseline {baseline_rate}"
+        ));
+    }
+}
+
+fn check_sat(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_sat.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!(
+            "{FILE}: modern-vs-legacy gates failed (strictly more work or verdict drift)"
+        ));
+    }
+    for field in ["total_conflicts_modern", "total_propagations_modern"] {
+        let b = baseline.get(&[field]).and_then(Json::as_f64).unwrap_or(0.0);
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        check_counter(failures, FILE, field, b, f);
+    }
+}
+
+/// One file's comparison rule: (failures, baseline document, fresh document).
+pub type GateRule = fn(&mut Vec<String>, &Json, &Json);
+
+/// The `BENCH_*.json` files the gate knows how to compare, with their rules.
+pub const GATED_FILES: [(&str, GateRule); 4] = [
+    ("BENCH_cegis.json", check_cegis),
+    ("BENCH_egraph.json", check_egraph),
+    ("BENCH_serve.json", check_serve),
+    ("BENCH_sat.json", check_sat),
+];
+
+/// Compares every known bench record present in `baseline_dir` against its
+/// freshly generated counterpart in `fresh_dir`.
+///
+/// A record present in the baseline directory but missing from the fresh one is
+/// a failure (the sweep that emits it did not run); a record absent from the
+/// baseline directory is skipped (no baseline yet — commit one to arm the gate).
+///
+/// # Errors
+/// Returns every failure, one description per line.
+pub fn run_gate(baseline_dir: &Path, fresh_dir: &Path) -> Result<Vec<String>, Vec<String>> {
+    let mut failures = Vec::new();
+    let mut checked = Vec::new();
+    for (file, check) in GATED_FILES {
+        let baseline_path = baseline_dir.join(file);
+        if !baseline_path.exists() {
+            continue;
+        }
+        let fresh_path = fresh_dir.join(file);
+        let baseline = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Json::parse(&t))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                failures.push(format!("{file}: unreadable baseline: {e}"));
+                continue;
+            }
+        };
+        let fresh = match std::fs::read_to_string(&fresh_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Json::parse(&t))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                failures.push(format!("{file}: fresh record missing or unreadable: {e}"));
+                continue;
+            }
+        };
+        check(&mut failures, &baseline, &fresh);
+        checked.push(file.to_string());
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_the_bench_shapes() {
+        let doc = Json::parse(
+            "{\n  \"scale\": \"Quick\",\n  \"speedup\": 1.512,\n  \"ok\": true,\n  \
+             \"items\": [{\"n\": 1}, {\"n\": -2.5e1}],\n  \"nothing\": null\n}",
+        )
+        .unwrap();
+        assert_eq!(doc.get(&["scale"]).and_then(Json::as_str), Some("Quick"));
+        assert_eq!(doc.get(&["speedup"]).and_then(Json::as_f64), Some(1.512));
+        assert_eq!(doc.get(&["ok"]).and_then(Json::as_bool), Some(true));
+        let items = doc.get(&["items"]).and_then(Json::as_arr).unwrap();
+        assert_eq!(items[1].get(&["n"]).and_then(Json::as_f64), Some(-25.0));
+        assert_eq!(doc.get(&["nothing"]), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_preserves_multi_byte_utf8_strings() {
+        let doc = Json::parse("{\"arch\": \"Xilinx UltraScale+ → §5.1\"}").unwrap();
+        assert_eq!(doc.get(&["arch"]).and_then(Json::as_str), Some("Xilinx UltraScale+ → §5.1"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn the_committed_baselines_parse() {
+        // The real records this gate will read in CI must stay parseable by the
+        // mini parser.
+        for file in ["BENCH_cegis.json", "BENCH_egraph.json", "BENCH_serve.json"] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                Json::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+            }
+        }
+    }
+
+    fn sat_doc(conflicts: u64, propagations: u64, gates_pass: bool) -> String {
+        format!(
+            "{{\"scale\": \"Quick\", \"total_conflicts_modern\": {conflicts}, \
+             \"total_propagations_modern\": {propagations}, \"gates_pass\": {gates_pass}, \
+             \"benchmarks\": []}}"
+        )
+    }
+
+    #[test]
+    fn sat_rule_fails_on_conflict_regression_and_passes_within_tolerance() {
+        let baseline = Json::parse(&sat_doc(10_000, 1_000_000, true)).unwrap();
+        // +5% conflicts: within tolerance.
+        let ok = Json::parse(&sat_doc(10_500, 1_000_000, true)).unwrap();
+        let mut failures = Vec::new();
+        check_sat(&mut failures, &baseline, &ok);
+        assert!(failures.is_empty(), "{failures:?}");
+        // +50% conflicts: regression.
+        let bad = Json::parse(&sat_doc(15_000, 1_000_000, true)).unwrap();
+        let mut failures = Vec::new();
+        check_sat(&mut failures, &baseline, &bad);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("total_conflicts_modern"));
+        // gates_pass=false always fails.
+        let bad = Json::parse(&sat_doc(10_000, 1_000_000, false)).unwrap();
+        let mut failures = Vec::new();
+        check_sat(&mut failures, &baseline, &bad);
+        assert!(!failures.is_empty());
+    }
+
+    #[test]
+    fn cegis_rule_compares_per_mode_sums_and_verdicts() {
+        let doc = |conflicts: u64, verdict: &str| {
+            Json::parse(&format!(
+                "{{\"scale\": \"Quick\", \"benchmarks\": [\
+                 {{\"incremental\": true, \"conflicts\": {conflicts}, \"iterations\": 2, \
+                 \"verdict\": \"{verdict}\"}}, \
+                 {{\"incremental\": false, \"conflicts\": 500, \"iterations\": 2, \
+                 \"verdict\": \"success\"}}]}}"
+            ))
+            .unwrap()
+        };
+        let baseline = doc(1000, "success");
+        let mut failures = Vec::new();
+        check_cegis(&mut failures, &baseline, &doc(1050, "success"));
+        assert!(failures.is_empty(), "{failures:?}");
+        let mut failures = Vec::new();
+        check_cegis(&mut failures, &baseline, &doc(5000, "success"));
+        assert!(failures.iter().any(|f| f.contains("conflicts")));
+        let mut failures = Vec::new();
+        check_cegis(&mut failures, &baseline, &doc(1000, "timeout"));
+        assert!(failures.iter().any(|f| f.contains("verdict tally")));
+    }
+
+    #[test]
+    fn scale_mismatch_is_reported_not_compared() {
+        let quick = Json::parse(&sat_doc(10, 10, true)).unwrap();
+        let full = Json::parse(&sat_doc(10, 10, true).replace("Quick", "Full")).unwrap();
+        let mut failures = Vec::new();
+        check_sat(&mut failures, &quick, &full);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn wall_clock_fields_are_never_gated() {
+        // A fresh record that is 100x slower but otherwise identical passes.
+        let baseline = Json::parse(
+            "{\"scale\": \"Quick\", \"total_wall_ms_incremental\": 100.0, \
+             \"total_wall_ms_from_scratch\": 200.0, \"speedup\": 2.0, \"benchmarks\": []}",
+        )
+        .unwrap();
+        let slow = Json::parse(
+            "{\"scale\": \"Quick\", \"total_wall_ms_incremental\": 10000.0, \
+             \"total_wall_ms_from_scratch\": 10000.0, \"speedup\": 1.0, \"benchmarks\": []}",
+        )
+        .unwrap();
+        let mut failures = Vec::new();
+        check_cegis(&mut failures, &baseline, &slow);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

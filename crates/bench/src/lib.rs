@@ -8,6 +8,8 @@
 
 pub mod cegis;
 pub mod egraph;
+pub mod gate;
+pub mod sat;
 pub mod serve;
 
 use std::collections::HashMap;
@@ -60,9 +62,7 @@ impl Scale {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 
     /// The benchmark list for one architecture at this scale.
@@ -295,7 +295,9 @@ pub fn print_primitives_table() {
     }
     println!(
         "  {:22} {:34} {:>6}",
-        "Xilinx UltraScale+", "DSP48E2 (programmatic)", lr_arch::primitives::DSP48E2_MODEL_SLOC
+        "Xilinx UltraScale+",
+        "DSP48E2 (programmatic)",
+        lr_arch::primitives::DSP48E2_MODEL_SLOC
     );
     println!(
         "  {:22} {:34} {:>6}",
@@ -360,10 +362,7 @@ mod tests {
         let arch = Architecture::intel_cyclone10lp();
         let results = run_architecture(&arch, Scale::Quick);
         assert!(results.tallies["lakeroad"].total() > 0);
-        assert_eq!(
-            results.tallies["lakeroad"].total(),
-            results.tallies["sota"].total()
-        );
+        assert_eq!(results.tallies["lakeroad"].total(), results.tallies["sota"].total());
         // Yosys (modelled) never maps the Intel multiplier.
         assert_eq!(results.tallies["yosys"].success, 0);
     }

@@ -105,11 +105,9 @@ fn phase(label: &'static str, run: &BatchRun, cache: CacheSnapshot) -> CachePhas
         .records
         .iter()
         .filter_map(|r| match &r.result {
-            JobResult::Finished(MapOutcome::Success(m)) => Some((
-                m.resources.dsps,
-                m.resources.logic_elements,
-                m.resources.registers,
-            )),
+            JobResult::Finished(MapOutcome::Success(m)) => {
+                Some((m.resources.dsps, m.resources.logic_elements, m.resources.registers))
+            }
             _ => None,
         })
         .collect();
@@ -170,9 +168,9 @@ impl ServeReport {
             ));
         }
         match self.speedup_4v1() {
-            Some(speedup) if speedup < 1.0 => failures.push(format!(
-                "4-worker sweep is slower than 1-worker ({speedup:.2}x)"
-            )),
+            Some(speedup) if speedup < 1.0 => {
+                failures.push(format!("4-worker sweep is slower than 1-worker ({speedup:.2}x)"))
+            }
             Some(_) => {}
             None => failures.push("scaling curve is missing the 1- or 4-worker point".into()),
         }
@@ -190,10 +188,7 @@ impl ServeReport {
             self.speedup_4v1().unwrap_or(0.0)
         ));
         out.push_str(&format!("  \"warm_hit_rate\": {:.4},\n", self.warm_hit_rate()));
-        out.push_str(&format!(
-            "  \"gates_pass\": {},\n",
-            self.gate_failures().is_empty()
-        ));
+        out.push_str(&format!("  \"gates_pass\": {},\n", self.gate_failures().is_empty()));
         out.push_str("  \"scaling\": [\n");
         for (i, r) in self.scaling.iter().enumerate() {
             out.push_str(&format!(
@@ -263,7 +258,13 @@ impl ServeReport {
         for p in [&self.cold, &self.warm] {
             println!(
                 "  {:4}  {:8.1} ms  {} hits / {} misses, {} stores, {} served, verdicts {}",
-                p.label, p.wall_ms, p.cache.hits, p.cache.misses, p.cache.stores, p.served, p.verdicts,
+                p.label,
+                p.wall_ms,
+                p.cache.hits,
+                p.cache.misses,
+                p.cache.stores,
+                p.served,
+                p.verdicts,
             );
         }
         println!("  warm hit rate: {:.1}%", 100.0 * self.warm_hit_rate());

@@ -70,10 +70,7 @@ impl BitVec {
 
     /// Binary digits of the value, most significant first.
     pub fn to_bin_string(&self) -> String {
-        (0..self.width())
-            .rev()
-            .map(|i| if self.bit(i) { '1' } else { '0' })
-            .collect()
+        (0..self.width()).rev().map(|i| if self.bit(i) { '1' } else { '0' }).collect()
     }
 
     /// Renders as a Verilog sized hexadecimal literal, e.g. `16'h00ff`.
@@ -99,10 +96,8 @@ impl BitVec {
         }
         let rest = &text[tick + 1..];
         let mut chars = rest.chars();
-        let base = chars
-            .next()
-            .ok_or_else(|| ParseBitVecError::new("missing base"))?
-            .to_ascii_lowercase();
+        let base =
+            chars.next().ok_or_else(|| ParseBitVecError::new("missing base"))?.to_ascii_lowercase();
         let digits: String = chars.collect();
         if digits.is_empty() {
             return Err(ParseBitVecError::new("missing digits"));
@@ -114,9 +109,9 @@ impl BitVec {
                 let mut acc = BitVec::zeros(width);
                 let ten = BitVec::from_u64(10, width);
                 for ch in digits.chars() {
-                    let d = ch
-                        .to_digit(10)
-                        .ok_or_else(|| ParseBitVecError::new(format!("bad decimal digit `{ch}`")))?;
+                    let d = ch.to_digit(10).ok_or_else(|| {
+                        ParseBitVecError::new(format!("bad decimal digit `{ch}`"))
+                    })?;
                     acc = acc.mul(&ten).add(&BitVec::from_u64(d as u64, width));
                 }
                 Ok(acc)
@@ -125,7 +120,11 @@ impl BitVec {
         }
     }
 
-    fn parse_radix(digits: &str, bits_per_digit: u32, width: u32) -> Result<BitVec, ParseBitVecError> {
+    fn parse_radix(
+        digits: &str,
+        bits_per_digit: u32,
+        width: u32,
+    ) -> Result<BitVec, ParseBitVecError> {
         let radix = 1u32 << bits_per_digit;
         let mut acc = BitVec::zeros(width);
         for ch in digits.chars() {
@@ -134,8 +133,9 @@ impl BitVec {
             let d = if ch == 'x' || ch == 'z' || ch == 'X' || ch == 'Z' {
                 0
             } else {
-                ch.to_digit(radix)
-                    .ok_or_else(|| ParseBitVecError::new(format!("bad digit `{ch}` for radix {radix}")))?
+                ch.to_digit(radix).ok_or_else(|| {
+                    ParseBitVecError::new(format!("bad digit `{ch}` for radix {radix}"))
+                })?
             };
             acc = acc.shl_const(bits_per_digit);
             acc = acc.or(&BitVec::from_u64(d as u64, width));

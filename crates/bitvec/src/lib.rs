@@ -19,8 +19,8 @@
 //! assert_eq!(a.concat(&b).width(), 16);
 //! ```
 
-mod ops;
 mod format;
+mod ops;
 
 pub use format::ParseBitVecError;
 

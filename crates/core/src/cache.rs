@@ -531,9 +531,6 @@ mod tests {
         assert_eq!(timeout_tier(Duration::from_secs(15)), 1);
         assert_eq!(timeout_tier(Duration::from_secs(40)), 2);
         assert_eq!(timeout_tier(Duration::from_secs(120)), 3);
-        assert_ne!(
-            timeout_tier(Duration::from_secs(20)),
-            timeout_tier(Duration::from_secs(40))
-        );
+        assert_ne!(timeout_tier(Duration::from_secs(20)), timeout_tier(Duration::from_secs(40)));
     }
 }

@@ -38,12 +38,11 @@ use std::time::{Duration, Instant};
 use lr_arch::Architecture;
 use lr_ir::{Node, Prog};
 use lr_synth::portfolio::synthesize_portfolio_with;
-use lr_synth::{
-    SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisStats, SynthesisTask,
-};
+use lr_synth::{SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisTask};
 
 pub use cache::{CacheKey, CachedOutcome, MapCache};
 pub use lr_sketch::{generate_sketch, SketchError, Template};
+pub use lr_synth::SynthesisStats;
 
 /// Configuration for one mapping run.
 #[derive(Clone)]
@@ -302,7 +301,11 @@ impl From<SynthesisError> for MapError {
 /// registers on any path from an input to the root. This is the clock cycle `t` at
 /// which the synthesized implementation must match the design (𝑓lr's `t`).
 pub fn pipeline_depth(prog: &Prog) -> u32 {
-    fn depth(prog: &Prog, id: lr_ir::NodeId, memo: &mut std::collections::HashMap<lr_ir::NodeId, u32>) -> u32 {
+    fn depth(
+        prog: &Prog,
+        id: lr_ir::NodeId,
+        memo: &mut std::collections::HashMap<lr_ir::NodeId, u32>,
+    ) -> u32 {
         if let Some(&d) = memo.get(&id) {
             return d;
         }
@@ -311,9 +314,7 @@ pub fn pipeline_depth(prog: &Prog) -> u32 {
         let d = match prog.node(id).expect("node exists") {
             Node::Reg { data, .. } => 1 + depth(prog, *data, memo),
             Node::Op(_, args) => args.iter().map(|&a| depth(prog, a, memo)).max().unwrap_or(0),
-            Node::Prim(p) => {
-                p.bindings.values().map(|&a| depth(prog, a, memo)).max().unwrap_or(0)
-            }
+            Node::Prim(p) => p.bindings.values().map(|&a| depth(prog, a, memo)).max().unwrap_or(0),
             _ => 0,
         };
         memo.insert(id, d);
@@ -397,7 +398,8 @@ fn map_prepared_design(
             if let (Some(cache), Some(key)) = (config.cache.as_deref(), key) {
                 cache.store(key, CachedOutcome::Success { holes: s.hole_assignment.clone() });
             }
-            let implementation = s.implementation.simplified().with_name(format!("{}_impl", spec.name()));
+            let implementation =
+                s.implementation.simplified().with_name(format!("{}_impl", spec.name()));
             let resources = count_resources(&implementation);
             let verilog = lr_hdl::emit_verilog(&implementation);
             MapOutcome::Success(Box::new(MappedDesign {
@@ -446,8 +448,7 @@ pub fn map_design_auto(
     // Canonicalize once (respecting the e-graph switch); every attempt below uses
     // the prepared spec directly, and the ranking scans the same program.
     let spec = if config.egraph { spec.saturated() } else { spec.clone() };
-    let ranked =
-        lr_sketch::rank_for_evidence(&lr_ir::StructuralEvidence::scan(&spec), arch);
+    let ranked = lr_sketch::rank_for_evidence(&lr_ir::StructuralEvidence::scan(&spec), arch);
     let mut unsat: Option<MapOutcome> = None;
     let mut timed_out = false;
     let mut last_error: Option<MapError> = None;

@@ -191,7 +191,13 @@ pub fn suite_for(arch: ArchName, widths: impl Iterator<Item = u32> + Clone) -> V
     out
 }
 
-fn make(arch: ArchName, shape: DesignShape, width: u32, stages: u32, signed: bool) -> Microbenchmark {
+fn make(
+    arch: ArchName,
+    shape: DesignShape,
+    width: u32,
+    stages: u32,
+    signed: bool,
+) -> Microbenchmark {
     let shape_name = match shape {
         DesignShape::Mul => "mul".to_string(),
         DesignShape::MulThen(op) => format!("mul_{}", op.name()),
@@ -238,11 +244,9 @@ mod tests {
 
     #[test]
     fn benchmark_names_are_unique() {
-        for arch in [
-            ArchName::XilinxUltraScalePlus,
-            ArchName::LatticeEcp5,
-            ArchName::IntelCyclone10Lp,
-        ] {
+        for arch in
+            [ArchName::XilinxUltraScalePlus, ArchName::LatticeEcp5, ArchName::IntelCyclone10Lp]
+        {
             let suite = full_suite(arch);
             let names: std::collections::HashSet<_> = suite.iter().map(|m| &m.name).collect();
             assert_eq!(names.len(), suite.len(), "{arch}");
@@ -267,15 +271,14 @@ mod tests {
                 .into_iter()
                 .map(|(n, v)| (n.to_string(), BitVec::from_u64(v, 8))),
         );
-        assert_eq!(
-            prog.interp(&env, 2).unwrap(),
-            BitVec::from_u64(((3 + 5) * 7) & 0x3F, 8)
-        );
+        assert_eq!(prog.interp(&env, 2).unwrap(), BitVec::from_u64(((3 + 5) * 7) & 0x3F, 8));
 
         let bench = make(ArchName::IntelCyclone10Lp, DesignShape::Mul, 12, 0, true);
         let prog = bench.build();
         let env = StreamInputs::from_constants(
-            [("a", 100u64), ("b", 30)].into_iter().map(|(n, v)| (n.to_string(), BitVec::from_u64(v, 12))),
+            [("a", 100u64), ("b", 30)]
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), BitVec::from_u64(v, 12))),
         );
         assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(3000, 12));
     }

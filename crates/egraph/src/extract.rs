@@ -107,12 +107,9 @@ impl<'a> Extractor<'a> {
             let mut changed = false;
             for class in ids.iter().map(|&id| egraph.class(id)) {
                 for node in &class.nodes {
-                    let children: Option<u64> = node
-                        .children()
-                        .iter()
-                        .try_fold(0u64, |acc, &c| {
-                            best.get(&egraph.find(c).0).map(|&(cost, _)| acc.saturating_add(cost))
-                        });
+                    let children: Option<u64> = node.children().iter().try_fold(0u64, |acc, &c| {
+                        best.get(&egraph.find(c).0).map(|&(cost, _)| acc.saturating_add(cost))
+                    });
                     let Some(children_cost) = children else { continue };
                     let total = cost.node_cost(node).saturating_add(children_cost);
                     // Equal-cost candidates (ubiquitous once commutativity has run:
@@ -160,8 +157,7 @@ impl<'a> Extractor<'a> {
     pub fn extract_many(&self, roots: &[EClassId]) -> (RecExpr, Vec<usize>) {
         let mut expr = RecExpr::default();
         let mut memo: HashMap<u32, usize> = HashMap::new();
-        let indices =
-            roots.iter().map(|&r| self.extract_into(r, &mut expr, &mut memo)).collect();
+        let indices = roots.iter().map(|&r| self.extract_into(r, &mut expr, &mut memo)).collect();
         (expr, indices)
     }
 
@@ -255,10 +251,7 @@ mod tests {
         let cost = OpCost(|op| if op == BvOp::Mul { 100 } else { 1 });
         let extractor = Extractor::new(&eg, &cost);
         let expr = extractor.extract(prod);
-        assert!(expr
-            .nodes
-            .iter()
-            .all(|n| !matches!(n, RecNode::Op { op: BvOp::Mul, .. })));
+        assert!(expr.nodes.iter().all(|n| !matches!(n, RecNode::Op { op: BvOp::Mul, .. })));
     }
 
     /// Equal-cost candidates must extract identically regardless of the order

@@ -67,8 +67,7 @@ pub fn term_to_egraph(pool: &TermPool, root: TermId, egraph: &mut EGraph) -> ECl
             }
             Term::Op { op, args, .. } => {
                 if ready {
-                    let arg_classes: Vec<EClassId> =
-                        args.iter().map(|a| memo[a]).collect();
+                    let arg_classes: Vec<EClassId> = args.iter().map(|a| memo[a]).collect();
                     let class = egraph.add(ENode::Op { op: *op, args: arg_classes });
                     memo.insert(id, class);
                 } else {
@@ -125,7 +124,8 @@ pub fn fold_term(
     rules: &[Rewrite],
     limits: &Limits,
 ) -> (TermId, FoldReport) {
-    let mut report = FoldReport { input_nodes: reachable_pool_nodes(pool, root), ..Default::default() };
+    let mut report =
+        FoldReport { input_nodes: reachable_pool_nodes(pool, root), ..Default::default() };
     let mut egraph = EGraph::new();
     let class = term_to_egraph(pool, root, &mut egraph);
     // The goal short-circuit: stop as soon as the root's value is decided.
@@ -220,8 +220,7 @@ mod tests {
         let (folded, report) = fold_term(&mut pool, doubled, &bv_rules(), &Limits::default());
         assert!(!report.folded_const);
         // x + 0 collapsed to x, so the result is x + x.
-        let env: lr_smt::Env =
-            [("x".to_string(), BitVec::from_u64(21, 8))].into_iter().collect();
+        let env: lr_smt::Env = [("x".to_string(), BitVec::from_u64(21, 8))].into_iter().collect();
         assert_eq!(pool.eval(folded, &env).unwrap(), BitVec::from_u64(42, 8));
         assert!(report.output_nodes <= report.input_nodes);
     }

@@ -279,12 +279,11 @@ impl EGraph {
             return (a, false);
         }
         // Merge the smaller class into the larger.
-        let (keep, merge) =
-            if self.classes[&a.0].nodes.len() >= self.classes[&b.0].nodes.len() {
-                (a, b)
-            } else {
-                (b, a)
-            };
+        let (keep, merge) = if self.classes[&a.0].nodes.len() >= self.classes[&b.0].nodes.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let merged = self.classes.remove(&merge.0).expect("canonical class exists");
         self.uf[merge.0 as usize] = keep.0;
         let kept = self.classes.get_mut(&keep.0).expect("canonical class exists");

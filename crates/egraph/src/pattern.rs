@@ -147,12 +147,7 @@ impl Rewrite {
 }
 
 /// Matches `pattern` against a class, returning every substitution that works.
-pub fn match_in_class(
-    eg: &EGraph,
-    pattern: &Pattern,
-    class: &EClass,
-    subst: &Subst,
-) -> Vec<Subst> {
+pub fn match_in_class(eg: &EGraph, pattern: &Pattern, class: &EClass, subst: &Subst) -> Vec<Subst> {
     match pattern {
         Pattern::Any(name) => subst.try_bind(name, class.id, eg).into_iter().collect(),
         Pattern::Const(name) => {

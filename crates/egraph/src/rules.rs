@@ -31,11 +31,27 @@ pub fn bv_rules_cached() -> &'static [Rewrite] {
 pub fn bv_rules() -> Vec<Rewrite> {
     let mut rules = vec![
         // --- commutativity ---
-        Rewrite::rule("add-comm", p::add(p::any("a"), p::any("b")), p::add(p::any("b"), p::any("a"))),
-        Rewrite::rule("mul-comm", p::mul(p::any("a"), p::any("b")), p::mul(p::any("b"), p::any("a"))),
-        Rewrite::rule("and-comm", p::and(p::any("a"), p::any("b")), p::and(p::any("b"), p::any("a"))),
+        Rewrite::rule(
+            "add-comm",
+            p::add(p::any("a"), p::any("b")),
+            p::add(p::any("b"), p::any("a")),
+        ),
+        Rewrite::rule(
+            "mul-comm",
+            p::mul(p::any("a"), p::any("b")),
+            p::mul(p::any("b"), p::any("a")),
+        ),
+        Rewrite::rule(
+            "and-comm",
+            p::and(p::any("a"), p::any("b")),
+            p::and(p::any("b"), p::any("a")),
+        ),
         Rewrite::rule("or-comm", p::or(p::any("a"), p::any("b")), p::or(p::any("b"), p::any("a"))),
-        Rewrite::rule("xor-comm", p::xor(p::any("a"), p::any("b")), p::xor(p::any("b"), p::any("a"))),
+        Rewrite::rule(
+            "xor-comm",
+            p::xor(p::any("a"), p::any("b")),
+            p::xor(p::any("b"), p::any("a")),
+        ),
         Rewrite::rule("eq-comm", p::eq(p::any("a"), p::any("b")), p::eq(p::any("b"), p::any("a"))),
         // --- associativity (one direction each; commutativity supplies the rest) ---
         Rewrite::rule(

@@ -77,10 +77,7 @@ fn bin(
 }
 
 fn ast_strategy() -> impl Strategy<Value = Ast> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(Ast::Var),
-        (0u64..=0xff).prop_map(Ast::Const),
-    ];
+    let leaf = prop_oneof![(0u8..3).prop_map(Ast::Var), (0u64..=0xff).prop_map(Ast::Const),];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| Ast::Not(Box::new(a))),

@@ -147,9 +147,6 @@ impl ModuleAst {
 
     /// Names of input ports (excluding `clk`) in declaration order.
     pub fn data_inputs(&self) -> Vec<&SignalDecl> {
-        self.signals
-            .iter()
-            .filter(|s| s.dir == Some(PortDir::Input) && s.name != "clk")
-            .collect()
+        self.signals.iter().filter(|s| s.dir == Some(PortDir::Input) && s.name != "clk").collect()
     }
 }

@@ -131,9 +131,8 @@ pub fn elaborate(ast: &ModuleAst, params_as_inputs: bool) -> Result<Prog, Elabor
             }
         }
     }
-    let root = *env
-        .get(&output_name)
-        .ok_or(ElaborateError::OutputNeverAssigned(output_name.clone()))?;
+    let root =
+        *env.get(&output_name).ok_or(ElaborateError::OutputNeverAssigned(output_name.clone()))?;
     Ok(b.finish(root))
 }
 

@@ -57,7 +57,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, String> {
         if c.is_ascii_alphabetic() || c == '_' || c == '\\' || c == '$' {
             let start = i;
             i += 1;
-            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$') {
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+            {
                 i += 1;
             }
             out.push(Token::Ident(bytes[start..i].iter().collect()));

@@ -281,12 +281,7 @@ mod tests {
     #[test]
     fn mult18x18c_multiplies() {
         let prog = extract_semantics(MULT18X18C).unwrap();
-        let e = env(&[
-            ("A", 3000, 18),
-            ("B", 1234, 18),
-            ("REG_INPUT", 0, 1),
-            ("REG_OUTPUT", 0, 1),
-        ]);
+        let e = env(&[("A", 3000, 18), ("B", 1234, 18), ("REG_INPUT", 0, 1), ("REG_OUTPUT", 0, 1)]);
         assert_eq!(prog.interp(&e, 0).unwrap(), BitVec::from_u64(3000 * 1234, 36));
     }
 

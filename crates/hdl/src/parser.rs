@@ -237,7 +237,9 @@ impl Parser {
             Some(Token::SizedLiteral(text)) => BitVec::parse_verilog(&text)
                 .map_err(|e| ParseError::new(e.to_string()))?
                 .resize_zext(width),
-            other => return Err(ParseError::new(format!("expected parameter value, found {other:?}"))),
+            other => {
+                return Err(ParseError::new(format!("expected parameter value, found {other:?}")))
+            }
         };
         self.expect_symbol(";")?;
         signals.push(SignalDecl {
@@ -560,7 +562,8 @@ endmodule
 
     #[test]
     fn parses_part_selects_and_concat() {
-        let src = "module s(input [15:0] x, output [15:0] y); assign y = {x[7:0], x[15:8]}; endmodule";
+        let src =
+            "module s(input [15:0] x, output [15:0] y); assign y = {x[7:0], x[15:8]}; endmodule";
         let m = parse_module(src).unwrap();
         match &m.statements[0] {
             Statement::Assign { rhs: Expr::Concat(parts), .. } => {

@@ -60,9 +60,7 @@ impl Prog {
     /// Whether the program is in the behavioral fragment ℒbeh (no primitives, no
     /// holes).
     pub fn is_behavioral(&self) -> bool {
-        self.nodes
-            .values()
-            .all(|n| !matches!(n, Node::Prim(_) | Node::Hole { .. }))
+        self.nodes.values().all(|n| !matches!(n, Node::Prim(_) | Node::Hole { .. }))
     }
 
     /// Whether the program is in the structural fragment ℒstruct: no operator nodes

@@ -110,11 +110,7 @@ impl std::error::Error for InterpError {}
 /// in the `Prim` rule of Fig. 4).
 enum EnvCtx<'a> {
     External(&'a dyn Inputs),
-    Prim {
-        outer_prog: &'a Prog,
-        outer_env: &'a EnvCtx<'a>,
-        bindings: &'a BTreeMap<String, NodeId>,
-    },
+    Prim { outer_prog: &'a Prog, outer_env: &'a EnvCtx<'a>, bindings: &'a BTreeMap<String, NodeId> },
 }
 
 impl Prog {
@@ -141,11 +137,7 @@ impl Prog {
 
     /// Evaluates the root at each of the cycles `0..=last`, returning one value per
     /// cycle. Useful for comparing pipelined designs over a window of time.
-    pub fn interp_trace(
-        &self,
-        inputs: &dyn Inputs,
-        last: u32,
-    ) -> Result<Vec<BitVec>, InterpError> {
+    pub fn interp_trace(&self, inputs: &dyn Inputs, last: u32) -> Result<Vec<BitVec>, InterpError> {
         (0..=last).map(|t| self.interp(inputs, t)).collect()
     }
 }

@@ -44,7 +44,7 @@ use std::fmt;
 use lr_bv::BitVec;
 
 pub use holes::{HoleDomain, HoleInfo};
-pub use interp::{InterpError, Inputs, StreamInputs};
+pub use interp::{Inputs, InterpError, StreamInputs};
 pub use lr_smt::BvOp;
 pub use saturate::{SaturateOutcome, StructuralEvidence};
 pub use wf::WellFormednessError;
@@ -258,15 +258,13 @@ impl Prog {
                         Node::Hole { name: name.clone(), width: *width, domain: domain.clone() }
                     }
                     Node::Op(op, args) => Node::Op(*op, args.iter().map(|&a| remap(a)).collect()),
-                    Node::Reg { data, init } => Node::Reg { data: remap(*data), init: init.clone() },
+                    Node::Reg { data, init } => {
+                        Node::Reg { data: remap(*data), init: init.clone() }
+                    }
                     Node::Prim(p) => Node::Prim(PrimInstance {
                         module: p.module.clone(),
                         interface: p.interface.clone(),
-                        bindings: p
-                            .bindings
-                            .iter()
-                            .map(|(k, &v)| (k.clone(), remap(v)))
-                            .collect(),
+                        bindings: p.bindings.iter().map(|(k, &v)| (k.clone(), remap(v))).collect(),
                         semantics: p.semantics.with_id_offset(offset),
                         param_names: p.param_names.clone(),
                         output_port: p.output_port.clone(),

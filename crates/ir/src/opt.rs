@@ -29,8 +29,7 @@ impl Prog {
                 let node = nodes[&id].clone();
                 match node {
                     Node::Op(op, args) => {
-                        let args: Vec<NodeId> =
-                            args.iter().map(|a| resolve(&alias, *a)).collect();
+                        let args: Vec<NodeId> = args.iter().map(|a| resolve(&alias, *a)).collect();
                         // Fold if-then-else with a constant condition into an alias.
                         if op == crate::BvOp::Ite {
                             if let Some(Node::BV(c)) = nodes.get(&args[0]) {
@@ -142,15 +141,12 @@ mod tests {
         let prog = b.finish(r);
         let simplified = prog.simplified();
         assert!(simplified.well_formed().is_ok());
-        let env =
-            StreamInputs::from_constants([("a".to_string(), BitVec::from_u64(10, 8))]);
+        let env = StreamInputs::from_constants([("a".to_string(), BitVec::from_u64(10, 8))]);
         for t in 0..3 {
             assert_eq!(prog.interp(&env, t).unwrap(), simplified.interp(&env, t).unwrap());
         }
         // The 2*3 multiplication was folded to a constant.
-        assert!(simplified
-            .nodes()
-            .all(|(_, n)| !matches!(n, Node::Op(BvOp::Mul, _))));
+        assert!(simplified.nodes().all(|(_, n)| !matches!(n, Node::Op(BvOp::Mul, _))));
     }
 
     #[test]

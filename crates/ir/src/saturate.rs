@@ -72,9 +72,7 @@ fn parse_symbol(name: &str) -> Option<SymbolKind<'_>> {
     if let Some(var) = name.strip_prefix("v!") {
         return Some(SymbolKind::Var(var));
     }
-    name.strip_prefix("o!")
-        .and_then(|id| id.parse().ok())
-        .map(|id| SymbolKind::Opaque(NodeId(id)))
+    name.strip_prefix("o!").and_then(|id| id.parse().ok()).map(|id| SymbolKind::Opaque(NodeId(id)))
 }
 
 enum SymbolKind<'a> {
@@ -108,9 +106,9 @@ fn cone_to_egraph(
             Node::Var { name, width } => {
                 Some(egraph.add(ENode::Symbol { name: var_symbol(name), width: *width }))
             }
-            Node::Reg { .. } | Node::Prim(_) | Node::Hole { .. } => Some(
-                egraph.add(ENode::Symbol { name: opaque_symbol(id), width: prog.width(id) }),
-            ),
+            Node::Reg { .. } | Node::Prim(_) | Node::Hole { .. } => {
+                Some(egraph.add(ENode::Symbol { name: opaque_symbol(id), width: prog.width(id) }))
+            }
             Node::Op(op, args) => {
                 if ready {
                     let arg_classes: Vec<EClassId> = args
@@ -127,10 +125,10 @@ fn cone_to_egraph(
                     None
                 } else {
                     // Re-encountered while open: combinational cycle fallback.
-                    Some(egraph.add(ENode::Symbol {
-                        name: opaque_symbol(id),
-                        width: prog.width(id),
-                    }))
+                    Some(
+                        egraph
+                            .add(ENode::Symbol { name: opaque_symbol(id), width: prog.width(id) }),
+                    )
                 }
             }
         };
@@ -221,11 +219,8 @@ impl Prog {
             };
             expr_ids.push(id);
         }
-        let extracted: HashMap<NodeId, NodeId> = cone_roots
-            .iter()
-            .zip(&root_indices)
-            .map(|(&old, &idx)| (old, expr_ids[idx]))
-            .collect();
+        let extracted: HashMap<NodeId, NodeId> =
+            cone_roots.iter().zip(&root_indices).map(|(&old, &idx)| (old, expr_ids[idx])).collect();
 
         // Re-point the sequential/structural boundaries at the canonical cones.
         for node in nodes.values_mut() {
@@ -267,18 +262,8 @@ impl Prog {
             .into_iter()
             .filter(|(id, node)| reachable.contains(id) || matches!(node, Node::Var { .. }))
             .collect();
-        let prog = Prog {
-            name: self.name.clone(),
-            root,
-            nodes,
-            inputs: self.inputs.clone(),
-        };
-        SaturateOutcome {
-            prog,
-            stats,
-            cones: cone_roots.len(),
-            extracted_nodes: expr.len(),
-        }
+        let prog = Prog { name: self.name.clone(), root, nodes, inputs: self.inputs.clone() };
+        SaturateOutcome { prog, stats, cones: cone_roots.len(), extracted_nodes: expr.len() }
     }
 
     /// The operator families surviving canonicalization — see
@@ -295,8 +280,10 @@ impl StructuralEvidence {
     /// [`Prog::structural_evidence`] does); callers running with the e-graph
     /// disabled scan the raw program and get a purely syntactic ranking.
     pub fn scan(canonical: &Prog) -> StructuralEvidence {
-        let mut ev =
-            StructuralEvidence { root_width: canonical.width(canonical.root()), ..Default::default() };
+        let mut ev = StructuralEvidence {
+            root_width: canonical.width(canonical.root()),
+            ..Default::default()
+        };
         // Comparison evidence requires a predicate-shaped *root* (possibly behind
         // a NOT — `!(a < b)` is still comparison work). Buried comparisons feeding
         // wider logic or muxes are condition logic, not a comparison design.
@@ -348,7 +335,9 @@ mod tests {
         let canonical = prog.saturated();
         assert!(canonical.well_formed().is_ok());
         // The root collapses to the input variable itself.
-        assert!(matches!(canonical.node(canonical.root()), Some(Node::Var { name, .. }) if name == "a"));
+        assert!(
+            matches!(canonical.node(canonical.root()), Some(Node::Var { name, .. }) if name == "a")
+        );
         // The interface survives: `b` is still a free variable.
         assert_eq!(prog.free_vars(), canonical.free_vars());
         assert_eq!(prog.declared_inputs(), canonical.declared_inputs());
@@ -376,7 +365,11 @@ mod tests {
             ("c".to_string(), BitVec::from_u64(3, 8)),
         ]);
         for t in 0..4 {
-            assert_eq!(prog.interp(&env, t).unwrap(), canonical.interp(&env, t).unwrap(), "cycle {t}");
+            assert_eq!(
+                prog.interp(&env, t).unwrap(),
+                canonical.interp(&env, t).unwrap(),
+                "cycle {t}"
+            );
         }
         // The registers survive as registers (sequential depth is untouched).
         let before = prog.count_kinds();

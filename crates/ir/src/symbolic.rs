@@ -40,11 +40,7 @@ pub fn parse_input_var(term_name: &str) -> Option<(&str, u32)> {
 
 enum EnvCtx<'a> {
     External,
-    Prim {
-        outer_prog: &'a Prog,
-        outer_env: &'a EnvCtx<'a>,
-        bindings: &'a BTreeMap<String, NodeId>,
-    },
+    Prim { outer_prog: &'a Prog, outer_env: &'a EnvCtx<'a>, bindings: &'a BTreeMap<String, NodeId> },
 }
 
 /// Options controlling symbolic interpretation.
@@ -138,7 +134,9 @@ fn build(
     let term = match node {
         Node::BV(bv) => pool.constant(bv.clone()),
         Node::Hole { name, width, .. } => pool.var(&hole_var_name(name), *width),
-        Node::Var { name, width } => resolve_var(prog, env, pool, time, name, *width, options, memo),
+        Node::Var { name, width } => {
+            resolve_var(prog, env, pool, time, name, *width, options, memo)
+        }
         Node::Reg { data, init } => {
             if time == 0 {
                 pool.constant(init.clone())
@@ -147,14 +145,13 @@ fn build(
             }
         }
         Node::Op(op, args) => {
-            let arg_terms: Vec<TermId> = args
-                .iter()
-                .map(|&a| build(prog, env, pool, time, a, options, memo))
-                .collect();
+            let arg_terms: Vec<TermId> =
+                args.iter().map(|&a| build(prog, env, pool, time, a, options, memo)).collect();
             pool.mk_op(*op, arg_terms)
         }
         Node::Prim(p) => {
-            let inner_env = EnvCtx::Prim { outer_prog: prog, outer_env: env, bindings: &p.bindings };
+            let inner_env =
+                EnvCtx::Prim { outer_prog: prog, outer_env: env, bindings: &p.bindings };
             build(&p.semantics, &inner_env, pool, time, p.semantics.root(), options, memo)
         }
     };

@@ -242,17 +242,13 @@ mod tests {
         use crate::{Node, Prog};
         let mut nodes = Map::new();
         nodes.insert(crate::NodeId(0), Node::BV(BitVec::from_u64(1, 8)));
-        nodes.insert(crate::NodeId(1), Node::Op(BvOp::Add, vec![crate::NodeId(0), crate::NodeId(2)]));
         nodes.insert(
-            crate::NodeId(2),
-            Node::Reg { data: crate::NodeId(1), init: BitVec::zeros(8) },
+            crate::NodeId(1),
+            Node::Op(BvOp::Add, vec![crate::NodeId(0), crate::NodeId(2)]),
         );
-        let prog = Prog {
-            name: "counter".into(),
-            root: crate::NodeId(2),
-            nodes,
-            inputs: vec![],
-        };
+        nodes
+            .insert(crate::NodeId(2), Node::Reg { data: crate::NodeId(1), init: BitVec::zeros(8) });
+        let prog = Prog { name: "counter".into(), root: crate::NodeId(2), nodes, inputs: vec![] };
         assert!(prog.well_formed().is_ok());
     }
 
@@ -261,13 +257,14 @@ mod tests {
         use crate::{Node, Prog};
         let mut nodes = Map::new();
         // n0 = n1 & n1; n1 = n0 | n0  -- a purely combinational loop.
-        nodes.insert(crate::NodeId(0), Node::Op(BvOp::And, vec![crate::NodeId(1), crate::NodeId(1)]));
-        nodes.insert(crate::NodeId(1), Node::Op(BvOp::Or, vec![crate::NodeId(0), crate::NodeId(0)]));
+        nodes.insert(
+            crate::NodeId(0),
+            Node::Op(BvOp::And, vec![crate::NodeId(1), crate::NodeId(1)]),
+        );
+        nodes
+            .insert(crate::NodeId(1), Node::Op(BvOp::Or, vec![crate::NodeId(0), crate::NodeId(0)]));
         let prog = Prog { name: "loop".into(), root: crate::NodeId(0), nodes, inputs: vec![] };
-        assert!(matches!(
-            prog.well_formed(),
-            Err(WellFormednessError::CombinationalLoop { .. })
-        ));
+        assert!(matches!(prog.well_formed(), Err(WellFormednessError::CombinationalLoop { .. })));
     }
 
     #[test]
@@ -329,10 +326,7 @@ mod tests {
         prim.bindings.insert("ghost".to_string(), a);
         let p = b.prim(prim);
         let prog = b.finish(p);
-        assert!(matches!(
-            prog.well_formed(),
-            Err(WellFormednessError::BindingMismatch { .. })
-        ));
+        assert!(matches!(prog.well_formed(), Err(WellFormednessError::BindingMismatch { .. })));
 
         // Missing binding.
         let mut b = ProgBuilder::new("p3");
@@ -341,10 +335,7 @@ mod tests {
         prim.bindings.clear();
         let p = b.prim(prim);
         let prog = b.finish(p);
-        assert!(matches!(
-            prog.well_formed(),
-            Err(WellFormednessError::BindingMismatch { .. })
-        ));
+        assert!(matches!(prog.well_formed(), Err(WellFormednessError::BindingMismatch { .. })));
     }
 
     #[test]

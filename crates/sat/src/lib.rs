@@ -7,17 +7,24 @@
 //!
 //! The solver implements the standard modern CDCL loop:
 //!
-//! * two-watched-literal unit propagation,
-//! * first-UIP conflict analysis with clause learning and non-chronological
+//! * two-watched-literal unit propagation, with binary clauses propagated through
+//!   dedicated implication lists instead of the general watch scheme,
+//! * first-UIP conflict analysis with clause learning, recursive learnt-clause
+//!   minimization (seen-stamp abstraction-level check), and non-chronological
 //!   backjumping,
 //! * exponential VSIDS variable activities with an indexed max-heap and phase saving,
-//! * Luby restarts,
-//! * activity-driven learnt-clause database reduction,
-//! * solving under assumptions (used by the incremental CEGIS loop).
+//! * LBD ("glue") computation at learn time feeding a tiered learnt-clause database —
+//!   core (low glue, never deleted) / mid / local — with glucose-style reduction,
+//!   or the legacy pure-activity reduction ([`ClauseDbMode`]),
+//! * Luby restarts or adaptive restarts driven by fast/slow exponential moving
+//!   averages of conflict LBD ([`RestartMode`]),
+//! * solving under assumptions (used by the incremental CEGIS loop),
+//! * a DIMACS escape hatch ([`Solver::to_dimacs`] / [`Solver::from_dimacs`]) so a
+//!   misbehaving query can be replayed outside the harness.
 //!
-//! [`SolverConfig`] exposes the heuristic knobs (branching polarity, restart interval,
-//! decay factors, random seed) that the portfolio in `lr-synth` varies to emulate the
-//! paper's four-solver portfolio.
+//! [`SolverConfig`] exposes the heuristic knobs (branching polarity, restart strategy,
+//! clause-database tiers, decay factors, random seed) that the portfolio in `lr-synth`
+//! varies to emulate the paper's four-solver portfolio.
 //!
 //! ```
 //! use lr_sat::{Lit, Solver, SolveResult};
@@ -31,11 +38,40 @@
 //! assert_eq!(solver.value(b), Some(true));
 //! ```
 
+mod dimacs;
 mod solver;
 mod types;
 
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveResult, Solver, SolverStats, GLUE_BUCKETS};
 pub use types::{Lit, Var};
+
+/// Restart strategy of the search loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RestartMode {
+    /// Restart after a Luby-sequence number of conflicts
+    /// (unit = [`SolverConfig::restart_base`]).
+    Luby,
+    /// Glucose-style adaptive restarts: restart when the fast exponential moving
+    /// average of conflict LBD exceeds [`SolverConfig::restart_margin`] times the
+    /// slow one (search is producing worse-than-usual clauses), with
+    /// [`SolverConfig::restart_base`] as the minimum conflict distance between
+    /// restarts. Restarts are postponed while the trail is unusually deep — the
+    /// solver may be closing in on a model ([`SolverStats::blocked_restarts`]).
+    Ema,
+}
+
+/// Learnt-clause database management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClauseDbMode {
+    /// The legacy policy: every non-binary learnt clause competes on clause
+    /// activity alone; reduction deletes the less active half.
+    Activity,
+    /// Glue-tiered policy: clauses with LBD ≤ [`SolverConfig::core_lbd`] are kept
+    /// forever, LBD ≤ [`SolverConfig::mid_lbd`] survives while it keeps being used,
+    /// and the rest (the local tier) is reduced by activity. Binary learnt clauses
+    /// always count as core.
+    Tiered,
+}
 
 /// Heuristic configuration for the solver. Different configurations form the
 /// "solver portfolio" of the synthesis engine.
@@ -50,8 +86,28 @@ pub struct SolverConfig {
     /// Multiplicative decay applied to variable activities after each conflict
     /// (the solver actually bumps by a growing increment, MiniSat-style).
     pub var_decay: f64,
-    /// Base (unit) of the Luby restart sequence, in conflicts.
+    /// Restart strategy; see [`RestartMode`].
+    pub restart_mode: RestartMode,
+    /// Luby unit, or minimum conflict distance between EMA restarts, in conflicts.
     pub restart_base: u64,
+    /// EMA mode: smoothing factor of the fast (recent) conflict-LBD average.
+    pub ema_fast_alpha: f64,
+    /// EMA mode: smoothing factor of the slow (long-run) conflict-LBD average.
+    pub ema_slow_alpha: f64,
+    /// EMA mode: restart once `fast > restart_margin * slow`.
+    pub restart_margin: f64,
+    /// EMA mode: postpone a pending restart while the trail is deeper than
+    /// `restart_block_margin` times its long-run average (`f64::INFINITY`
+    /// disables blocking; measured best on the bit-blasted synthesis tier, where
+    /// rapid restarts win — portfolio members re-enable it for diversity).
+    pub restart_block_margin: f64,
+    /// Learnt-clause database policy; see [`ClauseDbMode`].
+    pub db_mode: ClauseDbMode,
+    /// Tiered mode: learnt clauses with LBD at or below this never leave the DB.
+    pub core_lbd: u32,
+    /// Tiered mode: learnt clauses with LBD at or below this (but above
+    /// [`SolverConfig::core_lbd`]) stay while they keep participating in conflicts.
+    pub mid_lbd: u32,
     /// Number of conflicts between learnt-clause database reductions.
     pub reduce_interval: u64,
     /// Probability (in 1/1024 units) of making a random decision instead of the
@@ -65,13 +121,23 @@ pub struct SolverConfig {
 }
 
 impl Default for SolverConfig {
+    /// The modernized default: glue-tiered clause database and adaptive EMA
+    /// restarts. [`SolverConfig::legacy`] restores the early-MiniSat-style policy.
     fn default() -> Self {
         SolverConfig {
             name: "default".to_string(),
             default_polarity: false,
             phase_saving: true,
             var_decay: 0.95,
-            restart_base: 100,
+            restart_mode: RestartMode::Ema,
+            restart_base: 50,
+            ema_fast_alpha: 1.0 / 32.0,
+            ema_slow_alpha: 1.0 / 4096.0,
+            restart_margin: 1.25,
+            restart_block_margin: f64::INFINITY,
+            db_mode: ClauseDbMode::Tiered,
+            core_lbd: 2,
+            mid_lbd: 6,
             reduce_interval: 2000,
             random_branch_per_1024: 16,
             seed: 0x1a4e_40ad,
@@ -81,34 +147,66 @@ impl Default for SolverConfig {
 }
 
 impl SolverConfig {
+    /// The pre-modernization configuration: pure-activity clause deletion and Luby
+    /// restarts, as the solver shipped before the tiered database landed. Kept as
+    /// the differential-testing oracle and the `exp_sat` comparison point.
+    pub fn legacy() -> SolverConfig {
+        SolverConfig {
+            name: "legacy".to_string(),
+            restart_mode: RestartMode::Luby,
+            // The seed solver's Luby unit, pinned independently of the modern
+            // default's EMA minimum-distance value.
+            restart_base: 100,
+            db_mode: ClauseDbMode::Activity,
+            ..SolverConfig::default()
+        }
+    }
+
     /// The four portfolio configurations used by `lr-synth`, standing in for the
-    /// paper's Bitwuzla / STP / Yices2 / cvc5 portfolio (§4.5).
+    /// paper's Bitwuzla / STP / Yices2 / cvc5 portfolio (§4.5). The members span
+    /// restart strategy (EMA vs. Luby) × clause-database policy and tier
+    /// thresholds (tight vs. roomy core/mid cut-offs vs. activity-only) ×
+    /// branching polarity, so they fail differently on the same query.
     pub fn portfolio() -> Vec<SolverConfig> {
         vec![
+            // The modernized default: EMA restarts, standard glucose tiers.
             SolverConfig { name: "bitblaze".into(), ..Default::default() },
+            // Positive polarity, fast decay, eager EMA restarts with trail-depth
+            // blocking enabled, roomy tiers that hoard more mid-glue clauses.
             SolverConfig {
                 name: "stipple".into(),
                 default_polarity: true,
                 var_decay: 0.90,
-                restart_base: 64,
+                restart_base: 50,
+                restart_margin: 1.15,
+                restart_block_margin: 1.4,
+                core_lbd: 3,
+                mid_lbd: 8,
                 seed: 0xfeed_beef,
                 ..Default::default()
             },
+            // Luby restarts over the tiered database, no phase saving, slow decay,
+            // heavy random branching: the "diversifier".
             SolverConfig {
                 name: "yolanda".into(),
                 phase_saving: false,
                 var_decay: 0.99,
+                restart_mode: RestartMode::Luby,
                 restart_base: 256,
                 random_branch_per_1024: 64,
                 seed: 0x0dd_c0de,
                 ..Default::default()
             },
+            // The throwback member: Luby restarts and activity-only deletion
+            // (the legacy policy), positive polarity, very fast decay.
             SolverConfig {
                 name: "cinqve".into(),
                 default_polarity: true,
                 phase_saving: true,
                 var_decay: 0.80,
+                restart_mode: RestartMode::Luby,
                 restart_base: 32,
+                db_mode: ClauseDbMode::Activity,
                 reduce_interval: 1000,
                 random_branch_per_1024: 128,
                 seed: 0x5eed_5eed,
@@ -131,7 +229,38 @@ mod tests {
     }
 
     #[test]
+    fn portfolio_spans_restart_and_db_strategies() {
+        let p = SolverConfig::portfolio();
+        assert!(p.iter().any(|c| c.restart_mode == RestartMode::Ema));
+        assert!(p.iter().any(|c| c.restart_mode == RestartMode::Luby));
+        assert!(p.iter().any(|c| c.db_mode == ClauseDbMode::Tiered));
+        assert!(p.iter().any(|c| c.db_mode == ClauseDbMode::Activity));
+        assert!(p.iter().any(|c| c.default_polarity));
+        assert!(p.iter().any(|c| !c.default_polarity));
+        // Tier thresholds differ between at least two tiered members.
+        let tiers: std::collections::HashSet<(u32, u32)> = p
+            .iter()
+            .filter(|c| c.db_mode == ClauseDbMode::Tiered)
+            .map(|c| (c.core_lbd, c.mid_lbd))
+            .collect();
+        assert!(tiers.len() >= 2);
+    }
+
+    #[test]
     fn default_config_is_unbounded() {
         assert_eq!(SolverConfig::default().conflict_budget, None);
+    }
+
+    #[test]
+    fn default_is_modern_and_legacy_is_not() {
+        let modern = SolverConfig::default();
+        assert_eq!(modern.restart_mode, RestartMode::Ema);
+        assert_eq!(modern.db_mode, ClauseDbMode::Tiered);
+        let legacy = SolverConfig::legacy();
+        assert_eq!(legacy.restart_mode, RestartMode::Luby);
+        assert_eq!(legacy.db_mode, ClauseDbMode::Activity);
+        // Legacy differs only in restart/database policy.
+        assert_eq!(legacy.var_decay, modern.var_decay);
+        assert_eq!(legacy.seed, modern.seed);
     }
 }

@@ -1,6 +1,30 @@
 //! The CDCL solver proper.
+//!
+//! Beyond the textbook loop (two-watched-literal propagation, first-UIP learning,
+//! VSIDS), this implementation carries the contemporary refinements the rest of the
+//! system leans on:
+//!
+//! * **Binary implication lists** — two-literal clauses are propagated through a
+//!   dedicated `(other, clause)` list per literal instead of the general watch
+//!   scheme: no watch juggling, one cache line per implication, and the lists never
+//!   need lazy cleanup because binary clauses are never deleted.
+//! * **LBD ("glue") at learn time** — every learnt clause records the number of
+//!   distinct decision levels among its literals. Low-glue clauses connect few
+//!   search levels and tend to stay useful forever (Audemard & Simon, glucose).
+//! * **Tiered clause database** ([`ClauseDbMode::Tiered`]) — learnt clauses live in
+//!   core (glue ≤ `core_lbd`, never deleted), mid (kept while they keep appearing
+//!   in conflicts, demoted otherwise), or local (reduced by activity) tiers. LBD is
+//!   recomputed whenever a clause participates in a conflict and clauses promote as
+//!   their glue improves. [`ClauseDbMode::Activity`] keeps the legacy policy.
+//! * **Recursive learnt-clause minimization** — after first-UIP analysis, literals
+//!   whose reason-side justification is already implied by the rest of the clause
+//!   are removed (seen-stamp DFS with the abstraction-level pruning check).
+//! * **Adaptive restarts** ([`RestartMode::Ema`]) — fast/slow exponential moving
+//!   averages of conflict glue trigger a restart when recent clauses are worse than
+//!   the long-run trend, with trail-depth blocking; [`RestartMode::Luby`] keeps the
+//!   classic schedule.
 
-use crate::{Lit, SolverConfig, Var};
+use crate::{ClauseDbMode, Lit, RestartMode, SolverConfig, Var};
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -13,6 +37,11 @@ pub enum SolveResult {
     Unknown,
 }
 
+/// Number of buckets in [`SolverStats::glue_histogram`]: bucket `i` counts learnt
+/// clauses with LBD `i + 1`; the last bucket collects everything at or above
+/// `GLUE_BUCKETS`.
+pub const GLUE_BUCKETS: usize = 8;
+
 /// Counters describing the work a solve performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -24,10 +53,49 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Number of restarts performed.
     pub restarts: u64,
-    /// Number of learnt clauses currently in the database.
+    /// EMA mode: restarts that were due but postponed because the trail was
+    /// unusually deep (the solver looked close to a model).
+    pub blocked_restarts: u64,
+    /// Number of learnt clauses currently in the database (including binary
+    /// learnts; excluding learnt units, which become root assignments).
     pub learnt_clauses: u64,
-    /// Number of learnt clauses deleted by database reduction.
+    /// Number of learnt clauses deleted by database reduction. The total ever
+    /// learned is `learnt_clauses + deleted_clauses`.
     pub deleted_clauses: u64,
+    /// Literals removed from learnt clauses by recursive minimization.
+    pub minimized_literals: u64,
+    /// Total literals across learnt clauses as they were stored (i.e. after
+    /// minimization). Monotone: deletion does not subtract.
+    pub learnt_literals: u64,
+    /// Glue histogram over stored learnt clauses: bucket `i` counts clauses learned
+    /// with LBD `i + 1`, the last bucket collects LBD ≥ [`GLUE_BUCKETS`]. The
+    /// bucket sum equals the total number of clauses ever learned.
+    pub glue_histogram: [u64; GLUE_BUCKETS],
+    /// Learnt clauses currently in the core tier (glue ≤ `core_lbd`, plus binary
+    /// learnts; never deleted).
+    pub core_clauses: u64,
+    /// Learnt clauses currently in the mid tier.
+    pub mid_clauses: u64,
+    /// Learnt clauses currently in the local tier (the reduction victims).
+    pub local_clauses: u64,
+}
+
+impl SolverStats {
+    /// Total learnt-clause events: every clause ever stored, deleted or not.
+    pub fn total_learnt(&self) -> u64 {
+        self.glue_histogram.iter().sum()
+    }
+}
+
+/// Which tier of the learnt-clause database a clause lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Tier {
+    /// Never deleted: problem clauses, binary learnts, glue ≤ `core_lbd`.
+    Core,
+    /// Kept while it keeps participating in conflicts; demoted to local otherwise.
+    Mid,
+    /// Reduced by activity.
+    Local,
 }
 
 #[derive(Debug)]
@@ -36,6 +104,20 @@ struct Clause {
     learnt: bool,
     activity: f64,
     deleted: bool,
+    /// Literal-block distance at learn time, improved whenever the clause shows up
+    /// in conflict analysis. 0 for problem clauses (never computed).
+    lbd: u32,
+    tier: Tier,
+    /// Participated in conflict analysis since the last database reduction.
+    used: bool,
+}
+
+/// One entry of a binary implication list: when the owning literal is falsified,
+/// `other` is implied with `clause` as its reason.
+#[derive(Debug, Clone, Copy)]
+struct BinWatch {
+    other: Lit,
+    clause: u32,
 }
 
 const UNDEF: i8 = 0;
@@ -52,8 +134,10 @@ const FALSE: i8 = -1;
 pub struct Solver {
     config: SolverConfig,
     clauses: Vec<Clause>,
-    /// watches[lit.index()] = indices of clauses currently watching `lit`.
+    /// watches[lit.index()] = indices of non-binary clauses currently watching `lit`.
     watches: Vec<Vec<u32>>,
+    /// bin_watches[lit.index()] = implications fired when `lit` is falsified.
+    bin_watches: Vec<Vec<BinWatch>>,
     values: Vec<i8>,
     saved_phase: Vec<bool>,
     level: Vec<u32>,
@@ -68,6 +152,18 @@ pub struct Solver {
     heap: Vec<Var>,
     heap_pos: Vec<i32>,
     seen: Vec<bool>,
+    /// Scratch for LBD computation: level → last stamp that counted it.
+    level_stamp: Vec<u64>,
+    lbd_stamp: u64,
+    /// Scratch for recursive minimization: DFS worklist and extra seen-marks to
+    /// clear after analysis.
+    min_stack: Vec<Lit>,
+    min_clear: Vec<Lit>,
+    /// Fast/slow EMAs of conflict LBD and the trail-depth EMA (restart blocking).
+    ema_fast: f64,
+    ema_slow: f64,
+    ema_trail: f64,
+    ema_primed: bool,
     unsat_at_root: bool,
     rng_state: u64,
     stats: SolverStats,
@@ -95,6 +191,7 @@ impl Solver {
             config,
             clauses: Vec::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             values: Vec::new(),
             saved_phase: Vec::new(),
             level: Vec::new(),
@@ -108,9 +205,22 @@ impl Solver {
             heap: Vec::new(),
             heap_pos: Vec::new(),
             seen: Vec::new(),
+            level_stamp: vec![0],
+            lbd_stamp: 0,
+            min_stack: Vec::new(),
+            min_clear: Vec::new(),
+            ema_fast: 0.0,
+            ema_slow: 0.0,
+            ema_trail: 0.0,
+            ema_primed: false,
             unsat_at_root: false,
             stats: SolverStats::default(),
         }
+    }
+
+    /// The configuration this solver runs under.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Statistics from solving so far.
@@ -139,6 +249,11 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        // Decision levels are usually bounded by the variable count (dummy
+        // assumption levels can exceed it; see `reserve_level_stamp`).
+        self.level_stamp.push(0);
         self.heap_pos.push(-1);
         self.heap_insert(v);
         v
@@ -195,20 +310,73 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(filtered, false);
+                self.attach_clause(filtered, false, 0);
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    /// The problem (non-learnt, non-deleted) clauses, for the DIMACS writer.
+    pub(crate) fn problem_clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).map(|c| c.lits.as_slice())
+    }
+
+    /// Root-level assignments (added or derived unit clauses), for the DIMACS
+    /// writer.
+    pub(crate) fn root_units(&self) -> &[Lit] {
+        let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        &self.trail[..bound]
+    }
+
+    /// Whether the instance is already known unsatisfiable at the root level.
+    pub(crate) fn known_unsat_at_root(&self) -> bool {
+        self.unsat_at_root
+    }
+
+    fn tier_for(&self, len: usize, lbd: u32) -> Tier {
+        if len == 2 || lbd <= self.config.core_lbd {
+            Tier::Core
+        } else if lbd <= self.config.mid_lbd {
+            Tier::Mid
+        } else {
+            Tier::Local
+        }
+    }
+
+    fn tier_count(&mut self, tier: Tier) -> &mut u64 {
+        match tier {
+            Tier::Core => &mut self.stats.core_clauses,
+            Tier::Mid => &mut self.stats.mid_clauses,
+            Tier::Local => &mut self.stats.local_clauses,
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         let idx = self.clauses.len() as u32;
-        self.watches[lits[0].index()].push(idx);
-        self.watches[lits[1].index()].push(idx);
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if lits.len() == 2 {
+            self.bin_watches[lits[0].index()].push(BinWatch { other: lits[1], clause: idx });
+            self.bin_watches[lits[1].index()].push(BinWatch { other: lits[0], clause: idx });
+        } else {
+            self.watches[lits[0].index()].push(idx);
+            self.watches[lits[1].index()].push(idx);
+        }
+        let tier = if learnt { self.tier_for(lits.len(), lbd) } else { Tier::Core };
         if learnt {
             self.stats.learnt_clauses += 1;
+            self.stats.learnt_literals += lits.len() as u64;
+            let bucket = (lbd.max(1) as usize).min(GLUE_BUCKETS) - 1;
+            self.stats.glue_histogram[bucket] += 1;
+            *self.tier_count(tier) += 1;
         }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+            lbd,
+            tier,
+            used: false,
+        });
         idx
     }
 
@@ -241,6 +409,29 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = p.not();
+
+            // Binary implications first: each entry is a direct implication, no
+            // watch surgery, and the lists are immutable during search.
+            for i in 0..self.bin_watches[false_lit.index()].len() {
+                let BinWatch { other, clause } = self.bin_watches[false_lit.index()][i];
+                match self.lit_value(other) {
+                    TRUE => {}
+                    FALSE => {
+                        self.qhead = self.trail.len();
+                        return Some(clause);
+                    }
+                    _ => {
+                        // Keep the implied literal in slot 0: conflict analysis and
+                        // minimization skip a reason clause's first literal.
+                        let c = &mut self.clauses[clause as usize];
+                        if c.lits[0] != other {
+                            c.lits.swap(0, 1);
+                        }
+                        self.enqueue(other, clause);
+                    }
+                }
+            }
+
             // Take the watch list for the literal that just became false.
             let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
             let mut i = 0;
@@ -345,6 +536,36 @@ impl Solver {
                 c.activity *= 1e-20;
             }
             self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Bookkeeping for a learnt clause that participates in conflict analysis:
+    /// activity bump, usage flag (reduction protection), and LBD refresh — the
+    /// glue can only improve here, and a clause whose glue improves enough is
+    /// promoted toward the core tier.
+    fn notice_clause_use(&mut self, ci: u32) {
+        self.bump_clause(ci);
+        let c = &self.clauses[ci as usize];
+        if !c.learnt {
+            return;
+        }
+        let len = c.lits.len();
+        if len == 2 {
+            self.clauses[ci as usize].used = true;
+            return;
+        }
+        let new_lbd = self.clause_lbd(ci);
+        let c = &mut self.clauses[ci as usize];
+        c.used = true;
+        if new_lbd < c.lbd {
+            c.lbd = new_lbd;
+            let new_tier = self.tier_for(len, new_lbd);
+            let old_tier = self.clauses[ci as usize].tier;
+            if new_tier < old_tier {
+                *self.tier_count(old_tier) -= 1;
+                *self.tier_count(new_tier) += 1;
+                self.clauses[ci as usize].tier = new_tier;
+            }
         }
     }
 
@@ -456,11 +677,55 @@ impl Solver {
         None
     }
 
+    // ----- LBD -----
+
+    /// Grows the level-stamp scratch array to cover `level`. Decision levels are
+    /// usually bounded by the variable count, but already-implied assumptions open
+    /// dummy levels, so `solve_with_assumptions` can push levels past it.
+    fn reserve_level_stamp(&mut self, level: usize) {
+        if self.level_stamp.len() <= level {
+            self.level_stamp.resize(level + 1, 0);
+        }
+    }
+
+    /// Number of distinct non-root decision levels among `lits` (the literal block
+    /// distance), via a stamped scratch array — O(len), no clearing pass.
+    fn lbd_of(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp += 1;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            self.reserve_level_stamp(lev);
+            if lev > 0 && self.level_stamp[lev] != self.lbd_stamp {
+                self.level_stamp[lev] = self.lbd_stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// [`Solver::lbd_of`] for a stored clause (index-walked to appease borrows).
+    fn clause_lbd(&mut self, ci: u32) -> u32 {
+        self.lbd_stamp += 1;
+        let stamp = self.lbd_stamp;
+        let mut lbd = 0u32;
+        for k in 0..self.clauses[ci as usize].lits.len() {
+            let l = self.clauses[ci as usize].lits[k];
+            let lev = self.level[l.var().index()] as usize;
+            self.reserve_level_stamp(lev);
+            if lev > 0 && self.level_stamp[lev] != stamp {
+                self.level_stamp[lev] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     // ----- conflict analysis -----
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting literal
-    /// first) and the backjump level.
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+    /// First-UIP conflict analysis with recursive minimization. Returns the learnt
+    /// clause (asserting literal first), the backjump level, and the clause's LBD.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
         let mut counter = 0u32;
         let mut p: Option<Lit> = None;
@@ -469,7 +734,7 @@ impl Solver {
         let current_level = self.decision_level();
 
         loop {
-            self.bump_clause(confl);
+            self.notice_clause_use(confl);
             // Collect literals of the conflicting/reason clause.
             let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
             let skip_first = p.is_some();
@@ -508,12 +773,22 @@ impl Solver {
             debug_assert_ne!(confl, NO_REASON, "non-decision literal must have a reason");
         }
 
-        // Clear the `seen` flags of kept literals.
+        // `seen` is now set exactly for learnt[1..]; minimization relies on it.
+        let learnt = self.minimize_learnt(learnt);
+
+        // Clear the `seen` flags of kept literals and minimization marks.
         for &l in learnt.iter().skip(1) {
             self.seen[l.var().index()] = false;
         }
+        let mut min_clear = std::mem::take(&mut self.min_clear);
+        for l in min_clear.drain(..) {
+            self.seen[l.var().index()] = false;
+        }
+        // Hand the (emptied) buffer back so its capacity is reused.
+        self.min_clear = min_clear;
 
         // Compute the backjump level and move the corresponding literal to slot 1.
+        let mut learnt = learnt;
         let backjump = if learnt.len() == 1 {
             0
         } else {
@@ -526,47 +801,180 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()]
         };
-        (learnt, backjump)
+        let lbd = self.lbd_of(&learnt);
+        (learnt, backjump, lbd)
+    }
+
+    /// Removes literals whose negation is already implied by the rest of the learnt
+    /// clause (recursive minimization). Expects `seen` to be set for `learnt[1..]`;
+    /// literals it removes stay marked (their redundancy proof may be reused), and
+    /// any extra marks made along the way land in `min_clear`.
+    fn minimize_learnt(&mut self, learnt: Vec<Lit>) -> Vec<Lit> {
+        if learnt.len() <= 2 {
+            return learnt;
+        }
+        let abstract_levels =
+            learnt[1..].iter().fold(0u32, |acc, &l| acc | self.abstract_level(l.var()));
+        let mut kept = Vec::with_capacity(learnt.len());
+        kept.push(learnt[0]);
+        for &l in &learnt[1..] {
+            if self.reason[l.var().index()] == NO_REASON || !self.lit_redundant(l, abstract_levels)
+            {
+                kept.push(l);
+            } else {
+                self.stats.minimized_literals += 1;
+                // Keep the mark: `seen` doubles as the "known redundant" memo, and
+                // the flag is cleared via `min_clear` after analysis.
+                self.min_clear.push(l);
+            }
+        }
+        kept
+    }
+
+    /// Level signature for the minimization pruning check: literals whose level is
+    /// not in the learnt clause's signature can never be redundant.
+    fn abstract_level(&self, v: Var) -> u32 {
+        1 << (self.level[v.index()] & 31)
+    }
+
+    /// Whether `p`'s reason-side justification is already implied by the learnt
+    /// clause: DFS through reasons, succeeding only if every path bottoms out in
+    /// `seen` (in-clause or known-redundant) literals or root assignments.
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32) -> bool {
+        self.min_stack.clear();
+        self.min_stack.push(p);
+        let top = self.min_clear.len();
+        while let Some(q) = self.min_stack.pop() {
+            let ci = self.reason[q.var().index()];
+            debug_assert_ne!(ci, NO_REASON);
+            let len = self.clauses[ci as usize].lits.len();
+            for k in 1..len {
+                let l = self.clauses[ci as usize].lits[k];
+                let v = l.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()] != NO_REASON
+                    && (self.abstract_level(v) & abstract_levels) != 0
+                {
+                    self.seen[v.index()] = true;
+                    self.min_stack.push(l);
+                    self.min_clear.push(l);
+                } else {
+                    // Not redundant: undo the marks this probe made.
+                    for j in top..self.min_clear.len() {
+                        self.seen[self.min_clear[j].var().index()] = false;
+                    }
+                    self.min_clear.truncate(top);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     // ----- clause DB reduction -----
 
     fn reduce_db(&mut self) {
-        let mut learnt: Vec<(u32, f64, usize)> = self
+        match self.config.db_mode {
+            ClauseDbMode::Activity => self.reduce_db_activity(),
+            ClauseDbMode::Tiered => self.reduce_db_tiered(),
+        }
+    }
+
+    fn locked_clauses(&self) -> std::collections::HashSet<u32> {
+        self.reason.iter().copied().filter(|&r| r != NO_REASON).collect()
+    }
+
+    fn delete_clause(&mut self, ci: u32) {
+        let tier = self.clauses[ci as usize].tier;
+        *self.tier_count(tier) -= 1;
+        let c = &mut self.clauses[ci as usize];
+        c.deleted = true;
+        c.lits.clear();
+        self.stats.deleted_clauses += 1;
+        self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+    }
+
+    /// Legacy policy: sort all non-binary learnt clauses by activity, delete the
+    /// less active half.
+    fn reduce_db_activity(&mut self) {
+        let mut learnt: Vec<(u32, f64)> = self
             .clauses
             .iter()
             .enumerate()
             .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
-            .map(|(i, c)| (i as u32, c.activity, c.lits.len()))
+            .map(|(i, c)| (i as u32, c.activity))
             .collect();
         if learnt.len() < 64 {
             return;
         }
         learnt.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let locked: std::collections::HashSet<u32> = self
-            .reason
-            .iter()
-            .copied()
-            .filter(|&r| r != NO_REASON)
-            .collect();
+        let locked = self.locked_clauses();
         let to_remove = learnt.len() / 2;
         let mut removed = 0;
-        for &(ci, _, _) in learnt.iter() {
+        for &(ci, _) in learnt.iter() {
             if removed >= to_remove {
                 break;
             }
             if locked.contains(&ci) {
                 continue;
             }
-            self.clauses[ci as usize].deleted = true;
-            self.clauses[ci as usize].lits.clear();
+            self.delete_clause(ci);
             removed += 1;
-            self.stats.deleted_clauses += 1;
-            self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
         }
     }
 
-    // ----- top-level search -----
+    /// Glucose-style tiered policy. Core clauses are untouchable. Mid-tier clauses
+    /// that did not participate in any conflict since the last reduction demote to
+    /// local. Local-tier clauses used since the last reduction are spared one
+    /// round; the remainder is sorted by activity and the less active half deleted.
+    fn reduce_db_tiered(&mut self) {
+        let locked = self.locked_clauses();
+        let mut victims: Vec<(u32, f64)> = Vec::new();
+        for i in 0..self.clauses.len() {
+            let ci = i as u32;
+            let c = &self.clauses[i];
+            if !c.learnt || c.deleted || c.lits.len() == 2 {
+                continue;
+            }
+            match c.tier {
+                Tier::Core => {}
+                Tier::Mid => {
+                    if !c.used {
+                        self.stats.mid_clauses -= 1;
+                        self.stats.local_clauses += 1;
+                        self.clauses[i].tier = Tier::Local;
+                        victims.push((ci, self.clauses[i].activity));
+                    }
+                }
+                Tier::Local => {
+                    if !c.used {
+                        victims.push((ci, c.activity));
+                    }
+                }
+            }
+            self.clauses[i].used = false;
+        }
+        if self.stats.local_clauses < 64 {
+            return;
+        }
+        victims.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let to_remove = victims.len() / 2;
+        let mut removed = 0;
+        for &(ci, _) in victims.iter() {
+            if removed >= to_remove {
+                break;
+            }
+            if locked.contains(&ci) {
+                continue;
+            }
+            self.delete_clause(ci);
+            removed += 1;
+        }
+    }
+
+    // ----- restarts -----
 
     fn luby(mut x: u64) -> u64 {
         // The Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
@@ -584,6 +992,52 @@ impl Solver {
         }
         1u64 << seq
     }
+
+    /// Feeds one conflict's LBD (and the current trail depth) into the restart
+    /// EMAs. Returns `true` when a due restart was blocked by trail depth — a
+    /// restart counts as due only once `conflicts_since_restart` clears the
+    /// [`SolverConfig::restart_base`] minimum distance (mirroring
+    /// [`Solver::restart_due`]), so `blocked_restarts` never counts restarts
+    /// that could not have fired anyway.
+    fn update_restart_emas(&mut self, lbd: u32, conflicts_since_restart: u64) -> bool {
+        let glue = lbd as f64;
+        let depth = self.trail.len() as f64;
+        if !self.ema_primed {
+            self.ema_fast = glue;
+            self.ema_slow = glue;
+            self.ema_trail = depth;
+            self.ema_primed = true;
+            return false;
+        }
+        self.ema_fast += self.config.ema_fast_alpha * (glue - self.ema_fast);
+        self.ema_slow += self.config.ema_slow_alpha * (glue - self.ema_slow);
+        self.ema_trail += self.config.ema_slow_alpha * (depth - self.ema_trail);
+        if self.config.restart_mode == RestartMode::Ema
+            && conflicts_since_restart >= self.config.restart_base.max(1)
+            && self.ema_fast > self.config.restart_margin * self.ema_slow
+            && depth > self.config.restart_block_margin * self.ema_trail
+        {
+            // The assignment is unusually deep: the solver may be closing in on a
+            // model, so damp the restart urge instead of throwing the trail away.
+            self.ema_fast = self.ema_slow;
+            self.stats.blocked_restarts += 1;
+            return true;
+        }
+        false
+    }
+
+    fn restart_due(&self, conflicts_since_restart: u64, luby_target: u64) -> bool {
+        match self.config.restart_mode {
+            RestartMode::Luby => conflicts_since_restart >= luby_target,
+            RestartMode::Ema => {
+                conflicts_since_restart >= self.config.restart_base.max(1)
+                    && self.ema_primed
+                    && self.ema_fast > self.config.restart_margin * self.ema_slow
+            }
+        }
+    }
+
+    // ----- top-level search -----
 
     /// Decides satisfiability of the clauses added so far.
     pub fn solve(&mut self) -> SolveResult {
@@ -622,7 +1076,8 @@ impl Solver {
                 // A conflict while some assumptions are still being (re)established
                 // below the assumption levels means UNSAT under assumptions once it
                 // reaches level <= #assumptions and analysis backjumps above it.
-                let (learnt, backjump) = self.analyze(confl);
+                let (learnt, backjump, lbd) = self.analyze(confl);
+                self.update_restart_emas(lbd, conflicts_since_restart);
                 // If the conflict is entirely below the assumption prefix we cannot
                 // backjump past the assumptions; treat reaching level 0 naturally.
                 self.backtrack_to(backjump.min(self.decision_level().saturating_sub(1)));
@@ -632,7 +1087,7 @@ impl Solver {
                         return SolveResult::Unsat;
                     }
                 } else {
-                    let ci = self.attach_clause(learnt.clone(), true);
+                    let ci = self.attach_clause(learnt.clone(), true, lbd);
                     self.bump_clause(ci);
                     self.enqueue(learnt[0], ci);
                 }
@@ -650,12 +1105,16 @@ impl Solver {
                 }
             } else {
                 // No conflict: maybe restart, then decide.
-                if conflicts_since_restart >= conflicts_until_restart {
+                if self.restart_due(conflicts_since_restart, conflicts_until_restart) {
                     self.stats.restarts += 1;
                     restart_count += 1;
                     conflicts_since_restart = 0;
                     conflicts_until_restart =
                         Self::luby(restart_count).saturating_mul(self.config.restart_base);
+                    if self.config.restart_mode == RestartMode::Ema {
+                        // Forget the spike that triggered this restart.
+                        self.ema_fast = self.ema_slow;
+                    }
                     self.backtrack_to(0);
                     continue;
                 }
@@ -693,6 +1152,7 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ClauseDbMode;
 
     fn lit(solver_vars: &[Var], i: i32) -> Lit {
         let v = solver_vars[(i.unsigned_abs() - 1) as usize];
@@ -703,6 +1163,23 @@ mod tests {
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
         (s, vars)
+    }
+
+    fn pigeonhole(n: usize, m: usize, config: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(config);
+        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in p.iter() {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
+                }
+            }
+        }
+        s
     }
 
     #[test]
@@ -748,39 +1225,13 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_is_unsat() {
-        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
-        let mut s = Solver::new();
-        let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
-        for row in &p {
-            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
-        }
-        for j in 0..2 {
-            for (i1, row1) in p.iter().enumerate() {
-                for row2 in &p[i1 + 1..] {
-                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
-                }
-            }
-        }
+        let mut s = pigeonhole(3, 2, SolverConfig::default());
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]
     fn pigeonhole_5_into_4_is_unsat() {
-        let n = 5;
-        let m = 4;
-        let mut s = Solver::new();
-        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
-        for row in p.iter() {
-            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
-            s.add_clause(&c);
-        }
-        for j in 0..m {
-            for (i1, row1) in p.iter().enumerate() {
-                for row2 in &p[i1 + 1..] {
-                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
-                }
-            }
-        }
+        let mut s = pigeonhole(5, 4, SolverConfig::default());
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
     }
@@ -839,22 +1290,8 @@ mod tests {
     #[test]
     fn conflict_budget_reports_unknown() {
         // A hard instance with a tiny budget must return Unknown.
-        let n = 8;
-        let m = 7;
         let cfg = SolverConfig { conflict_budget: Some(3), ..SolverConfig::default() };
-        let mut s = Solver::with_config(cfg);
-        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
-        for row in p.iter() {
-            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
-            s.add_clause(&c);
-        }
-        for j in 0..m {
-            for (i1, row1) in p.iter().enumerate() {
-                for row2 in &p[i1 + 1..] {
-                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
-                }
-            }
-        }
+        let mut s = pigeonhole(8, 7, cfg);
         assert_eq!(s.solve(), SolveResult::Unknown);
     }
 
@@ -921,5 +1358,117 @@ mod tests {
         s.add_clause(&[lit(&v, -1), lit(&v, -2)]);
         assert_eq!(s.solve(), SolveResult::Sat);
         assert!(s.stats().propagations + s.stats().decisions > 0);
+    }
+
+    #[test]
+    fn glue_histogram_and_tiers_account_for_every_learnt_clause() {
+        let mut s = pigeonhole(6, 5, SolverConfig::default());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert_eq!(
+            st.total_learnt(),
+            st.learnt_clauses + st.deleted_clauses,
+            "glue histogram must count every learnt clause exactly once"
+        );
+        assert_eq!(
+            st.core_clauses + st.mid_clauses + st.local_clauses,
+            st.learnt_clauses,
+            "tier sizes must partition the live learnt database"
+        );
+    }
+
+    #[test]
+    fn minimization_strictly_shrinks_learnt_clauses_on_structured_instances() {
+        let mut s = pigeonhole(7, 6, SolverConfig::default());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.stats().minimized_literals > 0,
+            "pigeonhole conflicts have redundant reason-side literals"
+        );
+    }
+
+    #[test]
+    fn tiered_reduction_never_deletes_core_clauses() {
+        // Force frequent reductions and check the invariant afterwards.
+        let cfg = SolverConfig { reduce_interval: 50, ..SolverConfig::default() };
+        let mut s = pigeonhole(8, 7, cfg);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.deleted_clauses > 0, "reduction should have fired");
+        for c in s.clauses.iter().filter(|c| c.learnt && c.deleted) {
+            assert!(c.lits.is_empty());
+        }
+        for c in s.clauses.iter().filter(|c| c.learnt && !c.deleted && c.tier == Tier::Core) {
+            assert!(c.lits.len() == 2 || c.lbd <= s.config.core_lbd);
+        }
+    }
+
+    #[test]
+    fn legacy_activity_mode_still_reduces_and_agrees() {
+        let cfg = SolverConfig {
+            reduce_interval: 50,
+            db_mode: ClauseDbMode::Activity,
+            ..SolverConfig::legacy()
+        };
+        let mut s = pigeonhole(8, 7, cfg);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().deleted_clauses > 0);
+    }
+
+    #[test]
+    fn ema_restarts_fire_on_hard_instances() {
+        let cfg = SolverConfig { restart_base: 10, ..SolverConfig::default() };
+        let mut s = pigeonhole(8, 7, cfg);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().restarts > 0, "EMA restarts should trigger on pigeonhole");
+    }
+
+    #[test]
+    fn binary_clauses_propagate_through_implication_lists() {
+        // A pure-binary implication chain: 1 → 2 → 3 → 4, plus unit 1.
+        let (mut s, v) = make_solver(4);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, 4)]);
+        s.add_clause(&[lit(&v, 1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &x in &v {
+            assert_eq!(s.value(x), Some(true));
+        }
+        // All three implications live in binary lists, not the general watches.
+        assert!(s.watches.iter().all(|w| w.is_empty()));
+        assert!(s.bin_watches.iter().map(|w| w.len()).sum::<usize>() == 6);
+    }
+
+    /// Regression: already-implied assumptions open dummy decision levels, so the
+    /// decision level during conflict analysis can exceed the variable count; the
+    /// LBD level-stamp scratch array must grow rather than index out of bounds.
+    #[test]
+    fn repeated_assumptions_beyond_var_count_do_not_panic() {
+        let (mut s, v) = make_solver(4);
+        // A chain whose conflict fires after a decision: assuming 1 implies 2;
+        // clauses force a conflict among 3 and 4 only after branching.
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3), lit(&v, 4)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, -4)]);
+        s.add_clause(&[lit(&v, 3), lit(&v, 4)]);
+        // Six copies of the same assumption: five of them are already implied and
+        // open dummy levels, pushing the decision level past num_vars.
+        let assumptions = [lit(&v, 1); 6];
+        let r = s.solve_with_assumptions(&assumptions);
+        assert_eq!(r, SolveResult::Sat);
+    }
+
+    #[test]
+    fn binary_conflict_is_analyzed_correctly() {
+        // 1→2 and 1→¬2 makes assuming 1 contradictory: solver must derive ¬1.
+        let (mut s, v) = make_solver(3);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -1), lit(&v, -2)]);
+        s.add_clause(&[lit(&v, 1), lit(&v, 3)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(false));
+        assert_eq!(s.value(v[2]), Some(true));
     }
 }

@@ -1,0 +1,188 @@
+//! Differential property tests for the modernized CDCL core: every random CNF
+//! instance is solved by the old-style configuration (activity-only clause
+//! deletion + Luby restarts) and the new-style one (LBD-tiered database + EMA
+//! restarts); verdicts must agree, models must satisfy the clause set, and the
+//! statistics invariants of the tiered database must hold after reduction.
+
+use lr_sat::{ClauseDbMode, Lit, RestartMode, SolveResult, Solver, SolverConfig, Var};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Cnf {
+    nvars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    (2..=max_vars).prop_flat_map(move |nvars| {
+        let lit = (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+        let clause = proptest::collection::vec(lit, 1..=4);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| Cnf { nvars, clauses })
+    })
+}
+
+fn old_style() -> SolverConfig {
+    let cfg = SolverConfig::legacy();
+    assert_eq!(cfg.restart_mode, RestartMode::Luby);
+    assert_eq!(cfg.db_mode, ClauseDbMode::Activity);
+    cfg
+}
+
+fn new_style() -> SolverConfig {
+    let cfg = SolverConfig::default();
+    assert_eq!(cfg.restart_mode, RestartMode::Ema);
+    assert_eq!(cfg.db_mode, ClauseDbMode::Tiered);
+    cfg
+}
+
+fn load(cnf: &Cnf, config: SolverConfig) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::with_config(config);
+    let vars: Vec<Var> = (0..cnf.nvars).map(|_| solver.new_var()).collect();
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+            .collect();
+        solver.add_clause(&lits);
+    }
+    (solver, vars)
+}
+
+fn model_satisfies(cnf: &Cnf, model: &[bool]) -> bool {
+    cnf.clauses.iter().all(|clause| {
+        clause.iter().any(|&l| {
+            let value = model[(l.unsigned_abs() - 1) as usize];
+            if l > 0 {
+                value
+            } else {
+                !value
+            }
+        })
+    })
+}
+
+/// The counter invariants every solve must maintain.
+fn check_stats_invariants(solver: &Solver, label: &str) -> Result<(), TestCaseError> {
+    let st = solver.stats();
+    prop_assert_eq!(
+        st.total_learnt(),
+        st.learnt_clauses + st.deleted_clauses,
+        "{}: glue histogram must count every learnt clause exactly once",
+        label
+    );
+    prop_assert_eq!(
+        st.core_clauses + st.mid_clauses + st.local_clauses,
+        st.learnt_clauses,
+        "{}: tier sizes must partition the live learnt database",
+        label
+    );
+    prop_assert!(
+        st.learnt_literals >= 2 * st.total_learnt(),
+        "{}: every stored learnt clause has at least two literals",
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Old-style and new-style configurations must agree on every verdict, and any
+    /// model either returns must satisfy the clause set.
+    #[test]
+    fn old_and_new_configs_agree(cnf in cnf_strategy(10, 40)) {
+        let (mut old, old_vars) = load(&cnf, old_style());
+        let (mut new, new_vars) = load(&cnf, new_style());
+        let old_verdict = old.solve();
+        let new_verdict = new.solve();
+        prop_assert_eq!(old_verdict, new_verdict, "verdict drift between clause-db policies");
+        for (solver, vars, label) in [(&old, &old_vars, "old"), (&new, &new_vars, "new")] {
+            if old_verdict == SolveResult::Sat {
+                let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
+                prop_assert!(model_satisfies(&cnf, &model), "{} model violates the CNF", label);
+            }
+        }
+        check_stats_invariants(&old, "old")?;
+        check_stats_invariants(&new, "new")?;
+    }
+
+    /// Aggressive database reduction must never change a verdict, and the stats
+    /// invariants must hold right after `reduce_db` ran (forced via a tiny
+    /// reduction interval).
+    #[test]
+    fn reduction_pressure_preserves_verdicts(cnf in cnf_strategy(10, 40)) {
+        let (mut reference, _) = load(&cnf, new_style());
+        let expected = reference.solve();
+        for (label, config) in [
+            ("tiered", SolverConfig { reduce_interval: 8, ..new_style() }),
+            ("activity", SolverConfig { reduce_interval: 8, ..old_style() }),
+        ] {
+            let (mut solver, vars) = load(&cnf, config);
+            prop_assert_eq!(solver.solve(), expected, "{} under reduction pressure", label);
+            if expected == SolveResult::Sat {
+                let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
+                prop_assert!(model_satisfies(&cnf, &model));
+            }
+            check_stats_invariants(&solver, label)?;
+        }
+    }
+
+    /// Restarts and conflicts are monotone across repeated solves on the same
+    /// solver (incremental use), and re-solving the same instance keeps the
+    /// verdict.
+    #[test]
+    fn restarts_and_conflicts_are_monotone_across_solves(cnf in cnf_strategy(8, 24)) {
+        let (mut solver, _) = load(&cnf, new_style());
+        let v1 = solver.solve();
+        let s1 = solver.stats();
+        let v2 = solver.solve();
+        let s2 = solver.stats();
+        prop_assert_eq!(v1, v2);
+        prop_assert!(s2.restarts >= s1.restarts, "restarts must never decrease");
+        prop_assert!(s2.conflicts >= s1.conflicts, "conflicts must never decrease");
+        prop_assert!(s2.propagations >= s1.propagations);
+        prop_assert!(s2.deleted_clauses >= s1.deleted_clauses);
+        check_stats_invariants(&solver, "resolve")?;
+    }
+
+    /// The DIMACS escape hatch round-trips arbitrary instances: the replayed
+    /// solver reaches the same verdict under both configurations.
+    #[test]
+    fn dimacs_round_trip_agrees(cnf in cnf_strategy(8, 24)) {
+        let (mut solver, _) = load(&cnf, new_style());
+        let text = solver.to_dimacs();
+        let expected = solver.solve();
+        let mut modern = Solver::from_dimacs(&text).unwrap();
+        prop_assert_eq!(modern.solve(), expected);
+        let mut legacy = Solver::from_dimacs_with_config(&text, old_style()).unwrap();
+        prop_assert_eq!(legacy.solve(), expected);
+    }
+}
+
+/// Deterministic (non-proptest) check that deletion actually happens under
+/// pressure and the histogram keeps accounting for deleted clauses.
+#[test]
+fn tiered_reduction_deletes_but_keeps_accounting() {
+    let config = SolverConfig { reduce_interval: 40, ..SolverConfig::default() };
+    let mut solver = Solver::with_config(config);
+    // Pigeonhole 8→7: hard enough to force thousands of conflicts.
+    let p: Vec<Vec<Var>> = (0..8).map(|_| (0..7).map(|_| solver.new_var()).collect()).collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        solver.add_clause(&clause);
+    }
+    for j in 0..7 {
+        for (i, row1) in p.iter().enumerate() {
+            for row2 in &p[i + 1..] {
+                solver.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
+            }
+        }
+    }
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let st = solver.stats();
+    assert!(st.deleted_clauses > 0, "reduction must fire under a tiny interval");
+    assert!(st.minimized_literals > 0, "pigeonhole learnt clauses minimize");
+    assert_eq!(st.total_learnt(), st.learnt_clauses + st.deleted_clauses);
+    assert_eq!(st.core_clauses + st.mid_clauses + st.local_clauses, st.learnt_clauses);
+}

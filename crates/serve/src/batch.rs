@@ -64,8 +64,7 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<BatchJob>, String> 
         let at = |msg: String| format!("manifest line {}: {msg}", lineno + 1);
         let mut fields = line.split_whitespace();
         let design = fields.next().expect("non-empty line has a first field");
-        let arch_field =
-            fields.next().ok_or_else(|| at("missing architecture column".into()))?;
+        let arch_field = fields.next().ok_or_else(|| at("missing architecture column".into()))?;
         let template_field = fields.next().ok_or_else(|| at("missing template column".into()))?;
         let arch_name = parse_arch_name(arch_field)
             .ok_or_else(|| at(format!("unknown architecture `{arch_field}`")))?;
@@ -106,9 +105,9 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<BatchJob>, String> 
                     job.timeout = Some(Duration::from_secs(secs));
                 }
                 "deadline" => {
-                    let secs: u64 = value
-                        .parse()
-                        .map_err(|_| at(format!("deadline `{value}` is not a number of seconds")))?;
+                    let secs: u64 = value.parse().map_err(|_| {
+                        at(format!("deadline `{value}` is not a number of seconds"))
+                    })?;
                     job.deadline = Some(Duration::from_secs(secs));
                 }
                 "name" => job.name = value.to_string(),
@@ -308,10 +307,8 @@ bench:mul_w8_s0 intel-cyclone10lp auto deadline=30  # trailing comment
     fn report_tallies_a_run() {
         let mut jobs = crate::scenario::suite_jobs(ArchName::IntelCyclone10Lp, 2);
         jobs[1].deadline = Some(Duration::ZERO);
-        let opts = BatchOptions::new(
-            2,
-            MapConfig::single_solver().with_timeout(Duration::from_secs(30)),
-        );
+        let opts =
+            BatchOptions::new(2, MapConfig::single_solver().with_timeout(Duration::from_secs(30)));
         let run = run_batch(&jobs, &opts);
         let report = BatchReport::from_run(&run, None);
         assert_eq!(report.jobs, 2);

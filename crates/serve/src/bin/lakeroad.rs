@@ -47,15 +47,71 @@ struct Options {
     timeout: Duration,
     incremental: bool,
     egraph: bool,
+    stats: bool,
 }
 
 fn usage() -> String {
     "usage: lakeroad --template <auto|dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
      \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
-     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--output <file>] <design.v>\n\
+     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--stats]\n\
+     \x20               [--output <file>] <design.v>\n\
      \x20      lakeroad batch <manifest> [--jobs <N>] [--cache <file>] [--no-cache]\n\
      \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph]"
         .to_string()
+}
+
+/// Renders the winning run's solver statistics (requested with `--stats`): the
+/// CEGIS loop shape, the SAT effort, and the CDCL clause-quality telemetry —
+/// glue histogram, minimization ratio, learnt-database tier sizes.
+fn render_stats(stats: &lakeroad::SynthesisStats) -> String {
+    let mut out = String::from("-- synthesis statistics --\n");
+    out.push_str(&format!(
+        "  solver            : {} ({} restarts mode{})\n",
+        stats.solver_name,
+        stats.restart_mode,
+        if stats.from_cache { ", served from cache" } else { "" },
+    ));
+    out.push_str(&format!(
+        "  cegis             : {} iterations, {} examples, incremental={}\n",
+        stats.iterations, stats.examples, stats.incremental
+    ));
+    out.push_str(&format!(
+        "  sat effort        : {} conflicts, {} propagations, {} restarts\n",
+        stats.conflicts, stats.propagations, stats.restarts
+    ));
+    let learnt_total: u64 = stats.glue_histogram.iter().sum();
+    let minimized_pct = if stats.learnt_literals + stats.minimized_literals > 0 {
+        100.0 * stats.minimized_literals as f64
+            / (stats.learnt_literals + stats.minimized_literals) as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "  learnt clauses    : {} stored, {} literals, {} minimized away ({:.1}%)\n",
+        learnt_total, stats.learnt_literals, stats.minimized_literals, minimized_pct
+    ));
+    let glue: Vec<String> = stats
+        .glue_histogram
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            if i + 1 < stats.glue_histogram.len() {
+                format!("{}:{}", i + 1, n)
+            } else {
+                format!("{}+:{}", i + 1, n)
+            }
+        })
+        .collect();
+    out.push_str(&format!("  glue histogram    : {}\n", glue.join(" ")));
+    out.push_str(&format!(
+        "  tier sizes (last) : core {} / mid {} / local {}\n",
+        stats.sat_tier_sizes[0], stats.sat_tier_sizes[1], stats.sat_tier_sizes[2]
+    ));
+    out.push_str(&format!(
+        "  egraph prefold    : {} attempts, {} folds; verification used SAT: {}\n",
+        stats.egraph_attempts, stats.egraph_folds, stats.verification_used_sat
+    ));
+    out
 }
 
 fn parse_arch(name: &str) -> Option<Architecture> {
@@ -71,9 +127,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut timeout = Duration::from_secs(120);
     let mut incremental = true;
     let mut egraph = true;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stats" => stats = true,
             "--template" => {
                 i += 1;
                 let name = args.get(i).ok_or("--template needs a value")?;
@@ -81,7 +139,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     TemplateChoice::Auto
                 } else {
                     TemplateChoice::Named(
-                        Template::from_cli_name(name).ok_or(format!("unknown template `{name}`"))?,
+                        Template::from_cli_name(name)
+                            .ok_or(format!("unknown template `{name}`"))?,
                     )
                 });
             }
@@ -120,6 +179,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timeout,
         incremental,
         egraph,
+        stats,
     })
 }
 
@@ -319,9 +379,7 @@ fn main() -> ExitCode {
         ..MapConfig::default().with_timeout(options.timeout)
     };
     let result = match options.template {
-        TemplateChoice::Named(template) => {
-            map_verilog(&verilog, template, &options.arch, &config)
-        }
+        TemplateChoice::Named(template) => map_verilog(&verilog, template, &options.arch, &config),
         TemplateChoice::Auto => lr_hdl::parse_and_elaborate(&verilog)
             .map_err(|e| lakeroad::MapError::Frontend(e.to_string()))
             .and_then(|spec| map_design_auto(&spec, &options.arch, &config)),
@@ -336,6 +394,9 @@ fn main() -> ExitCode {
                 mapped.resources.logic_elements,
                 mapped.resources.registers
             );
+            if options.stats {
+                eprint!("{}", render_stats(&mapped.stats));
+            }
             match options.output {
                 Some(path) => {
                     if let Err(e) = std::fs::write(&path, &mapped.verilog) {
@@ -352,7 +413,12 @@ fn main() -> ExitCode {
                 TemplateChoice::Named(t) => format!("the {t} sketch"),
                 TemplateChoice::Auto => "any ranked sketch".to_string(),
             };
-            eprintln!("UNSAT after {elapsed:.2?}: no configuration of {what} implements this design");
+            eprintln!(
+                "UNSAT after {elapsed:.2?}: no configuration of {what} implements this design"
+            );
+            if options.stats {
+                eprintln!("(per-run solver statistics are recorded for successful mappings only)");
+            }
             ExitCode::FAILURE
         }
         Ok(MapOutcome::Timeout { elapsed }) => {

@@ -209,8 +209,8 @@ fn parse_entry(line: &str) -> Result<(CacheKey, CachedOutcome), String> {
             for field in fields {
                 let (name, literal) =
                     field.split_once('=').ok_or_else(|| format!("malformed hole `{field}`"))?;
-                let value = BitVec::parse_verilog(literal)
-                    .map_err(|e| format!("hole `{name}`: {e}"))?;
+                let value =
+                    BitVec::parse_verilog(literal).map_err(|e| format!("hole `{name}`: {e}"))?;
                 holes.insert(name.to_string(), value);
             }
             Ok((key, CachedOutcome::Success { holes }))
@@ -283,8 +283,7 @@ mod tests {
             cache.store(key(n), CachedOutcome::Unsat);
         }
         assert_eq!(cache.len(), 64);
-        let populated =
-            cache.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
+        let populated = cache.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
         assert!(populated > 1, "64 keys should not all land in one shard");
     }
 

@@ -67,7 +67,8 @@ pub fn random_program(seed: u64, name: &str, instructions: usize) -> Prog {
         wide.push(b.input(input, GEN_WIDTH));
     }
     for _ in 0..instructions.max(1) {
-        let pick = |rng: &mut Rng, nodes: &[lr_ir::NodeId]| nodes[rng.below(nodes.len() as u64) as usize];
+        let pick =
+            |rng: &mut Rng, nodes: &[lr_ir::NodeId]| nodes[rng.below(nodes.len() as u64) as usize];
         match rng.below(10) {
             0 => {
                 let v = rng.below(1 << GEN_WIDTH);

@@ -72,7 +72,15 @@ impl BatchJob {
         arch: Architecture,
         template: TemplateChoice,
     ) -> BatchJob {
-        BatchJob { name: name.into(), spec, arch, template, priority: 0, timeout: None, deadline: None }
+        BatchJob {
+            name: name.into(),
+            spec,
+            arch,
+            template,
+            priority: 0,
+            timeout: None,
+            deadline: None,
+        }
     }
 }
 

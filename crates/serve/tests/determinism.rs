@@ -10,9 +10,7 @@ use std::time::Duration;
 
 use lakeroad::{MapCache, MapConfig, MapOutcome};
 use lr_arch::ArchName;
-use lr_serve::{
-    run_batch, suite_jobs, BatchOptions, BatchRun, JobResult, SynthCache,
-};
+use lr_serve::{run_batch, suite_jobs, BatchOptions, BatchRun, JobResult, SynthCache};
 
 /// The observable outcome of one job: verdict class plus resources — everything
 /// a report aggregates. Wall-clock fields are deliberately excluded.
@@ -76,7 +74,8 @@ fn verdicts_and_resources_are_identical_across_worker_counts_and_cache_states() 
         baseline.iter().any(|(_, o)| matches!(o, Observed::Success { .. })),
         "the e2e tier must map something, or the comparison is vacuous"
     );
-    for (label, run) in [("cold —jobs 8", &cold8), ("warm —jobs 1", &warm1), ("warm —jobs 8", &warm8)]
+    for (label, run) in
+        [("cold —jobs 8", &cold8), ("warm —jobs 1", &warm1), ("warm —jobs 8", &warm8)]
     {
         assert_eq!(baseline, observe(run), "{label} diverged from cold —jobs 1");
     }

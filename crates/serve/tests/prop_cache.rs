@@ -179,9 +179,8 @@ fn disguised_twin_is_served_from_one_entry_with_a_verified_replay() {
     let arch = Architecture::intel_cyclone10lp();
     let cache = Arc::new(SynthCache::new());
     let shared: Arc<dyn MapCache> = Arc::<SynthCache>::clone(&cache);
-    let config = MapConfig::single_solver()
-        .with_timeout(Duration::from_secs(30))
-        .with_cache(shared);
+    let config =
+        MapConfig::single_solver().with_timeout(Duration::from_secs(30)).with_cache(shared);
 
     let first = map_design(&plain, Template::Dsp, &arch, &config).unwrap();
     assert!(first.is_success() && !first.served_from_cache());
@@ -224,9 +223,8 @@ fn clamped_solver_budgets_keep_the_requested_cache_tier() {
     let cache = Arc::new(SynthCache::new());
     let shared: Arc<dyn MapCache> = Arc::<SynthCache>::clone(&cache);
     // Cold: synthesized and stored under the 15 s tier.
-    let requested = MapConfig::single_solver()
-        .with_timeout(Duration::from_secs(15))
-        .with_cache(shared);
+    let requested =
+        MapConfig::single_solver().with_timeout(Duration::from_secs(15)).with_cache(shared);
     assert!(map_design(&spec, Template::Dsp, &arch, &requested).unwrap().is_success());
     // Warm lookalike: the solver budget was clamped into a *different* tier
     // (2 s), but `cache_budget` pins the advertised one — must still hit.
@@ -257,9 +255,8 @@ fn stale_entries_fail_verification_and_fall_back_to_synthesis() {
     let arch = Architecture::intel_cyclone10lp();
     let cache = Arc::new(SynthCache::new());
     let shared: Arc<dyn MapCache> = Arc::<SynthCache>::clone(&cache);
-    let config = MapConfig::single_solver()
-        .with_timeout(Duration::from_secs(30))
-        .with_cache(shared);
+    let config =
+        MapConfig::single_solver().with_timeout(Duration::from_secs(30)).with_cache(shared);
 
     // Synthesize once to learn the real key and hole names…
     let honest = map_design(&spec, Template::Dsp, &arch, &config).unwrap();
@@ -292,10 +289,7 @@ fn stale_entries_fail_verification_and_fall_back_to_synthesis() {
             ("a".to_string(), BitVec::from_u64(av, 8)),
             ("b".to_string(), BitVec::from_u64(bv, 8)),
         ]);
-        assert_eq!(
-            spec.interp(&env, 0).unwrap(),
-            mapped.implementation.interp(&env, 0).unwrap(),
-        );
+        assert_eq!(spec.interp(&env, 0).unwrap(), mapped.implementation.interp(&env, 0).unwrap(),);
     }
     let snap = cache.snapshot();
     assert_eq!(snap.invalidations, 1, "the poisoned entry must be dropped");

@@ -33,10 +33,7 @@ pub fn rank_templates_for(spec: &Prog, arch: &Architecture) -> Vec<Template> {
 /// can instantiate. Callers that already hold a canonical program (or that run
 /// with the e-graph disabled and scan the raw program) avoid re-saturating.
 pub fn rank_for_evidence(ev: &StructuralEvidence, arch: &Architecture) -> Vec<Template> {
-    rank_from_evidence(ev)
-        .into_iter()
-        .filter(|t| *t != Template::Dsp || arch.has_dsp())
-        .collect()
+    rank_from_evidence(ev).into_iter().filter(|t| *t != Template::Dsp || arch.has_dsp()).collect()
 }
 
 /// The ranking policy over evidence bits (separated for direct testing).
@@ -66,11 +63,8 @@ pub fn rank_from_evidence(ev: &StructuralEvidence) -> Vec<Template> {
     // shifts (constant shifts are wiring into LUT inputs) — favors the bitwise
     // template; it is also the fallback of last resort for anything else.
     let per_bit = ev.bitwise || ev.mux || ev.shifts;
-    let bitwise_score = if per_bit && !ev.multiplier && !ev.carry_arith && !ev.comparison {
-        85
-    } else {
-        20
-    };
+    let bitwise_score =
+        if per_bit && !ev.multiplier && !ev.carry_arith && !ev.comparison { 85 } else { 20 };
     ranked.push((bitwise_score, Template::Bitwise));
     ranked.sort_by_key(|&(score, _)| std::cmp::Reverse(score));
     ranked.into_iter().map(|(_, t)| t).collect()

@@ -159,9 +159,7 @@ fn dsp_sketch(
         let id = b.input(input_name, *width);
         design_inputs.push((input_name.clone(), id, *width));
     }
-    let dsp = arch
-        .instantiate_dsp(&mut b, &design_inputs, 0)
-        .expect("architecture reports a DSP");
+    let dsp = arch.instantiate_dsp(&mut b, &design_inputs, 0).expect("architecture reports a DSP");
     if out_width > dsp.output_width {
         return Err(SketchError::Unsupported(format!(
             "output wider than the DSP output ({} bits)",
@@ -272,9 +270,7 @@ fn comparison_sketch(
     inputs: &[(String, u32)],
 ) -> Result<Prog, SketchError> {
     if inputs.len() != 2 {
-        return Err(SketchError::Unsupported(
-            "comparison expects exactly two inputs".to_string(),
-        ));
+        return Err(SketchError::Unsupported("comparison expects exactly two inputs".to_string()));
     }
     if arch.lut_size() < 3 {
         return Err(SketchError::MissingInterface {

@@ -54,7 +54,11 @@ impl BitBlaster {
 
     /// Cache counters for encoding-reuse reporting.
     pub(crate) fn stats(&self) -> BlastStats {
-        BlastStats { cached_terms: self.cache.len(), cache_hits: self.hits, cache_misses: self.misses }
+        BlastStats {
+            cached_terms: self.cache.len(),
+            cache_hits: self.hits,
+            cache_misses: self.misses,
+        }
     }
 
     /// A literal constrained to be true.
@@ -201,13 +205,14 @@ impl BitBlaster {
             let shift: u128 = 1u128 << k.min(100);
             let mut shifted: Vec<Lit> = Vec::with_capacity(width);
             for i in 0..width {
-                let src: i128 = if left { i as i128 - shift as i128 } else { i as i128 + shift as i128 };
-                let val = if src < 0 || src >= width as i128 { fill } else { current[src as usize] };
+                let src: i128 =
+                    if left { i as i128 - shift as i128 } else { i as i128 + shift as i128 };
+                let val =
+                    if src < 0 || src >= width as i128 { fill } else { current[src as usize] };
                 shifted.push(val);
             }
-            current = (0..width)
-                .map(|i| self.mux_gate(sat, amt_bit, shifted[i], current[i]))
-                .collect();
+            current =
+                (0..width).map(|i| self.mux_gate(sat, amt_bit, shifted[i], current[i])).collect();
         }
         current
     }
@@ -290,9 +295,7 @@ impl BitBlaster {
                 sum
             }
             BvOp::Mul => self.mul_bits(sat, &arg_bits[0], &arg_bits[1]),
-            BvOp::Udiv | BvOp::Urem => {
-                self.blast_division(sat, op, &arg_bits[0], &arg_bits[1])
-            }
+            BvOp::Udiv | BvOp::Urem => self.blast_division(sat, op, &arg_bits[0], &arg_bits[1]),
             BvOp::Shl => self.barrel_shift(sat, &arg_bits[0], &arg_bits[1], f, true),
             BvOp::Lshr => self.barrel_shift(sat, &arg_bits[0], &arg_bits[1], f, false),
             BvOp::Ashr => {
@@ -368,13 +371,7 @@ impl BitBlaster {
 
     /// Division/remainder via the defining constraints:
     /// if `b != 0` then `q * b + r == a` and `r < b`; if `b == 0` then `q == ~0`, `r == a`.
-    fn blast_division(
-        &mut self,
-        sat: &mut Solver,
-        op: BvOp,
-        a: &[Lit],
-        b: &[Lit],
-    ) -> Vec<Lit> {
+    fn blast_division(&mut self, sat: &mut Solver, op: BvOp, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
         let width = a.len();
         let f = self.false_lit(sat);
         let q: Vec<Lit> = (0..width).map(|_| self.fresh(sat)).collect();

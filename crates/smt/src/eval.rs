@@ -114,9 +114,8 @@ impl TermPool {
         let value = match self.term(id) {
             Term::Const(bv) => bv.clone(),
             Term::Var { name, width } => {
-                let bound = env
-                    .get(name)
-                    .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
+                let bound =
+                    env.get(name).ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
                 if bound.width() != *width {
                     return Err(EvalError::WidthMismatch {
                         name: name.clone(),
@@ -146,10 +145,7 @@ mod tests {
     use super::*;
 
     fn env(pairs: &[(&str, u64, u32)]) -> Env {
-        pairs
-            .iter()
-            .map(|&(n, v, w)| (n.to_string(), BitVec::from_u64(v, w)))
-            .collect()
+        pairs.iter().map(|&(n, v, w)| (n.to_string(), BitVec::from_u64(v, w))).collect()
     }
 
     #[test]

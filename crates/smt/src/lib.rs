@@ -47,9 +47,9 @@ mod op;
 mod pool;
 mod solver;
 
-pub use eval::{apply_op, EvalError, Env};
+pub use eval::{apply_op, Env, EvalError};
 pub use op::BvOp;
 pub use pool::{PoolStats, Term, TermId, TermPool};
 pub use solver::{BlastStats, BvSession, BvSolver, Model, SatResult};
 
-pub use lr_sat::SolverConfig;
+pub use lr_sat::{ClauseDbMode, RestartMode, SolverConfig, SolverStats, GLUE_BUCKETS};

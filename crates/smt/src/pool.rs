@@ -228,7 +228,11 @@ impl TermPool {
             }
             BvOp::Concat => w(0) + w(1),
             BvOp::Extract { hi, lo } => {
-                assert!(hi >= lo && hi < w(0), "extract[{hi}:{lo}] out of range for width {}", w(0));
+                assert!(
+                    hi >= lo && hi < w(0),
+                    "extract[{hi}:{lo}] out of range for width {}",
+                    w(0)
+                );
                 hi - lo + 1
             }
             BvOp::ZeroExt { width } | BvOp::SignExt { width } => {
@@ -266,8 +270,7 @@ impl TermPool {
     }
 
     fn try_fold(&mut self, op: BvOp, args: &[TermId]) -> Option<TermId> {
-        let consts: Option<Vec<BitVec>> =
-            args.iter().map(|&a| self.as_const(a).cloned()).collect();
+        let consts: Option<Vec<BitVec>> = args.iter().map(|&a| self.as_const(a).cloned()).collect();
         let consts = consts?;
         let refs: Vec<&BitVec> = consts.iter().collect();
         let value = apply_op(op, &refs);
@@ -425,10 +428,9 @@ impl TermPool {
                     }
                 }
             }
-            BvOp::Shl | BvOp::Lshr | BvOp::Ashr
-                if self.is_zero_const(args[1]) => {
-                    return Some(args[0]);
-                }
+            BvOp::Shl | BvOp::Lshr | BvOp::Ashr if self.is_zero_const(args[1]) => {
+                return Some(args[0]);
+            }
             BvOp::Not => {
                 if let Term::Op { op: BvOp::Not, args: inner, .. } = self.term(args[0]) {
                     return Some(inner[0]);
@@ -439,22 +441,18 @@ impl TermPool {
                     return Some(inner[0]);
                 }
             }
-            BvOp::Eq
-                if args[0] == args[1] => {
-                    return Some(self.true_());
-                }
-            BvOp::Ult
-                if args[0] == args[1] => {
-                    return Some(self.false_());
-                }
-            BvOp::Slt
-                if args[0] == args[1] => {
-                    return Some(self.false_());
-                }
-            BvOp::Ule | BvOp::Sle
-                if args[0] == args[1] => {
-                    return Some(self.true_());
-                }
+            BvOp::Eq if args[0] == args[1] => {
+                return Some(self.true_());
+            }
+            BvOp::Ult if args[0] == args[1] => {
+                return Some(self.false_());
+            }
+            BvOp::Slt if args[0] == args[1] => {
+                return Some(self.false_());
+            }
+            BvOp::Ule | BvOp::Sle if args[0] == args[1] => {
+                return Some(self.true_());
+            }
             BvOp::Ite => {
                 let (c, t, e) = (args[0], args[1], args[2]);
                 if t == e {
@@ -472,10 +470,14 @@ impl TermPool {
                 if let Term::Op { op: inner_op, args: inner, .. } = self.term(args[0]).clone() {
                     match (op, inner_op) {
                         (BvOp::ZeroExt { .. }, BvOp::ZeroExt { .. }) => {
-                            return Some(self.mk_op(BvOp::ZeroExt { width: new_width }, vec![inner[0]]));
+                            return Some(
+                                self.mk_op(BvOp::ZeroExt { width: new_width }, vec![inner[0]]),
+                            );
                         }
                         (BvOp::SignExt { .. }, BvOp::SignExt { .. }) => {
-                            return Some(self.mk_op(BvOp::SignExt { width: new_width }, vec![inner[0]]));
+                            return Some(
+                                self.mk_op(BvOp::SignExt { width: new_width }, vec![inner[0]]),
+                            );
                         }
                         _ => {}
                     }
@@ -519,17 +521,16 @@ impl TermPool {
                                 // Low bits of a left shift depend only on low bits of
                                 // the value, provided the (constant) amount still
                                 // fits in the narrowed width.
-                                if let Some(amount) = self.as_const(inner[1]).and_then(|a| a.to_u64()) {
+                                if let Some(amount) =
+                                    self.as_const(inner[1]).and_then(|a| a.to_u64())
+                                {
                                     if amount > u64::from(hi) {
                                         return Some(self.zero(width));
                                     }
                                     let narrowed_amount =
                                         self.constant(lr_bv::BitVec::from_u64(amount, hi + 1));
-                                    let a =
-                                        self.mk_op(BvOp::Extract { hi, lo: 0 }, vec![inner[0]]);
-                                    return Some(
-                                        self.mk_op(BvOp::Shl, vec![a, narrowed_amount]),
-                                    );
+                                    let a = self.mk_op(BvOp::Extract { hi, lo: 0 }, vec![inner[0]]);
+                                    return Some(self.mk_op(BvOp::Shl, vec![a, narrowed_amount]));
                                 }
                             }
                             _ => {}
@@ -540,7 +541,10 @@ impl TermPool {
                     // extract of extract composes.
                     Term::Op { op: BvOp::Extract { lo: lo2, .. }, args: inner, .. } => {
                         return Some(
-                            self.mk_op(BvOp::Extract { hi: hi + lo2, lo: lo + lo2 }, vec![inner[0]]),
+                            self.mk_op(
+                                BvOp::Extract { hi: hi + lo2, lo: lo + lo2 },
+                                vec![inner[0]],
+                            ),
                         );
                     }
                     // extract entirely within one side of a concat.
@@ -557,7 +561,11 @@ impl TermPool {
                         }
                     }
                     // extract entirely within the original operand of a zero/sign extension.
-                    Term::Op { op: BvOp::ZeroExt { .. } | BvOp::SignExt { .. }, args: inner, .. } => {
+                    Term::Op {
+                        op: BvOp::ZeroExt { .. } | BvOp::SignExt { .. },
+                        args: inner,
+                        ..
+                    } => {
                         let orig_width = self.width(inner[0]);
                         if hi < orig_width {
                             return Some(self.mk_op(BvOp::Extract { hi, lo }, vec![inner[0]]));
@@ -571,14 +579,12 @@ impl TermPool {
                     _ => {}
                 }
             }
-            BvOp::RedOr | BvOp::RedAnd
-                if self.width(args[0]) == 1 => {
-                    return Some(args[0]);
-                }
-            BvOp::RedXor
-                if self.width(args[0]) == 1 => {
-                    return Some(args[0]);
-                }
+            BvOp::RedOr | BvOp::RedAnd if self.width(args[0]) == 1 => {
+                return Some(args[0]);
+            }
+            BvOp::RedXor if self.width(args[0]) == 1 => {
+                return Some(args[0]);
+            }
             _ => {}
         }
         None

@@ -199,10 +199,8 @@ impl BvSolver {
         );
         let mut model = Model::default();
         for (name, bits) in self.blaster.var_bits() {
-            let values: Vec<bool> = bits
-                .iter()
-                .map(|l| l.eval(self.sat.value(l.var()).unwrap_or(false)))
-                .collect();
+            let values: Vec<bool> =
+                bits.iter().map(|l| l.eval(self.sat.value(l.var()).unwrap_or(false))).collect();
             model.insert(name.clone(), BitVec::from_bits_lsb_first(&values));
         }
         model

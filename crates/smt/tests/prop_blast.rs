@@ -29,10 +29,8 @@ enum Expr {
 }
 
 fn expr_strategy(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(Expr::Var),
-        (0u64..=u64::MAX).prop_map(Expr::Const),
-    ];
+    let leaf =
+        prop_oneof![(0usize..3).prop_map(Expr::Var), (0u64..=u64::MAX).prop_map(Expr::Const),];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
@@ -43,8 +41,11 @@ fn expr_strategy(depth: u32) -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Expr::Ite(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| Expr::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
             (inner.clone(), inner).prop_map(|(a, b)| Expr::UltMux(Box::new(a), Box::new(b))),
         ]
     })
@@ -101,11 +102,7 @@ fn build(pool: &mut TermPool, expr: &Expr, width: u32) -> TermId {
 }
 
 fn env_for(values: &[u64], width: u32) -> lr_smt::Env {
-    values
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (format!("v{i}"), BitVec::from_u64(v, width)))
-        .collect()
+    values.iter().enumerate().map(|(i, &v)| (format!("v{i}"), BitVec::from_u64(v, width))).collect()
 }
 
 fn constrain_env(pool: &mut TermPool, solver: &mut BvSolver, env: &lr_smt::Env) {

@@ -70,6 +70,7 @@ pub fn synthesize(
     let inputs = task.spec.free_vars();
     let mut stats = SynthesisStats {
         solver_name: config.solver.name.clone(),
+        restart_mode: format!("{:?}", config.solver.restart_mode).to_lowercase(),
         incremental: config.incremental,
         ..SynthesisStats::default()
     };
@@ -78,7 +79,8 @@ pub fn synthesize(
     let mut examples: Vec<StreamInputs> = Vec::new();
     examples.push(constant_example(&inputs, |_, _| 0));
     if config.seed_examples >= 1 {
-        examples.push(constant_example(&inputs, |_, w| if w >= 64 { u64::MAX } else { (1 << w) - 1 }));
+        examples
+            .push(constant_example(&inputs, |_, w| if w >= 64 { u64::MAX } else { (1 << w) - 1 }));
     }
     let mut rng_state = config.seed | 1;
     for _ in 1..config.seed_examples {
@@ -124,10 +126,7 @@ pub fn synthesize(
         }
 
         // ----- verification step: does the candidate work for *all* inputs? -----
-        let completed = task
-            .sketch
-            .fill_holes(&candidate)
-            .map_err(SynthesisError::IllFormed)?;
+        let completed = task.sketch.fill_holes(&candidate).map_err(SynthesisError::IllFormed)?;
         match verifier.verify(task, config, &completed, &mut stats) {
             Verification::Equivalent => {
                 stats.elapsed = start.elapsed();
@@ -155,12 +154,8 @@ fn validate(task: &SynthesisTask<'_>) -> Result<(), SynthesisError> {
     if !task.spec.is_behavioral() {
         return Err(SynthesisError::SpecNotBehavioral);
     }
-    task.spec
-        .well_formed()
-        .map_err(|e| SynthesisError::IllFormed(format!("spec: {e}")))?;
-    task.sketch
-        .well_formed()
-        .map_err(|e| SynthesisError::IllFormed(format!("sketch: {e}")))?;
+    task.spec.well_formed().map_err(|e| SynthesisError::IllFormed(format!("spec: {e}")))?;
+    task.sketch.well_formed().map_err(|e| SynthesisError::IllFormed(format!("sketch: {e}")))?;
     let spec_inputs: Vec<String> = task.spec.free_vars().into_iter().map(|(n, _)| n).collect();
     let sketch_inputs: Vec<String> = task.sketch.free_vars().into_iter().map(|(n, _)| n).collect();
     if spec_inputs != sketch_inputs {
@@ -179,7 +174,33 @@ fn validate(task: &SynthesisTask<'_>) -> Result<(), SynthesisError> {
     Ok(())
 }
 
-fn constant_example(inputs: &[(String, u32)], mut value: impl FnMut(&str, u32) -> u64) -> StreamInputs {
+/// Folds the counter delta of one solver check (and a snapshot of the tier
+/// sizes) into the run's statistics. All [`lr_smt::SolverStats`] counters are
+/// monotone, so the subtraction is exact.
+fn absorb_sat_delta(
+    stats: &mut SynthesisStats,
+    before: lr_smt::SolverStats,
+    after: lr_smt::SolverStats,
+) {
+    stats.conflicts += after.conflicts - before.conflicts;
+    stats.propagations += after.propagations - before.propagations;
+    stats.restarts += after.restarts - before.restarts;
+    stats.minimized_literals += after.minimized_literals - before.minimized_literals;
+    stats.learnt_literals += after.learnt_literals - before.learnt_literals;
+    for (acc, (a, b)) in stats
+        .glue_histogram
+        .iter_mut()
+        .zip(after.glue_histogram.iter().zip(before.glue_histogram.iter()))
+    {
+        *acc += a - b;
+    }
+    stats.sat_tier_sizes = [after.core_clauses, after.mid_clauses, after.local_clauses];
+}
+
+fn constant_example(
+    inputs: &[(String, u32)],
+    mut value: impl FnMut(&str, u32) -> u64,
+) -> StreamInputs {
     let mut ex = StreamInputs::new();
     for (name, width) in inputs {
         ex.set_constant(name.clone(), BitVec::from_u64(value(name, *width), *width));
@@ -240,17 +261,16 @@ impl SynthStep {
             self.state = None;
         }
         let state = self.state.get_or_insert_with(|| SynthState::new(task, config));
+        // Snapshot before encoding: adding constraints already propagates root
+        // units, and that work belongs to this check's delta.
+        let before = state.session.stats();
 
         // Permanent: one equality constraint per (new example, cycle). Examples only
         // accumulate, so in incremental mode this encodes exactly the delta.
         for (idx, example) in examples.iter().enumerate().skip(state.encoded_examples) {
             for cycle in task.cycles() {
                 let expected = task.spec.interp(example, cycle).map_err(|e| {
-                    SynthesisError::MalformedExample {
-                        example: idx,
-                        cycle,
-                        reason: e.to_string(),
-                    }
+                    SynthesisError::MalformedExample { example: idx, cycle, reason: e.to_string() }
                 })?;
                 let options = SymbolicOptions { concrete_inputs: Some(example) };
                 let sketch_term = task.sketch.to_term_with(state.session.pool(), cycle, &options);
@@ -267,7 +287,6 @@ impl SynthStep {
         self.ever_encoded = self.ever_encoded.max(examples.len());
 
         stats.learnt_clauses_reused += state.session.stats().learnt_clauses;
-        let conflicts_before = state.session.stats().conflicts;
         let trace_start = Instant::now();
         let verdict = state.session.check();
         if std::env::var_os("LR_CEGIS_TRACE").is_some() {
@@ -275,11 +294,11 @@ impl SynthStep {
                 "[cegis] synth check: {:?} in {:.1} ms, {} conflicts ({} examples)",
                 verdict,
                 trace_start.elapsed().as_secs_f64() * 1e3,
-                state.session.stats().conflicts - conflicts_before,
+                state.session.stats().conflicts - before.conflicts,
                 examples.len(),
             );
         }
-        stats.conflicts += state.session.stats().conflicts - conflicts_before;
+        absorb_sat_delta(stats, before, state.session.stats());
 
         Ok(match verdict {
             SatResult::Unsat => HoleSearch::NoneExists,
@@ -292,11 +311,8 @@ impl SynthStep {
                     // The domain constraint is only asserted when the hole is mentioned
                     // by some example's term; default any unconstrained hole to a legal
                     // value.
-                    let value = if hole.domain.contains(&value) {
-                        value
-                    } else {
-                        first_in_domain(hole)
-                    };
+                    let value =
+                        if hole.domain.contains(&value) { value } else { first_in_domain(hole) };
                     assignment.insert(hole.name.clone(), value);
                 }
                 HoleSearch::Found(assignment)
@@ -373,7 +389,7 @@ impl VerifyStep {
         let mut solver = BvSolver::with_config(config.solver.clone());
         solver.assert_true(&pool, differs);
         let verdict = solver.check(&pool);
-        stats.conflicts += solver.stats().conflicts;
+        absorb_sat_delta(stats, lr_smt::SolverStats::default(), solver.stats());
         match verdict {
             SatResult::Unsat => Verification::Equivalent,
             SatResult::Unknown => Verification::GaveUp,
@@ -432,7 +448,7 @@ impl VerifyStep {
         let guarded = verify.session.pool().implies(activation, differs);
         verify.session.assert_true(guarded);
 
-        let conflicts_before = verify.session.stats().conflicts;
+        let before = verify.session.stats();
         let trace_start = Instant::now();
         let verdict = verify.session.check_assuming(&[activation]);
         if std::env::var_os("LR_CEGIS_TRACE").is_some() {
@@ -441,10 +457,10 @@ impl VerifyStep {
                 verify.round,
                 verdict,
                 trace_start.elapsed().as_secs_f64() * 1e3,
-                verify.session.stats().conflicts - conflicts_before,
+                verify.session.stats().conflicts - before.conflicts,
             );
         }
-        stats.conflicts += verify.session.stats().conflicts - conflicts_before;
+        absorb_sat_delta(stats, before, verify.session.stats());
         match verdict {
             SatResult::Unsat => Verification::Equivalent,
             SatResult::Unknown => Verification::GaveUp,
@@ -520,9 +536,8 @@ fn extract_cex(task: &SynthesisTask<'_>, model: &lr_smt::Model) -> StreamInputs 
     let last_cycle = task.at_cycle + task.extra_cycles;
     let mut cex = StreamInputs::new();
     for (name, width) in task.spec.free_vars() {
-        let trace: Vec<BitVec> = (0..=last_cycle)
-            .map(|t| model.get_or_zero(&input_var_name(&name, t), width))
-            .collect();
+        let trace: Vec<BitVec> =
+            (0..=last_cycle).map(|t| model.get_or_zero(&input_var_name(&name, t), width)).collect();
         cex.set_trace(name, trace);
     }
     cex
@@ -574,10 +589,7 @@ mod tests {
 
         let task = SynthesisTask::at(&spec, &sketch, 0);
         let err = synthesize(&task, &SynthesisConfig::default(), None).unwrap_err();
-        assert!(
-            matches!(&err, SynthesisError::IllFormed(msg) if msg.contains("root")),
-            "{err:?}"
-        );
+        assert!(matches!(&err, SynthesisError::IllFormed(msg) if msg.contains("root")), "{err:?}");
     }
 
     /// spec: out = a & 0xF0; sketch: out = a & ?? — and also check the masked value
@@ -721,8 +733,7 @@ mod tests {
         let sketch = b.finish(out);
         let cancel = Arc::new(AtomicBool::new(true));
         let task = SynthesisTask::at(&spec, &sketch, 0);
-        let outcome =
-            synthesize(&task, &SynthesisConfig::default(), Some(cancel)).unwrap();
+        let outcome = synthesize(&task, &SynthesisConfig::default(), Some(cancel)).unwrap();
         assert!(outcome.is_timeout());
     }
 
@@ -742,9 +753,15 @@ mod tests {
         assert!(result.stats.iterations >= 1);
         assert!(result.stats.examples >= 1);
         assert_eq!(result.stats.solver_name, "default");
+        assert_eq!(result.stats.restart_mode, "ema");
         assert!(result.stats.incremental);
         assert!(result.stats.constraints_encoded >= result.stats.examples);
         assert_eq!(result.stats.constraints_reencoded, 0);
+        assert!(result.stats.propagations > 0, "synthesis checks propagate");
+        assert!(
+            result.stats.glue_histogram.iter().sum::<u64>() <= result.stats.conflicts,
+            "each conflict learns at most one stored clause"
+        );
         assert_eq!(result.hole_assignment["k"], BitVec::zeros(4));
     }
 
@@ -853,9 +870,10 @@ mod tests {
 
         let holes = task.sketch.holes();
         let unbound = StreamInputs::new(); // binds nothing, so `a` cannot be evaluated
-        for config in
-            [SynthesisConfig::default(), SynthesisConfig { incremental: false, ..Default::default() }]
-        {
+        for config in [
+            SynthesisConfig::default(),
+            SynthesisConfig { incremental: false, ..Default::default() },
+        ] {
             let mut stats = SynthesisStats::default();
             let mut synth = SynthStep::new();
             let err = synth

@@ -51,7 +51,12 @@ pub fn synthesize_by_enumeration(
         let assignment: BTreeMap<String, BitVec> = holes
             .iter()
             .zip(&indices)
-            .map(|(h, &i)| (h.name.clone(), domains[holes.iter().position(|x| x.name == h.name).unwrap()][i].clone()))
+            .map(|(h, &i)| {
+                (
+                    h.name.clone(),
+                    domains[holes.iter().position(|x| x.name == h.name).unwrap()][i].clone(),
+                )
+            })
             .collect();
         tried += 1;
         let candidate = task.sketch.fill_holes(&assignment).map_err(SynthesisError::IllFormed)?;

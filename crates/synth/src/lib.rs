@@ -133,6 +133,25 @@ pub struct SynthesisStats {
     /// SAT conflicts across every solver check of the run (synthesis and
     /// verification steps combined).
     pub conflicts: u64,
+    /// SAT unit propagations across every solver check of the run.
+    pub propagations: u64,
+    /// SAT restarts across every solver check of the run.
+    pub restarts: u64,
+    /// Literals removed from learnt clauses by recursive minimization, across
+    /// every solver check of the run.
+    pub minimized_literals: u64,
+    /// Total literals across learnt clauses as stored (post-minimization).
+    pub learnt_literals: u64,
+    /// Glue (LBD) histogram over every clause the run's solvers learned: bucket
+    /// `i` counts clauses with LBD `i + 1`, the last bucket collects the rest
+    /// (see [`GLUE_BUCKETS`](lr_smt::GLUE_BUCKETS)).
+    pub glue_histogram: [u64; lr_smt::GLUE_BUCKETS],
+    /// Learnt-clause tier sizes (core / mid / local) observed at the run's most
+    /// recent solver check — the verification solver for runs whose last step
+    /// verified, the synthesis solver otherwise. A snapshot, not a counter.
+    pub sat_tier_sizes: [u64; 3],
+    /// Restart strategy the run's solvers used (config echo, e.g. `"ema"`).
+    pub restart_mode: String,
     /// Example-equality constraints encoded into the synthesis solver, totalled over
     /// all iterations.
     pub constraints_encoded: usize,

@@ -100,15 +100,12 @@ pub fn synthesize_portfolio_with(
     }
 
     match decided {
-        Some((name, outcome)) => Ok(PortfolioOutcome {
-            outcome,
-            winner: Some(name),
-            members,
-        }),
+        Some((name, outcome)) => Ok(PortfolioOutcome { outcome, winner: Some(name), members }),
         None => {
-            let outcome = timeouts.into_inner().unwrap().into_iter().next().unwrap_or(
-                SynthesisOutcome::Timeout { stats: crate::SynthesisStats::default() },
-            );
+            let outcome =
+                timeouts.into_inner().unwrap().into_iter().next().unwrap_or(
+                    SynthesisOutcome::Timeout { stats: crate::SynthesisStats::default() },
+                );
             Ok(PortfolioOutcome { outcome, winner: None, members })
         }
     }

@@ -31,10 +31,7 @@ fn main() {
     let spec = lr_hdl::parse_and_elaborate(ADD_MUL_AND_8).expect("example Verilog parses");
     for tool in [BaselineTool::SotaLike, BaselineTool::YosysLike] {
         let r = estimate(tool, arch.name(), &spec);
-        println!(
-            "{tool}: {} DSP, {} LUTs, {} registers",
-            r.dsps, r.logic_elements, r.registers
-        );
+        println!("{tool}: {} DSP, {} LUTs, {} registers", r.dsps, r.logic_elements, r.registers);
     }
 
     // What Lakeroad does.

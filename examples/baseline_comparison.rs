@@ -11,8 +11,10 @@ use lr_baselines::{estimate, BaselineTool};
 fn main() {
     let arch = Architecture::xilinx_ultrascale_plus();
     // Width-8 suite, every 11th benchmark, to keep the example quick.
-    let benchmarks: Vec<_> =
-        suite_for(ArchName::XilinxUltraScalePlus, [8u32].into_iter()).into_iter().step_by(11).collect();
+    let benchmarks: Vec<_> = suite_for(ArchName::XilinxUltraScalePlus, [8u32].into_iter())
+        .into_iter()
+        .step_by(11)
+        .collect();
     println!("running {} Xilinx UltraScale+ microbenchmarks (width 8)\n", benchmarks.len());
 
     let mut lakeroad_tally = Tally::default();
@@ -29,10 +31,9 @@ fn main() {
             _ => RunClass::Timeout,
         };
         lakeroad_tally.record(class);
-        for (tool, tally) in [
-            (BaselineTool::SotaLike, &mut sota_tally),
-            (BaselineTool::YosysLike, &mut yosys_tally),
-        ] {
+        for (tool, tally) in
+            [(BaselineTool::SotaLike, &mut sota_tally), (BaselineTool::YosysLike, &mut yosys_tally)]
+        {
             let r = estimate(tool, arch.name(), &spec);
             tally.record(if r.is_single_dsp() { RunClass::Success } else { RunClass::Fail });
         }

@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use lakeroad_suite::prelude::*;
 
-use lakeroad::suite::suite_for;
 use lakeroad::pipeline_depth;
+use lakeroad::suite::suite_for;
 use lr_sketch::generate_sketch;
 use lr_synth::{
     synthesize, SolverConfig, SynthesisConfig, SynthesisOutcome, SynthesisTask, Synthesized,

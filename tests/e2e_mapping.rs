@@ -96,13 +96,9 @@ fn logic_post_op_designs_map_only_on_architectures_with_a_logic_unit() {
     let out = b.op2(BvOp::Xor, prod, c);
     let spec = b.finish(out);
 
-    let xilinx = map_design(
-        &spec,
-        Template::Dsp,
-        &Architecture::xilinx_ultrascale_plus(),
-        &quick_config(),
-    )
-    .unwrap();
+    let xilinx =
+        map_design(&spec, Template::Dsp, &Architecture::xilinx_ultrascale_plus(), &quick_config())
+            .unwrap();
     assert!(xilinx.is_success());
 
     let intel =

@@ -21,10 +21,8 @@ fn full_suite_counts_match_the_paper() {
 #[test]
 fn completeness_ordering_holds_on_a_sample() {
     let arch = Architecture::lattice_ecp5();
-    let sample: Vec<_> = suite_for(ArchName::LatticeEcp5, [8u32].into_iter())
-        .into_iter()
-        .step_by(5)
-        .collect();
+    let sample: Vec<_> =
+        suite_for(ArchName::LatticeEcp5, [8u32].into_iter()).into_iter().step_by(5).collect();
     assert!(!sample.is_empty());
     let config = MapConfig::default().with_timeout(Duration::from_secs(30));
 

@@ -29,10 +29,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
         let sample_size = self.sample_size;
-        BenchmarkGroup {
-            _criterion: self,
-            sample_size,
-        }
+        BenchmarkGroup { _criterion: self, sample_size }
     }
 
     pub fn sample_size(&mut self, n: usize) -> &mut Self {

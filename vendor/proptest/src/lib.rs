@@ -34,9 +34,7 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn new(seed: u64) -> Self {
-        TestRng {
-            state: seed ^ 0x9E37_79B9_7F4A_7C15,
-        }
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -82,10 +80,7 @@ pub trait Strategy {
         F: Fn(Self::Value) -> O + 'static,
         Self::Value: 'static,
     {
-        Map {
-            inner: self,
-            f: Rc::new(f),
-        }
+        Map { inner: self, f: Rc::new(f) }
     }
 
     fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, R::Value>
@@ -95,10 +90,7 @@ pub trait Strategy {
         F: Fn(Self::Value) -> R + 'static,
         Self::Value: 'static,
     {
-        FlatMap {
-            inner: self,
-            f: Rc::new(move |v| f(v).boxed()),
-        }
+        FlatMap { inner: self, f: Rc::new(move |v| f(v).boxed()) }
     }
 
     /// Builds strategies for recursive data: `recurse` receives the strategy for
@@ -377,13 +369,12 @@ where
     S: Strategy,
     F: Fn(S::Value) -> TestCaseResult,
 {
-    let perturb = std::env::var("PROPTEST_SEED")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(0);
+    let perturb =
+        std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
     let base = fnv1a(name) ^ perturb;
     for case in 0..config.cases {
-        let mut rng = TestRng::new(base.wrapping_add((case as u64).wrapping_mul(0xA076_1D64_78BD_642F)));
+        let mut rng =
+            TestRng::new(base.wrapping_add((case as u64).wrapping_mul(0xA076_1D64_78BD_642F)));
         let value = strategy.generate(&mut rng);
         let shown = format!("{value:?}");
         match test(value) {
