@@ -1,0 +1,23 @@
+//! The daemon-serving experiment: N concurrent clients against an in-process
+//! `lakeroad serve` daemon, cold then warm. Writes `BENCH_daemon.json` and
+//! exits non-zero if an acceptance gate fails (a warm verdict not served from
+//! the shared cache, lost or rejected jobs in the drain accounting, or warm
+//! verdict drift) — CI runs this at `--quick`.
+
+use std::process::ExitCode;
+
+use lr_bench::daemon::{report_and_write, run_daemon_experiment};
+use lr_bench::Scale;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    println!("Daemon-serving experiment at {scale:?} scale");
+    let report = run_daemon_experiment(scale);
+    match report_and_write(&report) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            eprintln!("exp_daemon gates failed: {failures}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -370,15 +370,43 @@ fn check_sat(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
     }
 }
 
+fn check_daemon(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_daemon.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!("{FILE}: the daemon experiment's own gates failed"));
+    }
+    // Hard invariants, not tolerances: a graceful drain loses nothing, and the
+    // workload is sized inside the admission bound.
+    for field in ["lost", "rejected"] {
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if f != 0.0 {
+            failures.push(format!("{FILE}: {field} is {f:.0}, expected exactly 0"));
+        }
+    }
+    // Deterministic accounting: the request and warm-hit counts depend only on
+    // the scale's client/request shape, never on timing.
+    for field in ["accepted", "completed", "warm_served", "warm_hits", "cold_misses"] {
+        let b = baseline.get(&[field]).and_then(Json::as_f64).unwrap_or(0.0);
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if f != b {
+            failures.push(format!("{FILE}: {field} changed: {f:.0} vs baseline {b:.0}"));
+        }
+    }
+}
+
 /// One file's comparison rule: (failures, baseline document, fresh document).
 pub type GateRule = fn(&mut Vec<String>, &Json, &Json);
 
 /// The `BENCH_*.json` files the gate knows how to compare, with their rules.
-pub const GATED_FILES: [(&str, GateRule); 4] = [
+pub const GATED_FILES: [(&str, GateRule); 5] = [
     ("BENCH_cegis.json", check_cegis),
     ("BENCH_egraph.json", check_egraph),
     ("BENCH_serve.json", check_serve),
     ("BENCH_sat.json", check_sat),
+    ("BENCH_daemon.json", check_daemon),
 ];
 
 /// Compares every known bench record present in `baseline_dir` against its
@@ -466,7 +494,9 @@ mod tests {
     fn the_committed_baselines_parse() {
         // The real records this gate will read in CI must stay parseable by the
         // mini parser.
-        for file in ["BENCH_cegis.json", "BENCH_egraph.json", "BENCH_serve.json"] {
+        for file in
+            ["BENCH_cegis.json", "BENCH_egraph.json", "BENCH_serve.json", "BENCH_daemon.json"]
+        {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
             if let Ok(text) = std::fs::read_to_string(&path) {
                 Json::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
@@ -525,6 +555,39 @@ mod tests {
         let mut failures = Vec::new();
         check_cegis(&mut failures, &baseline, &doc(1000, "timeout"));
         assert!(failures.iter().any(|f| f.contains("verdict tally")));
+    }
+
+    fn daemon_doc(lost: u64, warm_served: u64, gates_pass: bool) -> Json {
+        Json::parse(&format!(
+            "{{\"scale\": \"Quick\", \"accepted\": 30, \"completed\": 30, \"rejected\": 0, \
+             \"lost\": {lost}, \"warm_served\": {warm_served}, \"warm_hits\": {warm_served}, \
+             \"cold_misses\": 3, \"warm_p99_ms\": 90.0, \"gates_pass\": {gates_pass}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn daemon_rule_pins_accounting_exactly_and_ignores_latency() {
+        let baseline = daemon_doc(0, 24, true);
+        // Identical counters pass, no matter how the (ungated) latency moved.
+        let mut failures = Vec::new();
+        check_daemon(&mut failures, &baseline, &daemon_doc(0, 24, true));
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // One lost job is an absolute failure, not a tolerance question.
+        let mut failures = Vec::new();
+        check_daemon(&mut failures, &baseline, &daemon_doc(1, 24, true));
+        assert!(failures.iter().any(|f| f.contains("lost")));
+
+        // A warm verdict that fell out of the cache shifts the deterministic
+        // counters and fails exactly.
+        let mut failures = Vec::new();
+        check_daemon(&mut failures, &baseline, &daemon_doc(0, 23, true));
+        assert!(failures.iter().any(|f| f.contains("warm_served")));
+
+        let mut failures = Vec::new();
+        check_daemon(&mut failures, &baseline, &daemon_doc(0, 24, false));
+        assert!(failures.iter().any(|f| f.contains("own gates")));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the §5.2 extensibility comparison).
 
 pub mod cegis;
+pub mod daemon;
 pub mod egraph;
 pub mod gate;
 pub mod sat;

@@ -378,6 +378,7 @@ mod tests {
             misses,
             stores,
             invalidations,
+            evictions: 0,
         };
         ServeReport {
             scale: Scale::Quick,

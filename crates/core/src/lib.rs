@@ -32,6 +32,7 @@ pub mod cache;
 pub mod report;
 pub mod suite;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +81,11 @@ pub struct MapConfig {
     /// different tiers depending on wall-clock accidents and warm caches would
     /// miss.
     pub cache_budget: Option<Duration>,
+    /// External cancellation flag, threaded through to the synthesis layer as a
+    /// SAT-solver interrupt: when it becomes true, in-flight solver checks
+    /// return promptly and the mapping reports a timeout verdict. `None` (the
+    /// default) means the run is only bounded by `timeout`.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for MapConfig {
@@ -93,6 +99,7 @@ impl std::fmt::Debug for MapConfig {
             .field("egraph", &self.egraph)
             .field("cache", &self.cache.as_ref().map(|_| "<MapCache>"))
             .field("cache_budget", &self.cache_budget)
+            .field("cancel", &self.cancel.as_ref().map(|c| c.load(Ordering::Relaxed)))
             .finish()
     }
 }
@@ -108,6 +115,7 @@ impl Default for MapConfig {
             egraph: true,
             cache: None,
             cache_budget: None,
+            cancel: None,
         }
     }
 }
@@ -389,6 +397,7 @@ fn map_prepared_design(
         timeout: Some(config.timeout),
         incremental: config.incremental,
         egraph: config.egraph,
+        cancel: config.cancel.clone(),
         ..Default::default()
     };
     let result = synthesize_portfolio_with(&task, &synth_config, &config.solvers)?;
@@ -454,6 +463,13 @@ pub fn map_design_auto(
     let mut last_error: Option<MapError> = None;
     let mut posed_any = false;
     for template in ranked {
+        // A raised cancel flag already stops the in-flight attempt through the
+        // solver interrupt; checking it here too keeps the loop from posing
+        // every remaining template just to watch each one bail out.
+        if config.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+            timed_out = true;
+            break;
+        }
         let Some(remaining) = config.timeout.checked_sub(start.elapsed()) else {
             timed_out = true;
             break;

@@ -24,6 +24,9 @@
 //!   the long-run trend, with trail-depth blocking; [`RestartMode::Luby`] keeps the
 //!   classic schedule.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::{ClauseDbMode, Lit, RestartMode, SolverConfig, Var};
 
 /// Result of a [`Solver::solve`] call.
@@ -33,7 +36,8 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a verdict was reached.
+    /// The conflict budget was exhausted, or an interrupt flag was raised,
+    /// before a verdict was reached.
     Unknown,
 }
 
@@ -166,6 +170,10 @@ pub struct Solver {
     ema_primed: bool,
     unsat_at_root: bool,
     rng_state: u64,
+    /// Cooperative interrupt flags: when any becomes true, the search loop
+    /// returns [`SolveResult::Unknown`] at its next check point. Solver state
+    /// stays valid, so a later `solve` call resumes from the learnt clauses.
+    interrupts: Vec<Arc<AtomicBool>>,
     stats: SolverStats,
 }
 
@@ -214,8 +222,20 @@ impl Solver {
             ema_trail: 0.0,
             ema_primed: false,
             unsat_at_root: false,
+            interrupts: Vec::new(),
             stats: SolverStats::default(),
         }
+    }
+
+    /// Registers a shared interrupt flag. While any registered flag reads
+    /// `true`, in-flight and future `solve` calls return
+    /// [`SolveResult::Unknown`] promptly instead of searching to completion.
+    pub fn add_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupts.push(flag);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupts.iter().any(|f| f.load(Ordering::Relaxed))
     }
 
     /// The configuration this solver runs under.
@@ -1066,6 +1086,9 @@ impl Solver {
         let budget_start = self.stats.conflicts;
 
         loop {
+            if !self.interrupts.is_empty() && self.interrupted() {
+                return SolveResult::Unknown;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
@@ -1293,6 +1316,18 @@ mod tests {
         let cfg = SolverConfig { conflict_budget: Some(3), ..SolverConfig::default() };
         let mut s = pigeonhole(8, 7, cfg);
         assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn raised_interrupt_flag_reports_unknown() {
+        // A hard instance with a pre-raised interrupt must bail out immediately,
+        // and clearing the flag lets the same solver finish the search.
+        let mut s = pigeonhole(8, 7, SolverConfig::default());
+        let flag = Arc::new(AtomicBool::new(true));
+        s.add_interrupt(Arc::clone(&flag));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

@@ -241,12 +241,14 @@ impl BatchReport {
         }
         if let Some(c) = &self.cache {
             out.push_str(&format!(
-                "cache: {} hits / {} misses ({:.1}% hit rate), {} stores, {} invalidations\n",
+                "cache: {} hits / {} misses ({:.1}% hit rate), {} stores, {} invalidations, \
+                 {} evictions\n",
                 c.hits,
                 c.misses,
                 100.0 * c.hit_rate(),
                 c.stores,
                 c.invalidations,
+                c.evictions,
             ));
         }
         out

@@ -20,6 +20,17 @@
 //! `lr_serve::parse_manifest` for the format) over the work-stealing scheduler,
 //! sharing one content-addressed synthesis cache across all jobs; `--cache`
 //! persists that cache across invocations, so a repeated batch is served warm.
+//!
+//! Serve mode — the resident daemon:
+//!
+//! ```text
+//! $ lakeroad serve --addr 127.0.0.1:9077 --jobs 4 --cache warm.lrc
+//! ```
+//!
+//! keeps one always-warm, size-bounded synthesis cache alive across many
+//! clients, speaking the length-prefixed JSON protocol of `lr_serve::protocol`
+//! over TCP. The process runs until a client sends `{"kind": "shutdown"}`,
+//! then drains gracefully: every admitted job is finished and answered.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,8 +39,8 @@ use std::time::Duration;
 use lakeroad::{map_design_auto, map_verilog, MapConfig, MapOutcome, Template};
 use lr_arch::Architecture;
 use lr_serve::{
-    parse_arch_name, parse_manifest, run_batch_streaming, BatchOptions, BatchReport, JobResult,
-    SynthCache,
+    parse_arch_name, parse_manifest, run_batch_streaming, BatchOptions, BatchReport, Daemon,
+    DaemonConfig, JobResult, SynthCache,
 };
 
 /// Which sketch template(s) to try: a named template, or `auto` — the ranking the
@@ -56,7 +67,11 @@ fn usage() -> String {
      \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--stats]\n\
      \x20               [--output <file>] <design.v>\n\
      \x20      lakeroad batch <manifest> [--jobs <N>] [--cache <file>] [--no-cache]\n\
-     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph]"
+     \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph]\n\
+     \x20      lakeroad serve [--addr <host:port>] [--jobs <N>] [--cache <file>]\n\
+     \x20               [--cache-capacity <entries>] [--persist-interval <seconds>]\n\
+     \x20               [--max-pending <N>] [--timeout <seconds>] [--no-incremental]\n\
+     \x20               [--no-egraph]"
         .to_string()
 }
 
@@ -354,10 +369,129 @@ fn batch_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_serve_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig {
+        addr: "127.0.0.1:9077".to_string(),
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ..DaemonConfig::default()
+    };
+    let mut timeout = Duration::from_secs(120);
+    let mut incremental = true;
+    let mut egraph = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = args.get(i).ok_or("--addr needs a host:port value")?.clone();
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                config.workers = args
+                    .get(i)
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--jobs expects a worker count of at least 1".to_string())?;
+            }
+            "--cache" => {
+                i += 1;
+                let path = args.get(i).ok_or("--cache needs a file path")?;
+                config.persist_path = Some(std::path::PathBuf::from(path));
+            }
+            "--cache-capacity" => {
+                i += 1;
+                let cap: usize = args
+                    .get(i)
+                    .ok_or("--cache-capacity needs a value")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity expects an entry count".to_string())?;
+                // 0 = unbounded, matching `SynthCache::set_capacity`.
+                config.cache_capacity = (cap > 0).then_some(cap);
+            }
+            "--persist-interval" => {
+                i += 1;
+                let secs: u64 =
+                    args.get(i).ok_or("--persist-interval needs a value")?.parse().map_err(
+                        |_| "--persist-interval expects a number of seconds".to_string(),
+                    )?;
+                config.persist_interval = Duration::from_secs(secs.max(1));
+            }
+            "--max-pending" => {
+                i += 1;
+                config.max_pending_per_client = args
+                    .get(i)
+                    .ok_or("--max-pending needs a value")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--max-pending expects a bound of at least 1".to_string())?;
+            }
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout expects a number of seconds".to_string())?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--no-incremental" => incremental = false,
+            "--no-egraph" => egraph = false,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    config.map = MapConfig { incremental, egraph, ..MapConfig::default().with_timeout(timeout) };
+    Ok(config)
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let config = match parse_serve_args(args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let persist = config.persist_path.clone();
+    let daemon = match Daemon::bind(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("cannot bind daemon: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("lakeroad daemon listening on {}", daemon.local_addr());
+    if let Some(path) = &persist {
+        eprintln!("persisting the synthesis cache to `{}`", path.display());
+    }
+    let summary = daemon.wait();
+    eprintln!(
+        "drained: {} accepted / {} completed / {} rejected ({} lost), \
+         {} served from cache, {} cache entries",
+        summary.accepted,
+        summary.completed,
+        summary.rejected,
+        summary.lost(),
+        summary.cache_served,
+        summary.cache_entries,
+    );
+    if summary.lost() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("batch") {
         return batch_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
     }
     let options = match parse_args(&args) {
         Ok(o) => o,

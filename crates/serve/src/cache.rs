@@ -6,7 +6,10 @@
 //! ([`lakeroad::CachedOutcome`]): hole assignments for successes, a bare marker
 //! for UNSATs. The map is split into fixed shards, each behind its own
 //! `std::sync::Mutex`, so scheduler workers hitting different shards never
-//! contend; hit/miss/store/invalidation counters are lock-free atomics.
+//! contend; hit/miss/store/invalidation/eviction counters are lock-free
+//! atomics. An optional entry-count cap ([`SynthCache::set_capacity`]) evicts
+//! oldest insertions per shard, so a long-lived daemon process cannot grow
+//! without bound; the cap defaults to off for one-shot batch runs.
 //!
 //! [`SynthCache::save`] / [`SynthCache::load`] persist the table as a sorted
 //! line-oriented text file, written atomically (temp file + rename), so a warm
@@ -19,10 +22,10 @@
 //! but UNSAT entries are trusted from the address alone, so a semantic change
 //! must orphan old files rather than let them answer for the new engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use lakeroad::{CacheKey, CachedOutcome, MapCache};
@@ -43,6 +46,8 @@ pub struct CacheSnapshot {
     pub stores: u64,
     /// Entries dropped because a replay failed verification.
     pub invalidations: u64,
+    /// Entries dropped to keep the cache under its entry-count cap.
+    pub evictions: u64,
 }
 
 impl CacheSnapshot {
@@ -63,18 +68,33 @@ impl CacheSnapshot {
             misses: later.misses - self.misses,
             stores: later.stores - self.stores,
             invalidations: later.invalidations - self.invalidations,
+            evictions: later.evictions - self.evictions,
         }
     }
 }
 
-/// A sharded in-memory synthesis cache with optional on-disk persistence.
+/// One independently-locked shard: the entry map plus the insertion order used
+/// for eviction. The order queue may lag behind the map — invalidated keys stay
+/// queued until eviction pops (and skips) them lazily.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, CachedOutcome>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A sharded in-memory synthesis cache with optional on-disk persistence and an
+/// optional entry-count cap (see [`SynthCache::set_capacity`]).
 #[derive(Debug)]
 pub struct SynthCache {
-    shards: Vec<Mutex<HashMap<CacheKey, CachedOutcome>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Entry-count cap across all shards; 0 means unbounded (the default, right
+    /// for one-shot batch runs — the daemon turns the cap on).
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for SynthCache {
@@ -84,24 +104,72 @@ impl Default for SynthCache {
 }
 
 impl SynthCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> SynthCache {
         SynthCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, CachedOutcome>> {
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// Sets (or clears, with `None`/`Some(0)` meaning unbounded) the entry-count
+    /// cap and immediately evicts down to it, oldest insertions first. The cap
+    /// is enforced per shard at `ceil(cap / SHARDS)`, so a skewed key
+    /// distribution can evict before the global total reaches `cap`; totals
+    /// never exceed `SHARDS * ceil(cap / SHARDS)`.
+    pub fn set_capacity(&self, cap: Option<usize>) {
+        self.capacity.store(cap.unwrap_or(0), Ordering::Relaxed);
+        if let Some(per_shard) = self.per_shard_cap() {
+            for shard in &self.shards {
+                let mut guard = shard.lock().unwrap();
+                self.evict_to(&mut guard, per_shard);
+            }
+        }
+    }
+
+    /// The configured entry-count cap (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            cap => Some(cap),
+        }
+    }
+
+    fn per_shard_cap(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            cap => Some(cap.div_ceil(SHARDS)),
+        }
+    }
+
+    /// Pops insertion-order entries until `shard` is at or under `cap` entries.
+    /// Keys whose entry is already gone (invalidated, or re-stored and queued
+    /// twice) are skipped without counting as evictions.
+    fn evict_to(&self, shard: &mut Shard, cap: usize) {
+        let mut evicted = 0u64;
+        while shard.map.len() > cap {
+            let Some(old) = shard.order.pop_front() else { break };
+            if shard.map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Number of entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -116,6 +184,7 @@ impl SynthCache {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -124,7 +193,7 @@ impl SynthCache {
         let mut out: Vec<(CacheKey, CachedOutcome)> = Vec::new();
         for shard in &self.shards {
             let guard = shard.lock().unwrap();
-            out.extend(guard.iter().map(|(k, v)| (*k, v.clone())));
+            out.extend(guard.map.iter().map(|(k, v)| (*k, v.clone())));
         }
         out.sort_by_key(|&(k, _)| k);
         out
@@ -135,9 +204,19 @@ impl SynthCache {
     /// crash or full disk mid-save must not replace a good warm cache with a
     /// torn file that the strict loader would then reject forever.
     ///
+    /// The temp name is unique per process *and* per save — two concurrent
+    /// writers (the daemon's background persister racing a `lakeroad batch
+    /// --cache` exit save, or two batch processes sharing one warm file) each
+    /// write their own complete temp file and the renames land whole-file
+    /// last-writer-wins, instead of interleaving through one shared temp path
+    /// and renaming a half-written file over a good cache. The data is fsynced
+    /// before the rename so a crash cannot leave the target pointing at
+    /// not-yet-durable content.
+    ///
     /// # Errors
     /// Propagates the underlying I/O error.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        static SAVE_TICKET: AtomicU64 = AtomicU64::new(0);
         let mut out = Vec::new();
         writeln!(out, "{FORMAT_HEADER}")?;
         for (key, outcome) in self.entries() {
@@ -152,9 +231,26 @@ impl SynthCache {
                 }
             }
         }
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, out)?;
-        std::fs::rename(&tmp, path)
+        let base = path
+            .file_name()
+            .map_or_else(|| "cache".to_string(), |name| name.to_string_lossy().into_owned());
+        let tmp = path.with_file_name(format!(
+            "{base}.{}.{}.tmp",
+            std::process::id(),
+            SAVE_TICKET.fetch_add(1, Ordering::Relaxed),
+        ));
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&out)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            // Best effort: do not leave a stray temp file behind a failed save.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Reads a cache from `path`. A missing file yields an empty cache (cold
@@ -184,7 +280,10 @@ impl SynthCache {
             let entry = parse_entry(line)
                 .map_err(|e| invalid(format!("cache line {}: {e}", lineno + 2)))?;
             let (key, outcome) = entry;
-            cache.shard(&key).lock().unwrap().insert(key, outcome);
+            let mut shard = cache.shard(&key).lock().unwrap();
+            if shard.map.insert(key, outcome).is_none() {
+                shard.order.push_back(key);
+            }
         }
         Ok(cache)
     }
@@ -221,7 +320,7 @@ fn parse_entry(line: &str) -> Result<(CacheKey, CachedOutcome), String> {
 
 impl MapCache for SynthCache {
     fn lookup(&self, key: &CacheKey) -> Option<CachedOutcome> {
-        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        let found = self.shard(key).lock().unwrap().map.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -230,12 +329,20 @@ impl MapCache for SynthCache {
     }
 
     fn store(&self, key: CacheKey, outcome: CachedOutcome) {
-        self.shard(&key).lock().unwrap().insert(key, outcome);
+        let per_shard = self.per_shard_cap();
+        let mut shard = self.shard(&key).lock().unwrap();
+        if shard.map.insert(key, outcome).is_none() {
+            shard.order.push_back(key);
+        }
+        if let Some(cap) = per_shard {
+            self.evict_to(&mut shard, cap);
+        }
+        drop(shard);
         self.stores.fetch_add(1, Ordering::Relaxed);
     }
 
     fn invalidate(&self, key: &CacheKey) {
-        if self.shard(key).lock().unwrap().remove(key).is_some() {
+        if self.shard(key).lock().unwrap().map.remove(key).is_some() {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -283,7 +390,7 @@ mod tests {
             cache.store(key(n), CachedOutcome::Unsat);
         }
         assert_eq!(cache.len(), 64);
-        let populated = cache.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
+        let populated = cache.shards.iter().filter(|s| !s.lock().unwrap().map.is_empty()).count();
         assert!(populated > 1, "64 keys should not all land in one shard");
     }
 
@@ -319,6 +426,134 @@ mod tests {
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{name}");
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn unbounded_by_default_grows_without_eviction() {
+        // Regression (unbounded-growth bug): before the cap existed this was
+        // the *only* behaviour; now it must remain the default.
+        let cache = SynthCache::new();
+        assert_eq!(cache.capacity(), None);
+        for n in 0..200 {
+            cache.store(key(n), CachedOutcome::Unsat);
+        }
+        assert_eq!(cache.len(), 200);
+        assert_eq!(cache.snapshot().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_cap_evicts_oldest_insertions() {
+        let cache = SynthCache::new();
+        cache.set_capacity(Some(32));
+        // key(n) lands in shard n % SHARDS, so 0..200 spreads uniformly: each
+        // shard keeps its per-shard cap (32/16 = 2) newest keys.
+        for n in 0..200 {
+            cache.store(key(n), CachedOutcome::Unsat);
+        }
+        assert_eq!(cache.len(), 32);
+        let snap = cache.snapshot();
+        assert_eq!(snap.stores, 200);
+        assert_eq!(snap.evictions, 200 - 32);
+        // The newest key per shard survived; the oldest ones are gone.
+        assert!(cache.lookup(&key(199)).is_some());
+        assert!(cache.lookup(&key(0)).is_none());
+    }
+
+    #[test]
+    fn setting_a_capacity_trims_immediately() {
+        let cache = SynthCache::new();
+        for n in 0..100 {
+            cache.store(key(n), CachedOutcome::Unsat);
+        }
+        assert_eq!(cache.len(), 100);
+        cache.set_capacity(Some(16));
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.snapshot().evictions, 100 - 16);
+        // Clearing the cap stops eviction again.
+        cache.set_capacity(None);
+        for n in 100..200 {
+            cache.store(key(n), CachedOutcome::Unsat);
+        }
+        assert_eq!(cache.len(), 16 + 100);
+    }
+
+    #[test]
+    fn eviction_skips_invalidated_keys_without_counting_them() {
+        let cache = SynthCache::new();
+        cache.set_capacity(Some(SHARDS)); // per-shard cap of 1
+        cache.store(key(16), CachedOutcome::Unsat); // shard 0
+        cache.invalidate(&key(16)); // gone from the map, still queued
+        cache.store(key(32), CachedOutcome::Unsat); // shard 0 again: no eviction needed
+        assert_eq!(cache.lookup(&key(32)), Some(CachedOutcome::Unsat));
+        assert_eq!(cache.snapshot().evictions, 0);
+    }
+
+    #[test]
+    fn two_writer_saves_never_tear_the_file() {
+        // Regression (save race): the fixed `path.with_extension("tmp")` temp
+        // name let two concurrent writers interleave create/truncate/write on
+        // one temp path and rename a half-written file over a good cache. With
+        // unique per-save temp names every observable file state is one
+        // writer's complete output, so a strict load after each save always
+        // succeeds.
+        let dir = std::env::temp_dir().join("lr_serve_cache_two_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.lrc");
+        let big = SynthCache::new();
+        for n in 0..400 {
+            big.store(key(n), success(n % 251));
+        }
+        let small = SynthCache::new();
+        small.store(key(9_999), CachedOutcome::Unsat);
+        std::thread::scope(|scope| {
+            for cache in [&big, &small] {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..40 {
+                        cache.save(path).unwrap();
+                        let loaded = SynthCache::load(path).unwrap();
+                        let n = loaded.len();
+                        assert!(n == 400 || n == 1, "torn cache file: {n} entries");
+                    }
+                });
+            }
+        });
+        // No temp litter: every save either renamed or cleaned up after itself.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_torn_temp_file_never_replaces_a_good_cache() {
+        // Crash-safety for the daemon's snapshot persister: a writer that dies
+        // mid-write leaves only its private temp file. The good cache stays
+        // loadable, and a later successful save neither trips over nor
+        // resurrects the torn temp.
+        let dir = std::env::temp_dir().join("lr_serve_cache_torn_tmp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.lrc");
+        let cache = SynthCache::new();
+        cache.store(key(1), success(1));
+        cache.save(&path).unwrap();
+
+        // Simulate a crash mid-write: a half-written temp alongside the target.
+        let torn = dir.join("warm.lrc.4242.0.tmp");
+        std::fs::write(&torn, "lakeroad-serve-cache v1\n0123").unwrap();
+
+        let loaded = SynthCache::load(&path).unwrap();
+        assert_eq!(loaded.entries(), cache.entries());
+
+        cache.store(key(2), CachedOutcome::Unsat);
+        cache.save(&path).unwrap();
+        assert_eq!(SynthCache::load(&path).unwrap().len(), 2);
+        // The torn temp is still just litter, not part of the cache.
+        assert!(torn.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,628 @@
+//! `lakeroad serve`: the resident mapping daemon.
+//!
+//! The batch engine amortizes synthesis within one process invocation; the
+//! daemon amortizes it across *clients*. It owns one always-warm, size-bounded
+//! [`SynthCache`] and serves mapping requests over the length-prefixed JSON
+//! protocol of [`crate::protocol`] on a plain [`TcpListener`] — no async
+//! runtime, just scoped-lifetime-free std threads:
+//!
+//! * one **acceptor** hands each connection to a detached handler thread;
+//! * each **handler** reads frames, answers `ping`/`stats` inline, and admits
+//!   `map` jobs into the shared priority queue — bounded per client, so one
+//!   greedy client cannot starve the rest (an over-limit job is *rejected* at
+//!   the door with a `rejected` response, never silently dropped);
+//! * a fixed pool of **workers** pops jobs in priority order (FIFO within a
+//!   priority) and executes them through the same
+//!   [`scheduler::execute_job`] path as `lakeroad batch`, sharing the cache;
+//! * an optional **persister** snapshots the cache to disk every interval
+//!   using the atomic [`SynthCache::save`], so a crash loses at most one
+//!   interval of new verdicts and never the file.
+//!
+//! **Graceful drain.** Shutdown (a `shutdown` request or
+//! [`Daemon::shutdown_and_wait`]) flips the drain flag *under the queue lock*:
+//! every job admitted before the flip is still executed and answered, and no
+//! job can slip in after it — admission checks the flag under the same lock.
+//! Workers exit once the queue is empty, the persister writes a final
+//! snapshot, and the summary's accounting proves nothing was lost:
+//! `accepted == completed`.
+
+use std::collections::BinaryHeap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lakeroad::{MapConfig, MapOutcome};
+
+use crate::cache::{CacheSnapshot, SynthCache};
+use crate::json::Json;
+use crate::protocol::{
+    error_response, map_response, parse_request, pong_response, read_frame, rejected_response,
+    shutdown_response, write_frame, Request,
+};
+use crate::scheduler::{execute_job, BatchJob, JobResult};
+
+/// Configuration of a daemon instance.
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// Listen address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads executing mapping jobs.
+    pub workers: usize,
+    /// Base mapping configuration. The daemon installs its own shared cache;
+    /// any cache already present is replaced.
+    pub map: MapConfig,
+    /// Entry cap for the shared cache (`None` = unbounded). Unlike one-shot
+    /// batches, a resident cache must be bounded, so the daemon defaults this
+    /// on.
+    pub cache_capacity: Option<usize>,
+    /// Cache snapshot file: loaded (warm start) at bind, rewritten atomically
+    /// by the persister and at shutdown. `None` disables persistence.
+    pub persist_path: Option<PathBuf>,
+    /// Interval between persister snapshots.
+    pub persist_interval: Duration,
+    /// Per-client admission bound: a client with this many jobs queued or
+    /// running has further `map` requests rejected until some complete.
+    pub max_pending_per_client: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            map: MapConfig::default(),
+            cache_capacity: Some(4096),
+            persist_path: None,
+            persist_interval: Duration::from_secs(30),
+            max_pending_per_client: 64,
+        }
+    }
+}
+
+/// One queued mapping job.
+struct QueuedJob {
+    /// Admission ticket; FIFO tie-break within a priority.
+    seq: u64,
+    job: BatchJob,
+    submitted: Instant,
+    client: Arc<ClientSlot>,
+    id: Option<Json>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier admission.
+        self.job.priority.cmp(&other.job.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Queue state; `draining` lives under the same lock so admission and worker
+/// exit see one consistent picture (the zero-lost-jobs invariant).
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    draining: bool,
+    next_seq: u64,
+}
+
+/// Per-connection shared half: the response writer and the admission counter.
+struct ClientSlot {
+    writer: Mutex<TcpStream>,
+    pending: AtomicUsize,
+}
+
+impl ClientSlot {
+    /// Writes one response frame; a vanished client is not an error worth
+    /// propagating (its jobs still count as completed).
+    fn respond(&self, payload: &str) {
+        let mut writer = self.writer.lock().unwrap();
+        let _ = write_frame(&mut *writer, payload);
+    }
+}
+
+/// Monotonic daemon counters, all exposed by the `stats` request.
+#[derive(Default)]
+struct Counters {
+    pings: AtomicU64,
+    stats_requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    successes: AtomicU64,
+    unsats: AtomicU64,
+    timeouts: AtomicU64,
+    job_errors: AtomicU64,
+    deadline_expired: AtomicU64,
+    cancelled: AtomicU64,
+    cache_served: AtomicU64,
+    synth_iterations: AtomicU64,
+    synth_examples: AtomicU64,
+    sat_conflicts: AtomicU64,
+    sat_propagations: AtomicU64,
+    sat_restarts: AtomicU64,
+}
+
+struct Inner {
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    /// Mirror of `QueueState::draining` for lock-free reads (acceptor, stats).
+    draining: AtomicBool,
+    map: MapConfig,
+    cache: Arc<SynthCache>,
+    persist_path: Option<PathBuf>,
+    persist_interval: Duration,
+    persist_stop: Mutex<bool>,
+    persist_cv: Condvar,
+    max_pending: usize,
+    workers: usize,
+    started: Instant,
+    local_addr: SocketAddr,
+    counters: Counters,
+}
+
+/// Final accounting of a drained daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonSummary {
+    /// `map` jobs admitted into the queue.
+    pub accepted: u64,
+    /// Admitted jobs executed and answered. Equal to `accepted` after a
+    /// graceful drain — the zero-lost-jobs invariant.
+    pub completed: u64,
+    /// `map` requests refused at admission (queue bound or drain in progress).
+    pub rejected: u64,
+    /// Of the completed jobs, how many were served from the warm cache.
+    pub cache_served: u64,
+    /// Final cache counters.
+    pub cache: CacheSnapshot,
+    /// Entries resident in the cache at shutdown.
+    pub cache_entries: usize,
+}
+
+impl DaemonSummary {
+    /// Admitted jobs that were never answered; 0 after a graceful drain.
+    pub fn lost(&self) -> u64 {
+        self.accepted - self.completed
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`Daemon::shutdown_and_wait`] (or send a `shutdown` request and then
+/// [`Daemon::wait`]) to drain it.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    persister: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener, warms the cache from `persist_path` when the file
+    /// exists, and starts the acceptor, worker, and persister threads.
+    ///
+    /// # Errors
+    /// Socket errors from binding `config.addr`. A missing or unreadable
+    /// snapshot file is a cold start, not an error.
+    pub fn bind(config: DaemonConfig) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let cache = Arc::new(match &config.persist_path {
+            Some(path) => SynthCache::load(path).unwrap_or_default(),
+            None => SynthCache::new(),
+        });
+        cache.set_capacity(config.cache_capacity);
+        let mut map = config.map;
+        map.cache = Some(Arc::<SynthCache>::clone(&cache) as _);
+
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState { heap: BinaryHeap::new(), draining: false, next_seq: 0 }),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            map,
+            cache,
+            persist_path: config.persist_path,
+            persist_interval: config.persist_interval,
+            persist_stop: Mutex::new(false),
+            persist_cv: Condvar::new(),
+            max_pending: config.max_pending_per_client.max(1),
+            workers: config.workers.max(1),
+            started: Instant::now(),
+            local_addr,
+            counters: Counters::default(),
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        let workers = (0..inner.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let persister = inner.persist_path.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || persist_loop(&inner))
+        });
+
+        Ok(Daemon { inner, acceptor, workers, persister })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Blocks until the daemon has drained — either because a client sent
+    /// `shutdown` or because [`Daemon::shutdown_and_wait`] was called — and
+    /// returns the final accounting.
+    pub fn wait(self) -> DaemonSummary {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        if let Some(persister) = self.persister {
+            let _ = persister.join();
+        }
+        let c = &self.inner.counters;
+        DaemonSummary {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cache_served: c.cache_served.load(Ordering::Relaxed),
+            cache: self.inner.cache.snapshot(),
+            cache_entries: self.inner.cache.len(),
+        }
+    }
+
+    /// Initiates a graceful drain and blocks until it finishes: already
+    /// admitted jobs run to completion and are answered, new ones are
+    /// rejected.
+    pub fn shutdown_and_wait(self) -> DaemonSummary {
+        begin_drain(&self.inner);
+        self.wait()
+    }
+}
+
+/// Flips the drain flag (under the queue lock — see module docs), wakes the
+/// workers and the persister, and unblocks the acceptor with a self-connect.
+fn begin_drain(inner: &Inner) {
+    {
+        let mut queue = inner.queue.lock().unwrap();
+        if queue.draining {
+            return;
+        }
+        queue.draining = true;
+    }
+    inner.draining.store(true, Ordering::SeqCst);
+    inner.queue_cv.notify_all();
+    *inner.persist_stop.lock().unwrap() = true;
+    inner.persist_cv.notify_all();
+    // `accept` has no timeout; a throwaway connection gets it to re-check the
+    // drain flag.
+    let _ = TcpStream::connect(inner.local_addr);
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(inner);
+        // Handlers are detached: they live as long as their client and only
+        // touch `Inner` through the Arc, so the drain never has to wait on an
+        // idle connection.
+        std::thread::spawn(move || handle_connection(stream, &inner));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Inner) {
+    let Ok(writer) = stream.try_clone() else { return };
+    let client = Arc::new(ClientSlot { writer: Mutex::new(writer), pending: AtomicUsize::new(0) });
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean disconnect, or an unframeable stream (torn frame, oversize
+            // header): either way this connection is done. Protocol-level
+            // errors inside a well-formed frame do NOT land here.
+            Ok(None) | Err(_) => return,
+        };
+        let (id, request) = parse_request(&frame);
+        match request {
+            Err(message) => {
+                inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                client.respond(&error_response(id.as_ref(), &message));
+            }
+            Ok(Request::Ping) => {
+                inner.counters.pings.fetch_add(1, Ordering::Relaxed);
+                client.respond(&pong_response(id.as_ref()));
+            }
+            Ok(Request::Stats) => {
+                inner.counters.stats_requests.fetch_add(1, Ordering::Relaxed);
+                client.respond(&stats_response(inner, id.as_ref()));
+            }
+            Ok(Request::Shutdown) => {
+                client.respond(&shutdown_response(id.as_ref()));
+                begin_drain(inner);
+            }
+            Ok(Request::Map(job)) => submit(inner, &client, *job, id),
+        }
+    }
+}
+
+/// Admits one job or rejects it, under the queue lock so the decision is
+/// consistent with the drain flag and the worker exit condition.
+fn submit(inner: &Inner, client: &Arc<ClientSlot>, job: BatchJob, id: Option<Json>) {
+    let pending = client.pending.load(Ordering::Relaxed);
+    if pending >= inner.max_pending {
+        inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        client.respond(&rejected_response(id.as_ref(), pending, inner.max_pending));
+        return;
+    }
+    {
+        let mut queue = inner.queue.lock().unwrap();
+        if queue.draining {
+            drop(queue);
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            client.respond(&error_response(id.as_ref(), "daemon is draining"));
+            return;
+        }
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        client.pending.fetch_add(1, Ordering::Relaxed);
+        inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        queue.heap.push(QueuedJob {
+            seq,
+            job,
+            submitted: Instant::now(),
+            client: Arc::clone(client),
+            id,
+        });
+    }
+    inner.queue_cv.notify_one();
+}
+
+fn worker_loop(inner: &Inner) {
+    // Graceful drain never cancels in-flight work; the flag exists because
+    // `execute_job` requires one and keeps the path shared with the batch
+    // scheduler.
+    let no_cancel = Arc::new(AtomicBool::new(false));
+    loop {
+        let queued = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(next) = queue.heap.pop() {
+                    break next;
+                }
+                if queue.draining {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap();
+            }
+        };
+        let waited = queued.submitted.elapsed();
+        let start = Instant::now();
+        let result = if queued.job.deadline.is_some_and(|d| waited >= d) {
+            JobResult::DeadlineExpired
+        } else {
+            execute_job(&queued.job, &inner.map, &no_cancel, waited)
+        };
+        record_result(&inner.counters, &result);
+        queued.client.pending.fetch_sub(1, Ordering::Relaxed);
+        queued.client.respond(&map_response(
+            queued.id.as_ref(),
+            &queued.job.name,
+            &result,
+            start.elapsed(),
+        ));
+        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn record_result(c: &Counters, result: &JobResult) {
+    match result {
+        JobResult::Finished(outcome) => {
+            if outcome.served_from_cache() {
+                c.cache_served.fetch_add(1, Ordering::Relaxed);
+            }
+            match outcome {
+                MapOutcome::Success(mapped) => {
+                    c.successes.fetch_add(1, Ordering::Relaxed);
+                    c.synth_iterations.fetch_add(mapped.stats.iterations as u64, Ordering::Relaxed);
+                    c.synth_examples.fetch_add(mapped.stats.examples as u64, Ordering::Relaxed);
+                    c.sat_conflicts.fetch_add(mapped.stats.conflicts, Ordering::Relaxed);
+                    c.sat_propagations.fetch_add(mapped.stats.propagations, Ordering::Relaxed);
+                    c.sat_restarts.fetch_add(mapped.stats.restarts, Ordering::Relaxed);
+                }
+                MapOutcome::Unsat { .. } => {
+                    c.unsats.fetch_add(1, Ordering::Relaxed);
+                }
+                MapOutcome::Timeout { .. } => {
+                    c.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        JobResult::Error(_) => {
+            c.job_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        JobResult::DeadlineExpired => {
+            c.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        JobResult::Cancelled => {
+            c.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn stats_response(inner: &Inner, id: Option<&Json>) -> String {
+    let c = &inner.counters;
+    let n = |a: &AtomicU64| Json::num(a.load(Ordering::Relaxed) as f64);
+    let cache = inner.cache.snapshot();
+    let queue_depth = inner.queue.lock().unwrap().heap.len();
+    let mut doc = Json::obj([
+        ("kind", Json::str("stats")),
+        ("uptime_ms", Json::num(inner.started.elapsed().as_secs_f64() * 1e3)),
+        ("workers", Json::num(inner.workers as f64)),
+        ("queue_depth", Json::num(queue_depth as f64)),
+        ("draining", Json::Bool(inner.draining.load(Ordering::SeqCst))),
+        (
+            "requests",
+            Json::obj([
+                ("pings", n(&c.pings)),
+                ("stats", n(&c.stats_requests)),
+                ("protocol_errors", n(&c.protocol_errors)),
+                ("accepted", n(&c.accepted)),
+                ("rejected", n(&c.rejected)),
+                ("completed", n(&c.completed)),
+            ]),
+        ),
+        (
+            "verdicts",
+            Json::obj([
+                ("success", n(&c.successes)),
+                ("unsat", n(&c.unsats)),
+                ("timeout", n(&c.timeouts)),
+                ("error", n(&c.job_errors)),
+                ("deadline_expired", n(&c.deadline_expired)),
+                ("cancelled", n(&c.cancelled)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::num(cache.hits as f64)),
+                ("misses", Json::num(cache.misses as f64)),
+                ("stores", Json::num(cache.stores as f64)),
+                ("invalidations", Json::num(cache.invalidations as f64)),
+                ("evictions", Json::num(cache.evictions as f64)),
+                ("entries", Json::num(inner.cache.len() as f64)),
+                (
+                    "capacity",
+                    inner.cache.capacity().map_or(Json::Null, |cap| Json::num(cap as f64)),
+                ),
+                ("served", n(&c.cache_served)),
+            ]),
+        ),
+        (
+            "synthesis",
+            Json::obj([("iterations", n(&c.synth_iterations)), ("examples", n(&c.synth_examples))]),
+        ),
+        (
+            "solver",
+            Json::obj([
+                ("conflicts", n(&c.sat_conflicts)),
+                ("propagations", n(&c.sat_propagations)),
+                ("restarts", n(&c.sat_restarts)),
+            ]),
+        ),
+    ]);
+    if let (Json::Obj(map), Some(id)) = (&mut doc, id) {
+        map.insert("id".to_string(), id.clone());
+    }
+    doc.render()
+}
+
+fn persist_loop(inner: &Inner) {
+    let path = inner.persist_path.as_ref().expect("persister only runs with a path");
+    let mut stopped = inner.persist_stop.lock().unwrap();
+    loop {
+        if *stopped {
+            break;
+        }
+        let (guard, _timeout) =
+            inner.persist_cv.wait_timeout(stopped, inner.persist_interval).unwrap();
+        stopped = guard;
+        if !*stopped {
+            // Periodic snapshot; the atomic save means a torn write can never
+            // replace the previous good file.
+            let _ = inner.cache.save(path);
+        }
+    }
+    drop(stopped);
+    // Final snapshot only after every admitted job has finished, so the
+    // verdicts the last jobs computed survive the restart.
+    wait_for_workers_idle(inner);
+    let _ = inner.cache.save(path);
+}
+
+/// Blocks until the queue is empty and no job is executing, polling the
+/// completion counters (drain-path only, so polling is fine).
+fn wait_for_workers_idle(inner: &Inner) {
+    loop {
+        let queue_empty = inner.queue.lock().unwrap().heap.is_empty();
+        let accepted = inner.counters.accepted.load(Ordering::SeqCst);
+        let done = inner.counters.completed.load(Ordering::SeqCst);
+        if queue_empty && accepted == done {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A small synchronous client for the daemon protocol, used by the CLI,
+/// the integration tests, and the `exp_daemon` benchmark.
+pub struct DaemonClient {
+    stream: TcpStream,
+}
+
+impl DaemonClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    /// Socket errors from `TcpStream::connect`.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<DaemonClient> {
+        Ok(DaemonClient { stream: TcpStream::connect(addr)? })
+    }
+
+    /// Sends one request frame without waiting for the response (pipelining;
+    /// correlate responses by `id`).
+    ///
+    /// # Errors
+    /// Framing and socket errors.
+    pub fn send(&mut self, payload: &str) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Receives one response frame; `None` when the daemon closed the
+    /// connection.
+    ///
+    /// # Errors
+    /// Framing/socket errors, or a response that is not valid JSON.
+    pub fn recv(&mut self) -> io::Result<Option<Json>> {
+        match read_frame(&mut self.stream)? {
+            None => Ok(None),
+            Some(text) => Json::parse(&text)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Sends one request and waits for the next response frame.
+    ///
+    /// # Errors
+    /// As [`DaemonClient::send`]/[`DaemonClient::recv`], plus `UnexpectedEof`
+    /// if the daemon closed the connection instead of answering.
+    pub fn request(&mut self, payload: &str) -> io::Result<Json> {
+        self.send(payload)?;
+        self.recv()?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })
+    }
+}

@@ -23,6 +23,12 @@
 //!   back in submission order, so batch output is stable regardless of worker
 //!   count — a property the determinism tests pin down.
 //!
+//! On top of the batch engine sits the **resident daemon** ([`daemon`]): the
+//! `lakeroad serve` subcommand keeps one always-warm, size-bounded cache alive
+//! across many clients, speaking the length-prefixed JSON protocol of
+//! [`protocol`] over plain TCP, with per-client admission bounds, periodic
+//! atomic cache persistence, and a graceful zero-lost-jobs drain.
+//!
 //! The `lakeroad batch <manifest>` CLI subcommand and the `exp_serve`/`exp_all`
 //! experiment binaries sit on top of [`batch`] and [`scenario`].
 //!
@@ -43,11 +49,16 @@
 
 pub mod batch;
 pub mod cache;
+pub mod daemon;
+pub mod json;
+pub mod protocol;
 pub mod scenario;
 pub mod scheduler;
 
 pub use batch::{parse_arch_name, parse_manifest, parse_template, BatchReport};
 pub use cache::{CacheSnapshot, SynthCache};
+pub use daemon::{Daemon, DaemonClient, DaemonConfig, DaemonSummary};
+pub use json::Json;
 pub use scenario::{grinder_jobs, random_program, suite_jobs, synthetic_jobs, Rng};
 pub use scheduler::{
     run_batch, run_batch_streaming, BatchJob, BatchOptions, BatchRun, JobRecord, JobResult,

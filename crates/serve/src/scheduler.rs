@@ -16,9 +16,10 @@
 //!   deadline is not posed at all ([`JobResult::DeadlineExpired`]); a job
 //!   popped before it has its synthesis timeout clamped so it cannot overrun.
 //! * **Cooperative cancellation**: flip the [`BatchOptions::cancel`] flag and
-//!   every not-yet-started job drains as [`JobResult::Cancelled`] (in-flight
-//!   solver runs also observe the flag between iterations via the portfolio's
-//!   own cancellation).
+//!   every not-yet-started job drains as [`JobResult::Cancelled`]. The flag is
+//!   also installed as [`MapConfig::cancel`] on every posed job, which reaches
+//!   all the way down to a SAT-solver interrupt — a job already deep inside a
+//!   solver check stops promptly instead of running out its budget.
 //!
 //! Results stream back **in submission order** regardless of completion order:
 //! [`run_batch_streaming`] invokes its callback for job *i* only once jobs
@@ -248,7 +249,7 @@ pub fn run_batch_streaming(
                     (JobResult::DeadlineExpired, Duration::ZERO)
                 } else {
                     let job_start = Instant::now();
-                    let result = execute(job, opts, elapsed_at_start);
+                    let result = execute_job(job, &opts.map, &opts.cancel, elapsed_at_start);
                     (result, job_start.elapsed())
                 };
                 let record = JobRecord {
@@ -283,9 +284,19 @@ pub fn run_batch_streaming(
 
 /// Poses one job, clamping its budget to its deadline. A panic inside the
 /// mapping stack (a poison job) is contained to this job — one bad request must
-/// not take the whole batch down with it.
-fn execute(job: &BatchJob, opts: &BatchOptions, already_elapsed: Duration) -> JobResult {
-    let mut config = opts.map.clone();
+/// not take the whole batch down with it. `cancel` is installed as the mapping
+/// run's [`MapConfig::cancel`] hook (reaching the SAT-solver interrupt), so
+/// flipping it stops an in-flight job promptly; a run cut short that way is
+/// reported as [`JobResult::Cancelled`], not a timeout. Shared with the serving
+/// daemon's worker pool.
+pub(crate) fn execute_job(
+    job: &BatchJob,
+    map: &MapConfig,
+    cancel: &Arc<AtomicBool>,
+    already_elapsed: Duration,
+) -> JobResult {
+    let mut config = map.clone();
+    config.cancel = Some(Arc::clone(cancel));
     if let Some(timeout) = job.timeout {
         config.timeout = timeout;
     }
@@ -306,6 +317,11 @@ fn execute(job: &BatchJob, opts: &BatchOptions, already_elapsed: Duration) -> Jo
         TemplateChoice::Auto => map_design_auto(&job.spec, &job.arch, &config),
     }));
     match outcome {
+        // A cancelled run surfaces as a timeout verdict from the synthesis
+        // layer; re-label it so callers can tell shutdown from a blown budget.
+        Ok(Ok(MapOutcome::Timeout { .. })) if cancel.load(Ordering::Relaxed) => {
+            JobResult::Cancelled
+        }
         Ok(Ok(outcome)) => JobResult::Finished(outcome),
         Ok(Err(e)) => JobResult::Error(render_error(&e)),
         Err(panic) => JobResult::Error(format!("panicked: {}", render_panic(&panic))),
@@ -403,6 +419,36 @@ mod tests {
         opts.cancel.store(true, Ordering::Relaxed);
         let run = run_batch(&jobs, &opts);
         assert!(run.records.iter().all(|r| matches!(r.result, JobResult::Cancelled)));
+    }
+
+    #[test]
+    fn cancellation_interrupts_a_job_already_inside_synthesis() {
+        // Regression: the cancel flag used to be sampled only *between* jobs,
+        // so a job already inside a solver check ran out its whole budget. One
+        // grinder-style job (LUT multiplication, a search that reliably chews
+        // through minutes) gets a generous timeout; cancelling shortly after
+        // it starts must bring the batch home orders of magnitude sooner.
+        let mut jobs = crate::scenario::grinder_jobs(Duration::from_secs(300));
+        jobs.truncate(1);
+        let opts = quick_opts(1);
+        let cancel = Arc::clone(&opts.cancel);
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            cancel.store(true, Ordering::Relaxed);
+        });
+        let start = Instant::now();
+        let run = run_batch(&jobs, &opts);
+        canceller.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "cancel must interrupt in-flight synthesis promptly, took {:?}",
+            start.elapsed()
+        );
+        assert!(
+            matches!(run.records[0].result, JobResult::Cancelled),
+            "{:?}",
+            run.records[0].result
+        );
     }
 
     #[test]

@@ -114,6 +114,13 @@ impl BvSolver {
         }
     }
 
+    /// Registers a shared interrupt flag on the underlying SAT solver. While the
+    /// flag reads true, checks return [`SatResult::Unknown`] promptly instead of
+    /// searching to completion.
+    pub fn add_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.sat.add_interrupt(flag);
+    }
+
     /// Asserts that a 1-bit term is true.
     ///
     /// # Panics
@@ -231,6 +238,12 @@ impl BvSession {
     /// Creates a session with an explicit SAT configuration.
     pub fn with_config(config: SolverConfig) -> Self {
         BvSession { pool: TermPool::new(), solver: BvSolver::with_config(config) }
+    }
+
+    /// Registers a shared interrupt flag on the underlying SAT solver.
+    /// See [`BvSolver::add_interrupt`].
+    pub fn add_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.solver.add_interrupt(flag);
     }
 
     /// The session's term pool (for building terms).

@@ -93,12 +93,19 @@ pub fn synthesize(
     }
     stats.examples = examples.len();
 
-    let cancelled = || cancel.as_ref().map(|c| c.load(Ordering::Relaxed)).unwrap_or(false);
+    // Both the portfolio's first-winner flag and the config's external cancel
+    // flag stop the run; they are also registered as SAT interrupts on every
+    // solver the steps create, so a check already in flight returns promptly.
+    let interrupts: Vec<Arc<AtomicBool>> =
+        cancel.iter().chain(config.cancel.iter()).cloned().collect();
+    let cancelled = || interrupts.iter().any(|c| c.load(Ordering::Relaxed));
     let out_of_time =
         |start: &Instant| config.timeout.map(|t| start.elapsed() >= t).unwrap_or(false);
 
     let mut synth = SynthStep::new();
+    synth.interrupts.clone_from(&interrupts);
     let mut verifier = VerifyStep::new();
+    verifier.interrupts.clone_from(&interrupts);
 
     for iteration in 0..config.max_iterations {
         stats.iterations = iteration + 1;
@@ -223,8 +230,15 @@ struct SynthState {
 }
 
 impl SynthState {
-    fn new(task: &SynthesisTask<'_>, config: &SynthesisConfig) -> SynthState {
+    fn new(
+        task: &SynthesisTask<'_>,
+        config: &SynthesisConfig,
+        interrupts: &[Arc<AtomicBool>],
+    ) -> SynthState {
         let mut session = BvSession::with_config(config.solver.clone());
+        for flag in interrupts {
+            session.add_interrupt(Arc::clone(flag));
+        }
         // Permanent: the hole-domain constraints, asserted exactly once per session.
         for constraint in task.sketch.hole_domain_constraints(session.pool()) {
             session.assert_true(constraint);
@@ -240,11 +254,13 @@ struct SynthStep {
     /// High-water mark of examples encoded into *any* solver instance so far; used
     /// to count from-scratch re-encoding work.
     ever_encoded: usize,
+    /// Interrupt flags installed on every solver this step creates.
+    interrupts: Vec<Arc<AtomicBool>>,
 }
 
 impl SynthStep {
     fn new() -> SynthStep {
-        SynthStep { state: None, ever_encoded: 0 }
+        SynthStep { state: None, ever_encoded: 0, interrupts: Vec::new() }
     }
 
     fn solve(
@@ -260,7 +276,8 @@ impl SynthStep {
             // accumulated example is encoded again below.
             self.state = None;
         }
-        let state = self.state.get_or_insert_with(|| SynthState::new(task, config));
+        let state =
+            self.state.get_or_insert_with(|| SynthState::new(task, config, &self.interrupts));
         // Snapshot before encoding: adding constraints already propagates root
         // units, and that work belongs to this check's delta.
         let before = state.session.stats();
@@ -353,11 +370,13 @@ struct VerifySession {
 /// cycles by asking for an input where they differ.
 struct VerifyStep {
     session: Option<VerifySession>,
+    /// Interrupt flags installed on every solver this step creates.
+    interrupts: Vec<Arc<AtomicBool>>,
 }
 
 impl VerifyStep {
     fn new() -> VerifyStep {
-        VerifyStep { session: None }
+        VerifyStep { session: None, interrupts: Vec::new() }
     }
 
     fn verify(
@@ -387,6 +406,9 @@ impl VerifyStep {
         };
         stats.verification_used_sat = true;
         let mut solver = BvSolver::with_config(config.solver.clone());
+        for flag in &self.interrupts {
+            solver.add_interrupt(Arc::clone(flag));
+        }
         solver.assert_true(&pool, differs);
         let verdict = solver.check(&pool);
         absorb_sat_delta(stats, lr_smt::SolverStats::default(), solver.stats());
@@ -404,10 +426,12 @@ impl VerifyStep {
         candidate: &Prog,
         stats: &mut SynthesisStats,
     ) -> Verification {
-        let verify = self.session.get_or_insert_with(|| VerifySession {
-            session: BvSession::with_config(config.solver.clone()),
-            round: 0,
-            active: None,
+        let verify = self.session.get_or_insert_with(|| {
+            let mut session = BvSession::with_config(config.solver.clone());
+            for flag in &self.interrupts {
+                session.add_interrupt(Arc::clone(flag));
+            }
+            VerifySession { session, round: 0, active: None }
         });
 
         // Retire the previous round's activation for good. Without this the phase

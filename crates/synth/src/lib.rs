@@ -97,6 +97,12 @@ pub struct SynthesisConfig {
     /// SAT work (default on). Turning this off restores the rewriting-or-SAT-only
     /// verifier, kept measurable for the `exp_egraph` ablation.
     pub egraph: bool,
+    /// External cancellation flag. When it becomes true the run stops with a
+    /// timeout verdict — not just between CEGIS iterations: the flag is also
+    /// registered as a SAT-solver interrupt, so a check already in flight
+    /// returns promptly. Used by the batch scheduler and the serving daemon to
+    /// stop in-flight work on shutdown.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for SynthesisConfig {
@@ -109,6 +115,7 @@ impl Default for SynthesisConfig {
             seed: 0xd5b_0001,
             incremental: true,
             egraph: true,
+            cancel: None,
         }
     }
 }
