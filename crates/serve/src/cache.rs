@@ -75,11 +75,32 @@ impl CacheSnapshot {
 
 /// One independently-locked shard: the entry map plus the insertion order used
 /// for eviction. The order queue may lag behind the map — invalidated keys stay
-/// queued until eviction pops (and skips) them lazily.
+/// queued until eviction pops (and skips) them lazily. Each queued occurrence
+/// carries the insertion generation of the entry it was pushed for, so a stale
+/// occurrence (its entry invalidated, then the key re-stored under a newer
+/// generation) can never evict the live entry.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, CachedOutcome>,
-    order: VecDeque<CacheKey>,
+    map: HashMap<CacheKey, (u64, CachedOutcome)>,
+    order: VecDeque<(CacheKey, u64)>,
+    next_gen: u64,
+}
+
+impl Shard {
+    /// Inserts or overwrites one entry. A fresh key gets a new generation and
+    /// a queue slot; an overwrite keeps the existing generation (and therefore
+    /// its original insertion-order position).
+    fn insert(&mut self, key: CacheKey, outcome: CachedOutcome) {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().1 = outcome,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let gen = self.next_gen;
+                self.next_gen += 1;
+                e.insert((gen, outcome));
+                self.order.push_back((key, gen));
+            }
+        }
+    }
 }
 
 /// A sharded in-memory synthesis cache with optional on-disk persistence and an
@@ -152,13 +173,15 @@ impl SynthCache {
     }
 
     /// Pops insertion-order entries until `shard` is at or under `cap` entries.
-    /// Keys whose entry is already gone (invalidated, or re-stored and queued
-    /// twice) are skipped without counting as evictions.
+    /// Stale queue occurrences — the entry was invalidated, whether or not the
+    /// key was later re-stored under a newer generation — are skipped without
+    /// counting as evictions; only a generation match evicts.
     fn evict_to(&self, shard: &mut Shard, cap: usize) {
         let mut evicted = 0u64;
         while shard.map.len() > cap {
-            let Some(old) = shard.order.pop_front() else { break };
-            if shard.map.remove(&old).is_some() {
+            let Some((old, gen)) = shard.order.pop_front() else { break };
+            if shard.map.get(&old).is_some_and(|(live_gen, _)| *live_gen == gen) {
+                shard.map.remove(&old);
                 evicted += 1;
             }
         }
@@ -193,7 +216,7 @@ impl SynthCache {
         let mut out: Vec<(CacheKey, CachedOutcome)> = Vec::new();
         for shard in &self.shards {
             let guard = shard.lock().unwrap();
-            out.extend(guard.map.iter().map(|(k, v)| (*k, v.clone())));
+            out.extend(guard.map.iter().map(|(k, (_, v))| (*k, v.clone())));
         }
         out.sort_by_key(|&(k, _)| k);
         out
@@ -280,10 +303,7 @@ impl SynthCache {
             let entry = parse_entry(line)
                 .map_err(|e| invalid(format!("cache line {}: {e}", lineno + 2)))?;
             let (key, outcome) = entry;
-            let mut shard = cache.shard(&key).lock().unwrap();
-            if shard.map.insert(key, outcome).is_none() {
-                shard.order.push_back(key);
-            }
+            cache.shard(&key).lock().unwrap().insert(key, outcome);
         }
         Ok(cache)
     }
@@ -320,7 +340,7 @@ fn parse_entry(line: &str) -> Result<(CacheKey, CachedOutcome), String> {
 
 impl MapCache for SynthCache {
     fn lookup(&self, key: &CacheKey) -> Option<CachedOutcome> {
-        let found = self.shard(key).lock().unwrap().map.get(key).cloned();
+        let found = self.shard(key).lock().unwrap().map.get(key).map(|(_, v)| v.clone());
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -331,9 +351,7 @@ impl MapCache for SynthCache {
     fn store(&self, key: CacheKey, outcome: CachedOutcome) {
         let per_shard = self.per_shard_cap();
         let mut shard = self.shard(&key).lock().unwrap();
-        if shard.map.insert(key, outcome).is_none() {
-            shard.order.push_back(key);
-        }
+        shard.insert(key, outcome);
         if let Some(cap) = per_shard {
             self.evict_to(&mut shard, cap);
         }
@@ -486,6 +504,26 @@ mod tests {
         cache.store(key(32), CachedOutcome::Unsat); // shard 0 again: no eviction needed
         assert_eq!(cache.lookup(&key(32)), Some(CachedOutcome::Unsat));
         assert_eq!(cache.snapshot().evictions, 0);
+    }
+
+    #[test]
+    fn a_restored_key_is_not_evicted_through_its_stale_queue_slot() {
+        // Regression: a key invalidated and then re-stored used to be queued
+        // twice; eviction popping the stale first occurrence removed the live,
+        // freshly-stored entry (and counted it), evicting it ahead of
+        // genuinely older entries. Generations make the stale slot inert.
+        let cache = SynthCache::new();
+        cache.set_capacity(Some(2 * SHARDS)); // per-shard cap of 2
+        let (a, b, c) = (key(16), key(32), key(48)); // all land in shard 0
+        cache.store(a, CachedOutcome::Unsat);
+        cache.store(b, CachedOutcome::Unsat);
+        cache.invalidate(&a);
+        cache.store(a, success(1)); // re-store: `a` is now the newest entry
+        cache.store(c, CachedOutcome::Unsat); // over cap: must evict `b`, the oldest
+        assert_eq!(cache.lookup(&a), Some(success(1)), "freshly re-stored entry evicted");
+        assert_eq!(cache.lookup(&b), None);
+        assert_eq!(cache.lookup(&c), Some(CachedOutcome::Unsat));
+        assert_eq!(cache.snapshot().evictions, 1);
     }
 
     #[test]

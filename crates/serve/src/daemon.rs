@@ -300,8 +300,11 @@ impl Daemon {
     }
 }
 
-/// Flips the drain flag (under the queue lock — see module docs), wakes the
-/// workers and the persister, and unblocks the acceptor with a self-connect.
+/// Flips the drain flag (under the queue lock — see module docs) and wakes the
+/// workers and the persister. The acceptor needs no wakeup: it polls a
+/// nonblocking listener (see [`accept_loop`]), so it notices the flag within
+/// one poll interval no matter what address the daemon is bound to — a
+/// self-connect wakeup would not be reliable for 0.0.0.0 or external binds.
 fn begin_drain(inner: &Inner) {
     {
         let mut queue = inner.queue.lock().unwrap();
@@ -314,22 +317,44 @@ fn begin_drain(inner: &Inner) {
     inner.queue_cv.notify_all();
     *inner.persist_stop.lock().unwrap() = true;
     inner.persist_cv.notify_all();
-    // `accept` has no timeout; a throwaway connection gets it to re-check the
-    // drain flag.
-    let _ = TcpStream::connect(inner.local_addr);
 }
 
+/// How often the acceptor re-checks the drain flag while no connection is
+/// pending. Bounds shutdown latency; far too coarse to matter for accept
+/// throughput (a pending connection is accepted immediately).
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
 fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    for stream in listener.incoming() {
+    // Nonblocking, so the drain flag is re-checked even when no connection
+    // ever arrives; a blocking `accept` could only be unblocked by a
+    // self-connect, which is not guaranteed to succeed for non-loopback binds.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
         if inner.draining.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = stream else { continue };
-        let inner = Arc::clone(inner);
-        // Handlers are detached: they live as long as their client and only
-        // touch `Inner` through the Arc, so the drain never has to wait on an
-        // idle connection.
-        std::thread::spawn(move || handle_connection(stream, &inner));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Handler I/O is blocking; on some platforms the accepted
+                // socket inherits the listener's nonblocking flag.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let inner = Arc::clone(inner);
+                // Handlers are detached: they live as long as their client and
+                // only touch `Inner` through the Arc, so the drain never has
+                // to wait on an idle connection.
+                std::thread::spawn(move || handle_connection(stream, &inner));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept failures (aborted handshake, fd pressure):
+            // back off instead of hot-spinning, keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
     }
 }
 

@@ -136,11 +136,15 @@ impl Json {
     /// Parses a JSON document.
     ///
     /// # Errors
-    /// Returns a byte-offset description of the first syntax error.
+    /// Returns a byte-offset description of the first syntax error. Nesting
+    /// deeper than [`MAX_DEPTH`] is a syntax error, not a recursion: the parser
+    /// sees untrusted multi-megabyte frames, and unbounded recursive descent
+    /// would let `[[[[…` overflow the handler thread's stack and abort the
+    /// whole process instead of earning an `error` response.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, MAX_DEPTH)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing content at byte {pos}"));
@@ -173,8 +177,16 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Maximum container nesting [`Json::parse`] accepts. Protocol payloads are a
+/// couple of levels deep; 64 is far above any legitimate document and far
+/// below the recursion depth that would exhaust a thread stack.
+pub const MAX_DEPTH: usize = 64;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
+    if depth == 0 && matches!(bytes.get(*pos), Some(b'{' | b'[')) {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
         Some(b'{') => {
@@ -187,7 +199,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
             loop {
                 skip_ws(bytes, pos);
-                let key = match parse_value(bytes, pos)? {
+                let key = match parse_value(bytes, pos, depth - 1)? {
                     Json::Str(s) => s,
                     other => return Err(format!("object key must be a string, got {other:?}")),
                 };
@@ -196,7 +208,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected `:` at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth - 1)?;
                 map.insert(key, value);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -218,7 +230,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth - 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -345,6 +357,24 @@ mod tests {
         for bad in ["{\"a\": }", "[1, 2", "{\"a\": 1} x", "\"oops", "\"\\u12\"", "\"\\ud800\""] {
             assert!(Json::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // Regression: recursive descent with no depth limit let a frame of
+        // ~10-20k nested `[` overflow the handler thread's stack, aborting the
+        // whole daemon. Such payloads must earn an error like any other
+        // malformed document.
+        for open in ["[", "{\"k\":"] {
+            let deep = open.repeat(100_000);
+            let err = Json::parse(&deep).unwrap_err();
+            assert!(err.contains("nesting deeper than"), "{open}: {err}");
+        }
+        // Documents at the limit still parse.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&too_deep).is_err());
     }
 
     #[test]

@@ -179,10 +179,15 @@ fn parse_map_request(doc: &Json) -> Result<BatchJob, String> {
 fn parse_seconds(doc: &Json, field: &str) -> Result<Option<Duration>, String> {
     match doc.get(&[field]) {
         None | Some(Json::Null) => Ok(None),
+        // `try_from_secs_f64`, not `from_secs_f64`: the latter panics on finite
+        // values that overflow `Duration` (e.g. 1e20), and a panic here unwinds
+        // the handler thread and drops the connection instead of answering with
+        // the documented error.
         Some(v) => v
             .as_f64()
             .filter(|s| s.is_finite() && *s >= 0.0)
-            .map(|s| Some(Duration::from_secs_f64(s)))
+            .and_then(|s| Duration::try_from_secs_f64(s).ok())
+            .map(Some)
             .ok_or_else(|| format!("`{field}` must be a non-negative number of seconds")),
     }
 }
@@ -364,6 +369,20 @@ mod tests {
             (
                 "{\"kind\":\"map\",\"id\":1,\"arch\":\"intel\",\"bench\":\"mul_w8_s0\",\
                  \"timeout_s\":-1}",
+                "non-negative",
+                true,
+            ),
+            // Regression: finite but Duration-overflowing values used to panic
+            // in `Duration::from_secs_f64`, killing the handler thread.
+            (
+                "{\"kind\":\"map\",\"id\":1,\"arch\":\"intel\",\"bench\":\"mul_w8_s0\",\
+                 \"timeout_s\":1e20}",
+                "non-negative",
+                true,
+            ),
+            (
+                "{\"kind\":\"map\",\"id\":1,\"arch\":\"intel\",\"bench\":\"mul_w8_s0\",\
+                 \"deadline_s\":1e300}",
                 "non-negative",
                 true,
             ),
