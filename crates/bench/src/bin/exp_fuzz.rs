@@ -1,0 +1,22 @@
+//! The differential HDL fuzzing firehose: seeded mini-Verilog modules through
+//! the parse → elaborate → emit round-trip oracle, plus mapped-implementation
+//! agreement on a bounded prefix. Writes `BENCH_fuzz.json` and exits non-zero
+//! on any mismatch (the gates are zero-tolerance) — CI runs this at `--quick`.
+
+use std::process::ExitCode;
+
+use lr_bench::fuzz::{report_and_write, run_fuzz_experiment};
+use lr_bench::Scale;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    println!("HDL fuzz firehose at {scale:?} scale");
+    let report = run_fuzz_experiment(scale);
+    match report_and_write(&report) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            eprintln!("exp_fuzz gates failed: {failures}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The differential HDL fuzzing firehose (`exp_fuzz`).
+//!
+//! Drives `lr_hdl::fuzz` at experiment scale: hundreds-to-thousands of seeded
+//! mini-Verilog modules through the three-layer oracle —
+//!
+//! 1. the generated source parses and elaborates,
+//! 2. `emit_verilog` of the elaborated program re-parses and re-elaborates to
+//!    an interpretation-equivalent program (round-trip closure), and
+//! 3. for a bounded prefix of seeds, the design is posed to the mapping engine
+//!    and any successful mapping's `lr_ir` interpretation must agree with the
+//!    elaborated spec over the cache-replay cycle window.
+//!
+//! `BENCH_fuzz.json` records the tallies. The acceptance gates are
+//! **zero-tolerance on mismatches**: every seed must clear layers 1–2, and
+//! every successful mapping must agree with its spec. Mapping *verdict*
+//! tallies (success/unsat/timeout) are recorded for drift-watching but not
+//! gated — they move with solver timing.
+
+use std::time::Duration;
+
+use lakeroad::{map_design, pipeline_depth, MapConfig, MapOutcome, Template};
+use lr_arch::Architecture;
+use lr_hdl::fuzz::{check_seed, interp_equivalent};
+
+use crate::Scale;
+
+/// Where the JSON report is written.
+pub const REPORT_PATH: &str = "BENCH_fuzz.json";
+
+/// Random environments per equivalence check.
+const ENVS: usize = 32;
+/// Last cycle checked by the round-trip oracle (covers every register depth
+/// the generator can produce, with slack).
+const ROUNDTRIP_CYCLES: u32 = 6;
+
+/// The record `exp_fuzz` writes to [`REPORT_PATH`].
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Seeds pushed through the oracle (layer 1–2 population).
+    pub seeds_run: usize,
+    /// Seeds whose generated source parsed.
+    pub parse_ok: usize,
+    /// Seeds whose parsed module elaborated.
+    pub elaborate_ok: usize,
+    /// Seeds whose emitted Verilog round-tripped to an equivalent program.
+    pub roundtrip_ok: usize,
+    /// Seeds posed to the mapping engine (layer 3, bounded prefix).
+    pub map_attempted: usize,
+    /// Mapping successes (timing-dependent; recorded, not gated).
+    pub map_success: usize,
+    /// Unsat verdicts (timing-dependent; recorded, not gated).
+    pub map_unsat: usize,
+    /// Budget exhaustions (timing-dependent; recorded, not gated).
+    pub map_timeout: usize,
+    /// Mapping errors, e.g. sketch shape rejections (recorded, not gated).
+    pub map_error: usize,
+    /// Successful mappings whose implementation agreed with the spec.
+    pub map_agree: usize,
+    /// Every oracle failure, verbatim (each one fails the gate).
+    pub mismatches: Vec<String>,
+}
+
+impl FuzzReport {
+    fn new(scale: Scale) -> FuzzReport {
+        FuzzReport {
+            scale,
+            seeds_run: 0,
+            parse_ok: 0,
+            elaborate_ok: 0,
+            roundtrip_ok: 0,
+            map_attempted: 0,
+            map_success: 0,
+            map_unsat: 0,
+            map_timeout: 0,
+            map_error: 0,
+            map_agree: 0,
+            mismatches: Vec::new(),
+        }
+    }
+
+    /// The failed acceptance gates; empty when the firehose ran clean.
+    pub fn gate_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        if self.parse_ok != self.seeds_run {
+            failures.push(format!(
+                "{} of {} generated modules failed to parse",
+                self.seeds_run - self.parse_ok,
+                self.seeds_run
+            ));
+        }
+        if self.elaborate_ok != self.parse_ok {
+            failures.push(format!(
+                "{} parsed modules failed to elaborate",
+                self.parse_ok - self.elaborate_ok
+            ));
+        }
+        if self.roundtrip_ok != self.elaborate_ok {
+            failures.push(format!(
+                "{} elaborated designs failed round-trip closure",
+                self.elaborate_ok - self.roundtrip_ok
+            ));
+        }
+        if self.map_agree != self.map_success {
+            failures.push(format!(
+                "{} of {} successful mappings disagreed with their spec",
+                self.map_success - self.map_agree,
+                self.map_success
+            ));
+        }
+        failures.extend(self.mismatches.iter().cloned());
+        failures
+    }
+
+    /// Renders the record as a JSON document (dependency-free, stable for CI).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"seeds_run\": {},\n", self.seeds_run));
+        out.push_str(&format!("  \"parse_ok\": {},\n", self.parse_ok));
+        out.push_str(&format!("  \"elaborate_ok\": {},\n", self.elaborate_ok));
+        out.push_str(&format!("  \"roundtrip_ok\": {},\n", self.roundtrip_ok));
+        out.push_str(&format!("  \"map_attempted\": {},\n", self.map_attempted));
+        out.push_str(&format!("  \"map_success\": {},\n", self.map_success));
+        out.push_str(&format!("  \"map_unsat\": {},\n", self.map_unsat));
+        out.push_str(&format!("  \"map_timeout\": {},\n", self.map_timeout));
+        out.push_str(&format!("  \"map_error\": {},\n", self.map_error));
+        out.push_str(&format!("  \"map_agree\": {},\n", self.map_agree));
+        out.push_str(&format!("  \"mismatch_count\": {},\n", self.mismatches.len()));
+        let escaped: Vec<String> =
+            self.mismatches.iter().map(|m| format!("\"{}\"", json_escape(m))).collect();
+        out.push_str(&format!("  \"mismatches\": [{}],\n", escaped.join(", ")));
+        out.push_str(&format!("  \"gates_pass\": {}\n", self.gate_failures().is_empty()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable summary.
+    pub fn print_summary(&self) {
+        println!("\n-- Fuzz firehose: {} seeds --", self.seeds_run);
+        println!(
+            "  frontend  {} parse, {} elaborate, {} round-trip",
+            self.parse_ok, self.elaborate_ok, self.roundtrip_ok
+        );
+        println!(
+            "  mapping   {} posed: {} success ({} agree), {} unsat, {} timeout, {} error",
+            self.map_attempted,
+            self.map_success,
+            self.map_agree,
+            self.map_unsat,
+            self.map_timeout,
+            self.map_error
+        );
+        println!("  mismatches: {}", self.mismatches.len());
+        for m in self.mismatches.iter().take(5) {
+            println!("    {m}");
+        }
+        for failure in self.gate_failures() {
+            println!("  GATE FAILED: {failure}");
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// (seeds, layer-3 cap, per-mapping budget) for each scale. Quick keeps CI in
+/// tens of seconds; the ISSUE floor is ≥ 200 seeds at `--quick`.
+fn scale_params(scale: Scale) -> (u64, usize, Duration) {
+    match scale {
+        Scale::Quick => (200, 8, Duration::from_millis(1500)),
+        Scale::Smoke => (1000, 24, Duration::from_secs(2)),
+        Scale::Full => (5000, 96, Duration::from_secs(3)),
+    }
+}
+
+/// Runs the firehose at `scale`.
+pub fn run_fuzz_experiment(scale: Scale) -> FuzzReport {
+    let (n_seeds, map_cap, budget) = scale_params(scale);
+    let mut report = FuzzReport::new(scale);
+    let archs = [Architecture::intel_cyclone10lp(), Architecture::lattice_ecp5()];
+    let config = MapConfig { timeout: budget, ..MapConfig::default() };
+    for seed in 0..n_seeds {
+        let outcome = check_seed(seed, ENVS, ROUNDTRIP_CYCLES);
+        report.seeds_run += 1;
+        report.parse_ok += usize::from(outcome.parse_ok);
+        report.elaborate_ok += usize::from(outcome.elaborate_ok);
+        report.roundtrip_ok += usize::from(outcome.roundtrip_ok);
+        if let Some(failure) = &outcome.failure {
+            report.mismatches.push(failure.clone());
+            continue;
+        }
+        // Layer 3: mapped-implementation agreement on a bounded prefix.
+        if report.map_attempted >= map_cap {
+            continue;
+        }
+        let Some(spec) = &outcome.spec else { continue };
+        let arch = &archs[report.map_attempted % archs.len()];
+        report.map_attempted += 1;
+        match map_design(spec, Template::Dsp, arch, &config) {
+            Ok(MapOutcome::Success(mapped)) => {
+                report.map_success += 1;
+                // The cache-replay convention: a mapped implementation owes
+                // agreement from the spec's pipeline depth through the BMC
+                // window (earlier cycles may differ while pipelines fill).
+                let t = pipeline_depth(spec);
+                match interp_equivalent(
+                    spec,
+                    &mapped.implementation,
+                    seed,
+                    ENVS,
+                    t,
+                    t + config.bmc_window,
+                ) {
+                    Ok(()) => report.map_agree += 1,
+                    Err(e) => report.mismatches.push(format!(
+                        "seed {seed} [{}]: mapped implementation disagrees with spec: {e}",
+                        arch.name()
+                    )),
+                }
+            }
+            Ok(MapOutcome::Unsat { .. }) => report.map_unsat += 1,
+            Ok(MapOutcome::Timeout { .. }) => report.map_timeout += 1,
+            Err(_) => report.map_error += 1,
+        }
+    }
+    report
+}
+
+/// Prints the summary, writes [`REPORT_PATH`], and reports gate failures.
+///
+/// # Errors
+/// Returns the concatenated gate failures (or the I/O error text).
+pub fn report_and_write(report: &FuzzReport) -> Result<(), String> {
+    report.print_summary();
+    report.write_json(REPORT_PATH).map_err(|e| format!("writing {REPORT_PATH}: {e}"))?;
+    println!("\nwrote {REPORT_PATH}");
+    let failures = report.gate_failures();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_report() -> FuzzReport {
+        FuzzReport {
+            scale: Scale::Quick,
+            seeds_run: 10,
+            parse_ok: 10,
+            elaborate_ok: 10,
+            roundtrip_ok: 10,
+            map_attempted: 4,
+            map_success: 2,
+            map_unsat: 1,
+            map_timeout: 1,
+            map_error: 0,
+            map_agree: 2,
+            mismatches: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_runs_pass_the_gates() {
+        let report = clean_report();
+        assert!(report.gate_failures().is_empty());
+        assert!(report.to_json().contains("\"gates_pass\": true"));
+    }
+
+    #[test]
+    fn any_mismatch_fails_the_gate() {
+        let mut report = clean_report();
+        report.mismatches.push("seed 7: round-trip mismatch: ...".to_string());
+        report.roundtrip_ok = 9;
+        let failures = report.gate_failures();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(report.to_json().contains("\"gates_pass\": false"));
+    }
+
+    #[test]
+    fn disagreeing_mappings_fail_the_gate() {
+        let mut report = clean_report();
+        report.map_agree = 1;
+        assert_eq!(report.gate_failures().len(), 1);
+    }
+
+    #[test]
+    fn json_escaping_keeps_the_report_parseable() {
+        let mut report = clean_report();
+        report.mismatches.push("quote \" backslash \\ newline \n done".to_string());
+        let json = report.to_json();
+        assert!(json.contains(r#"quote \" backslash \\ newline \n done"#));
+    }
+
+    #[test]
+    fn a_tiny_live_run_is_clean() {
+        // 12 seeds, no mapping (cap 0 via the prefix bound being irrelevant at
+        // this size): exercises the real pipeline without solver time.
+        let mut report = FuzzReport::new(Scale::Quick);
+        for seed in 0..12 {
+            let outcome = lr_hdl::fuzz::check_seed(seed, 8, 4);
+            report.seeds_run += 1;
+            report.parse_ok += usize::from(outcome.parse_ok);
+            report.elaborate_ok += usize::from(outcome.elaborate_ok);
+            report.roundtrip_ok += usize::from(outcome.roundtrip_ok);
+            if let Some(f) = outcome.failure {
+                report.mismatches.push(f);
+            }
+        }
+        assert!(report.gate_failures().is_empty(), "{:?}", report.gate_failures());
+    }
+}

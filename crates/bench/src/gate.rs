@@ -397,16 +397,43 @@ fn check_daemon(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
     }
 }
 
+fn check_fuzz(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_fuzz.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!("{FILE}: the fuzz experiment's own gates failed"));
+    }
+    // Zero tolerance: a differential mismatch is a frontend/backend soundness
+    // bug, never an acceptable drift.
+    let mismatches = fresh.get(&["mismatch_count"]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+    if mismatches != 0.0 {
+        failures.push(format!("{FILE}: mismatch_count is {mismatches:.0}, expected exactly 0"));
+    }
+    // Deterministic counters: the generator and oracle are pure functions of
+    // the seed range, so these must reproduce exactly. Mapping verdict tallies
+    // (success/unsat/timeout) are timing-dependent and deliberately ungated.
+    for field in ["seeds_run", "parse_ok", "elaborate_ok", "roundtrip_ok"] {
+        let b = baseline.get(&[field]).and_then(Json::as_f64).unwrap_or(0.0);
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if f != b {
+            failures.push(format!("{FILE}: {field} changed: {f:.0} vs baseline {b:.0}"));
+        }
+    }
+}
+
 /// One file's comparison rule: (failures, baseline document, fresh document).
 pub type GateRule = fn(&mut Vec<String>, &Json, &Json);
 
 /// The `BENCH_*.json` files the gate knows how to compare, with their rules.
-pub const GATED_FILES: [(&str, GateRule); 5] = [
+pub const GATED_FILES: [(&str, GateRule); 6] = [
     ("BENCH_cegis.json", check_cegis),
     ("BENCH_egraph.json", check_egraph),
     ("BENCH_serve.json", check_serve),
     ("BENCH_sat.json", check_sat),
     ("BENCH_daemon.json", check_daemon),
+    ("BENCH_fuzz.json", check_fuzz),
 ];
 
 /// Compares every known bench record present in `baseline_dir` against its
@@ -494,9 +521,13 @@ mod tests {
     fn the_committed_baselines_parse() {
         // The real records this gate will read in CI must stay parseable by the
         // mini parser.
-        for file in
-            ["BENCH_cegis.json", "BENCH_egraph.json", "BENCH_serve.json", "BENCH_daemon.json"]
-        {
+        for file in [
+            "BENCH_cegis.json",
+            "BENCH_egraph.json",
+            "BENCH_serve.json",
+            "BENCH_daemon.json",
+            "BENCH_fuzz.json",
+        ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
             if let Ok(text) = std::fs::read_to_string(&path) {
                 Json::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
@@ -587,6 +618,52 @@ mod tests {
 
         let mut failures = Vec::new();
         check_daemon(&mut failures, &baseline, &daemon_doc(0, 24, false));
+        assert!(failures.iter().any(|f| f.contains("own gates")));
+    }
+
+    fn fuzz_doc(mismatches: u64, roundtrip_ok: u64, gates_pass: bool) -> Json {
+        Json::parse(&format!(
+            "{{\"scale\": \"Quick\", \"seeds_run\": 200, \"parse_ok\": 200, \
+             \"elaborate_ok\": 200, \"roundtrip_ok\": {roundtrip_ok}, \"map_attempted\": 8, \
+             \"map_success\": 2, \"map_unsat\": 3, \"map_timeout\": 3, \"map_agree\": 2, \
+             \"mismatch_count\": {mismatches}, \"mismatches\": [], \
+             \"gates_pass\": {gates_pass}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fuzz_rule_is_zero_tolerance_on_mismatches_and_ignores_map_tallies() {
+        let baseline = fuzz_doc(0, 200, true);
+        let mut failures = Vec::new();
+        check_fuzz(&mut failures, &baseline, &fuzz_doc(0, 200, true));
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // A single mismatch is an absolute failure.
+        let mut failures = Vec::new();
+        check_fuzz(&mut failures, &baseline, &fuzz_doc(1, 200, true));
+        assert!(failures.iter().any(|f| f.contains("mismatch_count")));
+
+        // Deterministic counters must reproduce exactly.
+        let mut failures = Vec::new();
+        check_fuzz(&mut failures, &baseline, &fuzz_doc(0, 199, true));
+        assert!(failures.iter().any(|f| f.contains("roundtrip_ok")));
+
+        // Mapping verdict tallies are timing-dependent and ungated: a fresh
+        // record whose success/unsat/timeout split moved still passes.
+        let moved = Json::parse(
+            "{\"scale\": \"Quick\", \"seeds_run\": 200, \"parse_ok\": 200, \
+             \"elaborate_ok\": 200, \"roundtrip_ok\": 200, \"map_attempted\": 8, \
+             \"map_success\": 0, \"map_unsat\": 1, \"map_timeout\": 7, \"map_agree\": 0, \
+             \"mismatch_count\": 0, \"mismatches\": [], \"gates_pass\": true}",
+        )
+        .unwrap();
+        let mut failures = Vec::new();
+        check_fuzz(&mut failures, &baseline, &moved);
+        assert!(failures.is_empty(), "map tallies must be ungated: {failures:?}");
+
+        let mut failures = Vec::new();
+        check_fuzz(&mut failures, &baseline, &fuzz_doc(0, 200, false));
         assert!(failures.iter().any(|f| f.contains("own gates")));
     }
 

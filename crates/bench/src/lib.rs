@@ -9,6 +9,7 @@
 pub mod cegis;
 pub mod daemon;
 pub mod egraph;
+pub mod fuzz;
 pub mod gate;
 pub mod sat;
 pub mod serve;

@@ -123,7 +123,11 @@ pub fn elaborate(ast: &ModuleAst, params_as_inputs: bool) -> Result<Prog, Elabor
                 env.insert(lhs.clone(), value);
             }
             Statement::NonBlocking { lhs, rhs } => {
-                let width = ast.signal(lhs).map(|s| s.width).unwrap_or(1);
+                // The placeholder loop above already rejected undeclared lhs names.
+                let width = ast
+                    .signal(lhs)
+                    .map(|s| s.width)
+                    .ok_or_else(|| ElaborateError::UndeclaredSignal(lhs.clone()))?;
                 let value = lower_expr(&mut b, &env, ast, rhs)?;
                 let value = resize(&mut b, value, width);
                 let reg = env[lhs];
@@ -136,16 +140,8 @@ pub fn elaborate(ast: &ModuleAst, params_as_inputs: bool) -> Result<Prog, Elabor
     Ok(b.finish(root))
 }
 
-fn width_of(b: &ProgBuilder, env: &HashMap<String, NodeId>, ast: &ModuleAst, id: NodeId) -> u32 {
-    // The builder does not expose widths before `finish`, so recompute from the AST
-    // where possible; fall back to finishing a clone (cheap for these module sizes).
-    let _ = (env, ast);
-    let prog = b.clone().finish(id);
-    prog.width(id)
-}
-
 fn resize(b: &mut ProgBuilder, id: NodeId, width: u32) -> NodeId {
-    let current = width_of(b, &HashMap::new(), &empty_ast(), id);
+    let current = b.width_of(id);
     if current == width {
         id
     } else if current < width {
@@ -153,10 +149,6 @@ fn resize(b: &mut ProgBuilder, id: NodeId, width: u32) -> NodeId {
     } else {
         b.extract(id, width - 1, 0)
     }
-}
-
-fn empty_ast() -> ModuleAst {
-    ModuleAst { name: String::new(), signals: vec![], statements: vec![], outputs: vec![] }
 }
 
 fn lower_expr(
@@ -194,18 +186,26 @@ fn lower_expr(
             let mut x = lower_expr(b, env, ast, lhs)?;
             let mut y = lower_expr(b, env, ast, rhs)?;
             // Widen both operands to the larger width (Verilog's context rule,
-            // restricted to our subset).
-            let wx = width_of(b, env, ast, x);
-            let wy = width_of(b, env, ast, y);
+            // restricted to our subset: widths are computed bottom-up, without
+            // threading the assignment target's width into subexpressions).
+            let wx = b.width_of(x);
+            let wy = b.width_of(y);
             let w = wx.max(wy);
-            if !matches!(op, BinaryOp::Shl | BinaryOp::Shr) {
-                x = resize(b, x, w);
-                y = resize(b, y, w);
-            } else {
-                // Shift amounts keep their own width but must match for the IR op.
-                y = resize(b, y, w.max(wx));
-                x = resize(b, x, w.max(wx));
-            }
+            // Shifts: the amount is self-determined and the result keeps the
+            // *left* operand's width. The IR ops need equal-width arguments, so
+            // widen both to the common width, shift there, and narrow the result
+            // back to `wx` below. Widening (rather than truncating the amount)
+            // is what makes shift-by-≥-width correctly yield zero even when the
+            // amount is wider than the shifted operand.
+            x = resize(b, x, w);
+            y = resize(b, y, w);
+            let shift_result = |b: &mut ProgBuilder, id: NodeId| {
+                if w > wx {
+                    b.extract(id, wx - 1, 0)
+                } else {
+                    id
+                }
+            };
             Ok(match op {
                 BinaryOp::Add => b.op2(BvOp::Add, x, y),
                 BinaryOp::Sub => b.op2(BvOp::Sub, x, y),
@@ -213,8 +213,14 @@ fn lower_expr(
                 BinaryOp::And => b.op2(BvOp::And, x, y),
                 BinaryOp::Or => b.op2(BvOp::Or, x, y),
                 BinaryOp::Xor => b.op2(BvOp::Xor, x, y),
-                BinaryOp::Shl => b.op2(BvOp::Shl, x, y),
-                BinaryOp::Shr => b.op2(BvOp::Lshr, x, y),
+                BinaryOp::Shl => {
+                    let s = b.op2(BvOp::Shl, x, y);
+                    shift_result(b, s)
+                }
+                BinaryOp::Shr => {
+                    let s = b.op2(BvOp::Lshr, x, y);
+                    shift_result(b, s)
+                }
                 BinaryOp::Eq => b.op2(BvOp::Eq, x, y),
                 BinaryOp::Ne => {
                     let e = b.op2(BvOp::Eq, x, y);
@@ -238,10 +244,10 @@ fn lower_expr(
         }
         Expr::Ternary(cond, then_, else_) => {
             let c = lower_expr(b, env, ast, cond)?;
-            let c1 = if width_of(b, env, ast, c) == 1 { c } else { b.op1(BvOp::RedOr, c) };
+            let c1 = if b.width_of(c) == 1 { c } else { b.op1(BvOp::RedOr, c) };
             let mut t = lower_expr(b, env, ast, then_)?;
             let mut e = lower_expr(b, env, ast, else_)?;
-            let w = width_of(b, env, ast, t).max(width_of(b, env, ast, e));
+            let w = b.width_of(t).max(b.width_of(e));
             t = resize(b, t, w);
             e = resize(b, e, w);
             Ok(b.mux(c1, t, e))
@@ -270,7 +276,7 @@ fn lower_expr(
             // x[i] with a non-constant index lowers to (x >> i)[0].
             let x = lower_expr(b, env, ast, inner)?;
             let i = lower_expr(b, env, ast, index)?;
-            let w = width_of(b, env, ast, x);
+            let w = b.width_of(x);
             let i = resize(b, i, w);
             let shifted = b.op2(BvOp::Lshr, x, i);
             Ok(b.extract(shifted, 0, 0))
@@ -392,6 +398,90 @@ endmodule
             parse_and_elaborate("module m(input a output y);"),
             Err(ElaborateError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn resize_width_can_depend_on_a_signal_chain() {
+        // Regression: `resize`'s width query used to clone the whole builder and
+        // finish() it per call (quadratic, and wrong-footed by its unused
+        // env/ast parameters). This design forces width computation through a
+        // register placeholder feedback path plus a wire chain, exactly the
+        // shape the old helper handled by accident.
+        let prog = parse_and_elaborate(
+            "module fb(input clk, input [3:0] a, output reg [7:0] out);
+               wire [5:0] w;
+               assign w = a + out[3:0];
+               always @(posedge clk) out <= w;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(prog.width(prog.root()), 8);
+        let env = inputs(&[("a", 3, 4)]);
+        // out: 0, 3, 6 (w = a + out[3:0], registered).
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::zeros(8));
+        assert_eq!(prog.interp(&env, 1).unwrap(), BitVec::from_u64(3, 8));
+        assert_eq!(prog.interp(&env, 2).unwrap(), BitVec::from_u64(6, 8));
+    }
+
+    #[test]
+    fn shift_results_keep_the_left_operand_width() {
+        // Subset rule (matching Verilog): the amount is self-determined and the
+        // result has the *left* operand's width. The old lowering widened the
+        // result to max(wx, wy), so `a << b` with a wide amount leaked bits
+        // that should have been shifted out of a 4-bit lane.
+        let prog = parse_and_elaborate(
+            "module m(input [3:0] a, input [7:0] b, output [7:0] y); assign y = a << b; endmodule",
+        )
+        .unwrap();
+        let env = inputs(&[("a", 0b1001, 4), ("b", 1, 8)]);
+        // (4'b1001 << 1) = 4'b0010, then zero-extended to the 8-bit output.
+        // The buggy widening gave 8'b0001_0010 = 18.
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(0b0010, 8));
+    }
+
+    #[test]
+    fn shift_by_width_or_more_yields_zero() {
+        let prog = parse_and_elaborate(
+            "module m(input [3:0] a, input [7:0] b, output [3:0] y); assign y = a >> b; endmodule",
+        )
+        .unwrap();
+        for amount in [4u64, 5, 63, 200] {
+            let env = inputs(&[("a", 0b1111, 4), ("b", amount, 8)]);
+            assert_eq!(
+                prog.interp(&env, 0).unwrap(),
+                BitVec::zeros(4),
+                "a >> {amount} must be zero for a 4-bit a"
+            );
+        }
+        let prog = parse_and_elaborate(
+            "module m(input [3:0] a, input [7:0] b, output [3:0] y); assign y = a << b; endmodule",
+        )
+        .unwrap();
+        let env = inputs(&[("a", 0b1111, 4), ("b", 4, 8)]);
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::zeros(4));
+    }
+
+    #[test]
+    fn arithmetic_shift_equals_logical_shift_on_the_unsigned_subset() {
+        // All subset values are unsigned, so `>>>` and `>>` must agree (and
+        // `<<<`/`<<` trivially so). Before the lexer fix, `a >>> b` tokenized
+        // as `>>` `>` and died with an opaque parse error.
+        let logical = parse_and_elaborate(
+            "module m(input [7:0] a, b, output [7:0] y); assign y = a >> b; endmodule",
+        )
+        .unwrap();
+        let arith = parse_and_elaborate(
+            "module m(input [7:0] a, b, output [7:0] y); assign y = a >>> b; endmodule",
+        )
+        .unwrap();
+        for (a, bv) in [(0x80u64, 1u64), (0xFF, 3), (0x01, 0), (0xAA, 9)] {
+            let env = inputs(&[("a", a, 8), ("b", bv, 8)]);
+            assert_eq!(
+                logical.interp(&env, 0).unwrap(),
+                arith.interp(&env, 0).unwrap(),
+                "{a:#x} >>> {bv}"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,12 @@ use lr_ir::{BvOp, Node, NodeId, Prog};
 pub fn emit_verilog(prog: &Prog) -> String {
     let mut wires = String::new();
     let mut body = String::new();
+    // Register updates go in a separate section emitted after every assign:
+    // a register's data wire may have a higher node id than the register
+    // itself (feedback through combinational logic), and emitting the always
+    // block in id order would then reference that wire before its driver —
+    // source our own frontend rejects as use-before-definition.
+    let mut seq = String::new();
     let sequential = has_state(prog);
 
     for (id, node) in prog.nodes() {
@@ -26,7 +32,7 @@ pub fn emit_verilog(prog: &Prog) -> String {
             Node::Reg { data, init } => {
                 let _ = writeln!(wires, "  reg [{}:0] {};", width - 1, wire(id));
                 let _ = writeln!(
-                    body,
+                    seq,
                     "  always @(posedge clk) {} <= {}; // init {}",
                     wire(id),
                     wire(*data),
@@ -52,7 +58,7 @@ pub fn emit_verilog(prog: &Prog) -> String {
             }
             Node::Op(op, args) => {
                 let _ = writeln!(wires, "  wire [{}:0] {};", width - 1, wire(id));
-                let expr = op_expr(*op, args);
+                let expr = op_expr(prog, *op, args);
                 let _ = writeln!(body, "  assign {} = {};", wire(id), expr);
             }
             Node::Prim(p) => {
@@ -115,7 +121,7 @@ pub fn emit_verilog(prog: &Prog) -> String {
     }
     let _ = writeln!(header, "{});", port_decls.join(", "));
 
-    format!("{header}{wires}{body}  assign out = {};\nendmodule\n", wire(prog.root()))
+    format!("{header}{wires}{body}{seq}  assign out = {};\nendmodule\n", wire(prog.root()))
 }
 
 fn wire(id: NodeId) -> String {
@@ -126,7 +132,7 @@ fn has_state(prog: &Prog) -> bool {
     prog.nodes().any(|(_, n)| matches!(n, Node::Reg { .. } | Node::Prim(_)))
 }
 
-fn op_expr(op: BvOp, args: &[NodeId]) -> String {
+fn op_expr(prog: &Prog, op: BvOp, args: &[NodeId]) -> String {
     let a = |i: usize| wire(args[i]);
     match op {
         BvOp::Not => format!("~{}", a(0)),
@@ -144,8 +150,37 @@ fn op_expr(op: BvOp, args: &[NodeId]) -> String {
         BvOp::Ashr => format!("$signed({}) >>> {}", a(0), a(1)),
         BvOp::Concat => format!("{{{}, {}}}", a(0), a(1)),
         BvOp::Extract { hi, lo } => format!("{}[{hi}:{lo}]", a(0)),
-        BvOp::ZeroExt { width } => format!("{{{{{width}{{1'b0}}}}, {}}}", a(0)),
-        BvOp::SignExt { width } => format!("{{{{{width}{{{}[0]}}}}, {}}}", a(0), a(0)),
+        BvOp::ZeroExt { width } => {
+            // Emitted as a concat of sized zero literals (chunked to the
+            // 64-bit literal cap), a form the mini-HDL parser itself can
+            // re-parse. The old replication form `{{N{1'b0}}, a}` could not
+            // round-trip, and its count was the result width rather than the
+            // number of padding bits.
+            let arg_width = prog.width(args[0]);
+            if width <= arg_width {
+                format!("{}[{}:0]", a(0), width - 1)
+            } else {
+                let mut delta = width - arg_width;
+                let mut parts = Vec::new();
+                while delta > 64 {
+                    parts.push("64'd0".to_string());
+                    delta -= 64;
+                }
+                parts.push(format!("{delta}'d0"));
+                parts.push(a(0));
+                format!("{{{}}}", parts.join(", "))
+            }
+        }
+        BvOp::SignExt { width } => {
+            // Replicate the argument's *top* bit (the old form replicated
+            // bit 0, i.e. sign-extended by the LSB).
+            let arg_width = prog.width(args[0]);
+            if width <= arg_width {
+                format!("{}[{}:0]", a(0), width - 1)
+            } else {
+                format!("{{{{{}{{{}[{}]}}}}, {}}}", width - arg_width, a(0), arg_width - 1, a(0))
+            }
+        }
         BvOp::Eq => format!("{} == {}", a(0), a(1)),
         BvOp::Ult => format!("{} < {}", a(0), a(1)),
         BvOp::Ule => format!("{} <= {}", a(0), a(1)),

@@ -88,7 +88,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, String> {
             }
             continue;
         }
-        // Multi-character symbols.
+        // Multi-character symbols. Three-character shifts come first so that
+        // `>>>` / `<<<` lex as one arithmetic-shift token instead of `>>` + `>`
+        // (which would mis-parse downstream as a shift followed by a compare).
+        let three: String = bytes[i..n.min(i + 3)].iter().collect();
+        if [">>>", "<<<"].contains(&three.as_str()) {
+            out.push(Token::Symbol(three));
+            i += 3;
+            continue;
+        }
         let two: String = bytes[i..n.min(i + 2)].iter().collect();
         if ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>"].contains(&two.as_str()) {
             out.push(Token::Symbol(two));
@@ -131,6 +139,18 @@ mod tests {
     fn skips_comments() {
         let toks = tokenize("a // comment\n /* block \n comment */ b").unwrap();
         assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn arithmetic_shifts_are_single_tokens() {
+        let toks = tokenize("a >>> 2").unwrap();
+        assert_eq!(toks[1], Token::Symbol(">>>".into()), "`>>>` must not split into `>>` `>`");
+        let toks = tokenize("a <<< 2").unwrap();
+        assert_eq!(toks[1], Token::Symbol("<<<".into()));
+        // Adjacent logical shift + compare still needs whitespace to lex as such.
+        let toks = tokenize("a >> b > c").unwrap();
+        assert_eq!(toks[1], Token::Symbol(">>".into()));
+        assert_eq!(toks[3], Token::Symbol(">".into()));
     }
 
     #[test]

@@ -27,10 +27,34 @@
 //! assert_eq!(design.name(), "add_one");
 //! assert!(design.is_behavioral());
 //! ```
+//!
+//! ## Subset width semantics
+//!
+//! Expression widths are computed **bottom-up**; the assignment target's width
+//! is never threaded into subexpressions (full Verilog's context-determined
+//! sizing is deliberately out of scope). The rules:
+//!
+//! * binary arithmetic/bitwise operators zero-extend both operands to the
+//!   larger operand width, which is also the result width;
+//! * shifts (`<<`, `>>`, and the arithmetic spellings `<<<`, `>>>`) have a
+//!   self-determined amount and a result of the **left** operand's width;
+//!   shifting by ≥ the operand width yields zero. All subset values are
+//!   unsigned, so `>>>` behaves exactly like `>>`;
+//! * comparisons, logical operators, and reductions produce 1 bit;
+//! * sized literals are capped at 64 bits and must fit their stated width
+//!   (`4'hFFF` is a parse error, not a silent truncation);
+//! * the final value of an `assign`/non-blocking RHS is zero-extended or
+//!   truncated to the destination width.
+//!
+//! The [`fuzz`] module turns these guarantees into an executable oracle: a
+//! seeded generator covering the whole grammar plus a differential round-trip
+//! check (`parse → elaborate → emit_verilog → re-parse → re-elaborate` must
+//! preserve interpretation).
 
 mod ast;
 mod elaborate;
 mod emit;
+pub mod fuzz;
 mod lexer;
 pub mod models;
 mod parser;
@@ -38,6 +62,7 @@ mod parser;
 pub use ast::{Expr, ModuleAst, PortDir, Statement};
 pub use elaborate::{elaborate, extract_semantics, parse_and_elaborate, ElaborateError};
 pub use emit::emit_verilog;
+pub use fuzz::{check_seed, generate_module, interp_equivalent, FuzzOutcome, FuzzRng};
 pub use models::{builtin_models, BuiltinModel};
 pub use parser::{parse_module, ParseError};
 

@@ -27,6 +27,59 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// The widest sized literal the subset accepts, matching the widest signal the
+/// fuzz generator emits and the 64-bit fast paths throughout `lr-bv` consumers.
+const MAX_LITERAL_WIDTH: u32 = 64;
+
+/// Parses a sized literal with subset hardening on top of
+/// [`BitVec::parse_verilog`]: the stated width must be `1..=64`, and the
+/// digits' value must fit the stated width. `BitVec::parse_verilog` alone
+/// accumulates into a width-sized vector, so `4'hFFF` would silently truncate
+/// to `4'hf`; here it is a parse error instead.
+fn parse_sized_literal(text: &str) -> Result<BitVec, ParseError> {
+    let cleaned: String = text.trim().replace('_', "");
+    let tick = cleaned
+        .find('\'')
+        .ok_or_else(|| ParseError::new(format!("missing ' in literal `{text}`")))?;
+    let width: u32 = cleaned[..tick]
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad width in literal `{text}`")))?;
+    if width == 0 {
+        return Err(ParseError::new(format!("literal `{text}` has zero width")));
+    }
+    if width > MAX_LITERAL_WIDTH {
+        return Err(ParseError::new(format!(
+            "literal `{text}` is {width} bits wide; sized literals are capped at \
+             {MAX_LITERAL_WIDTH} bits in this subset"
+        )));
+    }
+    let rest = &cleaned[tick + 1..];
+    let base = rest
+        .chars()
+        .next()
+        .ok_or_else(|| ParseError::new(format!("missing base in literal `{text}`")))?;
+    let digits = &rest[base.len_utf8()..];
+    if digits.len() > 256 {
+        return Err(ParseError::new(format!("literal `{text}` has too many digits")));
+    }
+    // Upper bound on the bits the digits can carry (10^n < 16^n for decimal);
+    // parsing at this width makes overflow detectable instead of silent.
+    let value_bits = match base.to_ascii_lowercase() {
+        'h' | 'd' => 4 * digits.len() as u32,
+        _ => digits.len() as u32, // 'b'; other bases are rejected below
+    }
+    .max(1);
+    let wide = width.max(value_bits);
+    let value = BitVec::parse_verilog(&format!("{wide}'{rest}"))
+        .map_err(|e| ParseError::new(e.to_string()))?;
+    if wide > width && !value.extract(wide - 1, width).is_zero() {
+        return Err(ParseError::new(format!(
+            "literal `{text}` overflows its stated {width}-bit width"
+        )));
+    }
+    Ok(value.extract(width - 1, 0))
+}
+
 /// Parses a single module from mini-HDL source text.
 ///
 /// # Errors
@@ -234,9 +287,7 @@ impl Parser {
         self.expect_symbol("=")?;
         let default = match self.next() {
             Some(Token::Number(n)) => BitVec::from_u64(n, width),
-            Some(Token::SizedLiteral(text)) => BitVec::parse_verilog(&text)
-                .map_err(|e| ParseError::new(e.to_string()))?
-                .resize_zext(width),
+            Some(Token::SizedLiteral(text)) => parse_sized_literal(&text)?.resize_zext(width),
             other => {
                 return Err(ParseError::new(format!("expected parameter value, found {other:?}")))
             }
@@ -382,10 +433,15 @@ impl Parser {
     fn shift(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.additive()?;
         loop {
-            if self.eat_symbol("<<") {
+            // `<<<` / `>>>` are Verilog's arithmetic shifts. The subset has no
+            // signed values, and Verilog defines arithmetic shifts of unsigned
+            // operands to behave exactly like the logical ones, so both forms
+            // lower to the same operators (the lexer keeps `>>>` a single
+            // token, so it can no longer mis-parse as `>>` followed by `>`).
+            if self.eat_symbol("<<") || self.eat_symbol("<<<") {
                 let rhs = self.additive()?;
                 lhs = Expr::Binary(BinaryOp::Shl, Box::new(lhs), Box::new(rhs));
-            } else if self.eat_symbol(">>") {
+            } else if self.eat_symbol(">>") || self.eat_symbol(">>>") {
                 let rhs = self.additive()?;
                 lhs = Expr::Binary(BinaryOp::Shr, Box::new(lhs), Box::new(rhs));
             } else {
@@ -474,9 +530,7 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, ParseError> {
         match self.next() {
             Some(Token::Number(n)) => Ok(Expr::Literal(BitVec::from_u64(n, 32))),
-            Some(Token::SizedLiteral(text)) => Ok(Expr::Literal(
-                BitVec::parse_verilog(&text).map_err(|e| ParseError::new(e.to_string()))?,
-            )),
+            Some(Token::SizedLiteral(text)) => Ok(Expr::Literal(parse_sized_literal(&text)?)),
             Some(Token::Ident(name)) => Ok(Expr::Ident(name)),
             Some(Token::Symbol(s)) if s == "(" => {
                 let e = self.expr()?;
@@ -594,5 +648,76 @@ endmodule
         assert!(parse_module("module m(").is_err());
         assert!(parse_module("module m(input a); assign ; endmodule").is_err());
         assert!(parse_module("module m(input a); garbage x; endmodule").is_err());
+    }
+
+    fn expr_module(expr: &str) -> String {
+        format!("module m(input [7:0] a, b, output [7:0] y); assign y = {expr}; endmodule")
+    }
+
+    #[test]
+    fn sized_literals_reject_overflow_and_wide_widths() {
+        // Value overflowing the stated width: a parse error, not silent truncation.
+        for bad in ["4'hFFF", "4'd16", "2'b111", "64'd18446744073709551616", "8'hABC"] {
+            let err = parse_module(&expr_module(bad)).unwrap_err();
+            assert!(
+                err.to_string().contains("overflow"),
+                "`{bad}` should report overflow, got: {err}"
+            );
+        }
+        // Stated width beyond the 64-bit subset cap.
+        for bad in ["65'd1", "128'd1", "4294967295'h0"] {
+            let err = parse_module(&expr_module(bad)).unwrap_err();
+            assert!(err.to_string().contains("64"), "`{bad}` should report the cap, got: {err}");
+        }
+    }
+
+    #[test]
+    fn sized_literals_accept_the_boundary() {
+        // The same magnitudes one notch inside the limits parse fine.
+        for (ok, value) in [
+            ("4'hF", 0xF),
+            ("4'd15", 15),
+            ("2'b11", 3),
+            ("8'h0FF", 0xFF), // leading zero digits are not overflow
+            ("64'hFFFFFFFFFFFFFFFF", u64::MAX),
+            ("64'd18446744073709551615", u64::MAX),
+        ] {
+            let m = parse_module(&expr_module(ok)).unwrap();
+            match &m.statements[0] {
+                Statement::Assign { rhs: Expr::Literal(bv), .. } => {
+                    assert_eq!(bv.to_u64(), Some(value), "literal `{ok}`");
+                }
+                other => panic!("unexpected parse of `{ok}`: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_shifts_lower_to_logical_ones() {
+        // `>>>` used to lex as `>>` `>` and die with a confusing "unexpected
+        // token" error; it now parses and, with only unsigned values in the
+        // subset, means exactly `>>` (same for `<<<` and `<<`).
+        let m = parse_module(&expr_module("a >>> b")).unwrap();
+        match &m.statements[0] {
+            Statement::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Binary(BinaryOp::Shr, _, _)))
+            }
+            _ => panic!(),
+        }
+        let m = parse_module(&expr_module("a <<< 2")).unwrap();
+        match &m.statements[0] {
+            Statement::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Binary(BinaryOp::Shl, _, _)))
+            }
+            _ => panic!(),
+        }
+        // Precedence unchanged: a >>> b > c is (a >>> b) > c.
+        let m = parse_module(&expr_module("a >>> b > c ? a : b")).unwrap();
+        match &m.statements[0] {
+            Statement::Assign { rhs: Expr::Ternary(cond, _, _), .. } => {
+                assert!(matches!(**cond, Expr::Binary(BinaryOp::Gt, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 }

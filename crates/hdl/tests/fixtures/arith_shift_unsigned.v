@@ -1,0 +1,8 @@
+// `>>>` / `<<<` used to tokenize as `>>` `>` and die with an opaque parse
+// error. All subset values are unsigned, so the arithmetic spellings lower to
+// the logical shifts (Verilog semantics for unsigned operands agree).
+module arith_shift_unsigned(input [7:0] a, input [2:0] n, output [7:0] y);
+  wire [7:0] r;
+  assign r = a >>> n;
+  assign y = (r <<< 1) ^ (a >> n);
+endmodule

@@ -1,0 +1,10 @@
+// Reduced from fuzz seed 2: a register whose next-state wire is computed
+// *after* the register in node-id order. The emitter used to interleave the
+// `always` block with the assigns in id order, producing structural Verilog
+// that referenced `w`'s driver wire before it was assigned — source our own
+// frontend rejects as use-before-definition, breaking round-trip closure.
+module reg_data_forward_ref(input clk, input [3:0] a, output reg [7:0] y);
+  wire [7:0] w;
+  assign w = y + a;
+  always @(posedge clk) y <= w;
+endmodule

@@ -1,0 +1,7 @@
+// The subset's shift rule: the amount is self-determined and the result keeps
+// the *left* operand's width. The old lowering widened the result to
+// max(lhs, rhs) width, so bits shifted out of the 4-bit lane leaked into the
+// 8-bit output (4'b1001 << 1 read back as 18 instead of 2).
+module shift_keeps_left_width(input [3:0] a, input [7:0] b, output [7:0] y);
+  assign y = a << b;
+endmodule

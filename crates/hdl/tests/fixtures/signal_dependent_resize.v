@@ -1,0 +1,8 @@
+// A resize whose width depends on a register feedback path through a wire
+// chain — the shape that exercised the old quadratic clone-the-builder width
+// helper in `elaborate` (now ProgBuilder::width_of).
+module signal_dependent_resize(input clk, input [3:0] a, output reg [7:0] y);
+  wire [5:0] w;
+  assign w = a + y[3:0];
+  always @(posedge clk) y <= w;
+endmodule

@@ -1,0 +1,8 @@
+// Sized literals exactly filling their stated width are legal; one bit more
+// (4'hFFF, 128'd1) is a parse error rather than a silent truncation. This
+// fixture pins the accepting side of that boundary, including the 64-bit cap.
+module sized_literal_boundary(input [3:0] a, output [63:0] y);
+  wire [3:0] full;
+  assign full = a & 4'hf;
+  assign y = {60'hfffffffffffffff, full} ^ 64'hffffffffffffffff;
+endmodule

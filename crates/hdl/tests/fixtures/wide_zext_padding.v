@@ -1,0 +1,8 @@
+// Reduced from fuzz seed 19: a 1-bit value widened to 87 bits (to match the
+// shift amount's concat width) needs an 86-bit zero pad. The emitter used to
+// fall back to replication syntax `{{N{1'b0}}, x}` for deltas over 64 bits,
+// which the mini-HDL parser cannot re-parse; padding is now chunked into
+// 64-bit-capped sized zero literals.
+module wide_zext_padding(input [32:0] a, input [53:0] b, output y);
+  assign y = 1'b1 >> {a, b};
+endmodule

@@ -182,34 +182,7 @@ impl Prog {
     /// # Panics
     /// Panics if the id does not belong to this program.
     pub fn width(&self, id: NodeId) -> u32 {
-        match &self.nodes[&id] {
-            Node::BV(bv) => bv.width(),
-            Node::Var { width, .. } => *width,
-            Node::Hole { width, .. } => *width,
-            Node::Reg { init, .. } => init.width(),
-            Node::Prim(p) => p.semantics.width(p.semantics.root()),
-            Node::Op(op, args) => self.op_width(*op, args),
-        }
-    }
-
-    fn op_width(&self, op: BvOp, args: &[NodeId]) -> u32 {
-        let w = |i: usize| self.width(args[i]);
-        match op {
-            BvOp::Not | BvOp::Neg => w(0),
-            BvOp::Concat => w(0) + w(1),
-            BvOp::Extract { hi, lo } => hi - lo + 1,
-            BvOp::ZeroExt { width } | BvOp::SignExt { width } => width,
-            BvOp::Eq
-            | BvOp::Ult
-            | BvOp::Ule
-            | BvOp::Slt
-            | BvOp::Sle
-            | BvOp::RedOr
-            | BvOp::RedAnd
-            | BvOp::RedXor => 1,
-            BvOp::Ite => w(1),
-            _ => w(0),
-        }
+        width_in(&self.nodes, id)
     }
 
     /// Ids of all nodes in this program and, recursively, in primitive sub-programs
@@ -299,6 +272,42 @@ impl Prog {
     }
 }
 
+/// Computes the width of a node from a node map (shared between [`Prog::width`]
+/// and [`ProgBuilder::width_of`], so widths can be queried while a program is
+/// still being built — without cloning and finishing the builder).
+///
+/// Register nodes never recurse (their width is fixed by their init value), so
+/// the self-referential placeholders of [`ProgBuilder::reg_placeholder`] are
+/// safe to query.
+fn width_in(nodes: &BTreeMap<NodeId, Node>, id: NodeId) -> u32 {
+    match &nodes[&id] {
+        Node::BV(bv) => bv.width(),
+        Node::Var { width, .. } => *width,
+        Node::Hole { width, .. } => *width,
+        Node::Reg { init, .. } => init.width(),
+        Node::Prim(p) => p.semantics.width(p.semantics.root()),
+        Node::Op(op, args) => {
+            let w = |i: usize| width_in(nodes, args[i]);
+            match op {
+                BvOp::Not | BvOp::Neg => w(0),
+                BvOp::Concat => w(0) + w(1),
+                BvOp::Extract { hi, lo } => hi - lo + 1,
+                BvOp::ZeroExt { width } | BvOp::SignExt { width } => *width,
+                BvOp::Eq
+                | BvOp::Ult
+                | BvOp::Ule
+                | BvOp::Slt
+                | BvOp::Sle
+                | BvOp::RedOr
+                | BvOp::RedAnd
+                | BvOp::RedXor => 1,
+                BvOp::Ite => w(1),
+                _ => w(0),
+            }
+        }
+    }
+}
+
 /// Node counts per kind for a program (top level only).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProgStats {
@@ -348,6 +357,19 @@ impl ProgBuilder {
     /// The id that will be assigned to the next node.
     pub fn peek_next_id(&self) -> u32 {
         self.next_id
+    }
+
+    /// The width in bits of a node already added to this builder.
+    ///
+    /// This is the query HDL elaboration uses to apply Verilog width-context
+    /// rules while the program is still under construction; it reads the
+    /// builder's node map directly instead of cloning and finishing a
+    /// throwaway program per lookup (which was quadratic in module size).
+    ///
+    /// # Panics
+    /// Panics if the id was not allocated by this builder.
+    pub fn width_of(&self, id: NodeId) -> u32 {
+        width_in(&self.nodes, id)
     }
 
     /// Adds a constant node.

@@ -59,7 +59,7 @@ pub use batch::{parse_arch_name, parse_manifest, parse_template, BatchReport};
 pub use cache::{CacheSnapshot, SynthCache};
 pub use daemon::{Daemon, DaemonClient, DaemonConfig, DaemonSummary};
 pub use json::Json;
-pub use scenario::{grinder_jobs, random_program, suite_jobs, synthetic_jobs, Rng};
+pub use scenario::{fuzz_jobs, grinder_jobs, random_program, suite_jobs, synthetic_jobs, Rng};
 pub use scheduler::{
     run_batch, run_batch_streaming, BatchJob, BatchOptions, BatchRun, JobRecord, JobResult,
     TemplateChoice,

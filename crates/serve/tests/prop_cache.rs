@@ -127,6 +127,19 @@ proptest! {
         }
     }
 
+    /// The same stability property over the HDL fuzz population: elaborated
+    /// mini-Verilog designs (mixed widths, shifts, selects, registers) are a
+    /// far rougher key surface than the straight-line generator above.
+    #[test]
+    fn fuzz_population_keys_are_stable(seed in 0u64..=u64::MAX) {
+        let src = lr_hdl::fuzz::generate_module(seed);
+        let prog = lr_hdl::parse_and_elaborate(&src)
+            .expect("fuzz modules elaborate by construction");
+        let (canon1, _) = saturated(&prog);
+        let (canon2, _) = saturated(&prog);
+        prop_assert_eq!(key_for(&canon1), key_for(&canon2), "two saturations disagree");
+    }
+
     /// Semantically-identical specs that saturate to the same canonical form
     /// share one cache entry: an algebraically disguised copy of a random
     /// program fingerprints identically after canonicalization.
