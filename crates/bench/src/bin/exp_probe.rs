@@ -1,11 +1,19 @@
 //! Single-benchmark CEGIS diagnostic: runs one named Xilinx microbenchmark in both
-//! solving modes and prints the run statistics. Combine with `LR_CEGIS_TRACE=1`
-//! (per-check timing/conflicts) and `LR_CEGIS_TRACE_TERMS=1` (the unfolded
-//! verification disequality) to localize where a slow benchmark spends its time.
+//! solving modes and prints the run statistics. Per-check timing and conflict
+//! detail now comes from `lr_trace` spans rather than ad-hoc prints: setting
+//! `LR_CEGIS_TRACE=1` enables the tracer with stderr echo, so every recorded
+//! span (`cegis-iteration`, `synth-check`, `verify-check`, `sat-check`, …)
+//! prints one `[lr_trace]` line with its duration and attributes as it closes.
+//! `LR_CEGIS_TRACE_TERMS=1` additionally echoes the unfolded verification
+//! disequality, to localize where a slow benchmark spends its time.
 //!
 //! ```sh
 //! LR_CEGIS_TRACE=1 cargo run --release -p lr_bench --bin exp_probe -- mul_w8_s1
 //! ```
+//!
+//! For a whole-pipeline view (with Chrome `about:tracing` output and a stage
+//! summary) prefer `lakeroad --trace out.json <design>`; this probe stays the
+//! quick single-benchmark loupe.
 use std::time::Instant;
 
 use lakeroad::suite::suite_for;

@@ -1,0 +1,18 @@
+//! Tracing overhead and identity experiment: runs the DSP sweep once with
+//! `lr_trace` disabled and once enabled, proves the deterministic synthesis
+//! counters are bit-identical in both modes, inventories the recorded spans,
+//! and writes the machine-readable `BENCH_trace.json` record. Scale is
+//! selected with `--quick` (default), `--smoke`, or `--full`.
+
+use lr_bench::trace::{report_and_write, run_trace_comparison};
+use lr_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Tracing overhead/identity comparison at {scale:?} scale");
+    let comparison = run_trace_comparison(scale);
+    report_and_write(&comparison);
+    if !comparison.gates_pass() {
+        std::process::exit(1);
+    }
+}

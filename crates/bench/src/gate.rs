@@ -423,17 +423,53 @@ fn check_fuzz(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
     }
 }
 
+fn check_trace(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_trace.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!(
+            "{FILE}: the tracing experiment's own gates failed (counter drift or missing spans)"
+        ));
+    }
+    // Zero tolerance: tracing is pure observation. A single counter that moved
+    // between the untraced and traced passes means a span steered the search.
+    let mismatches = fresh.get(&["counter_mismatches"]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+    if mismatches != 0.0 {
+        failures.push(format!("{FILE}: counter_mismatches is {mismatches:.0}, expected exactly 0"));
+    }
+    // The traced pass must actually record spans — zero events means the
+    // instrumentation rotted out of the hot path.
+    let events = fresh.get(&["traced_events"]).and_then(Json::as_f64).unwrap_or(0.0);
+    if events <= 0.0 {
+        failures.push(format!("{FILE}: traced pass recorded no span events"));
+    }
+    // The search-work counters compare against the baseline with the usual
+    // tolerance; overhead_ratio and wall times are deliberately ungated.
+    for field in ["conflicts", "iterations"] {
+        check_counter(
+            failures,
+            FILE,
+            &format!("total {field}"),
+            sum_field(baseline, "benchmarks", field, |_| true),
+            sum_field(fresh, "benchmarks", field, |_| true),
+        );
+    }
+}
+
 /// One file's comparison rule: (failures, baseline document, fresh document).
 pub type GateRule = fn(&mut Vec<String>, &Json, &Json);
 
 /// The `BENCH_*.json` files the gate knows how to compare, with their rules.
-pub const GATED_FILES: [(&str, GateRule); 6] = [
+pub const GATED_FILES: [(&str, GateRule); 7] = [
     ("BENCH_cegis.json", check_cegis),
     ("BENCH_egraph.json", check_egraph),
     ("BENCH_serve.json", check_serve),
     ("BENCH_sat.json", check_sat),
     ("BENCH_daemon.json", check_daemon),
     ("BENCH_fuzz.json", check_fuzz),
+    ("BENCH_trace.json", check_trace),
 ];
 
 /// Compares every known bench record present in `baseline_dir` against its
@@ -527,6 +563,7 @@ mod tests {
             "BENCH_serve.json",
             "BENCH_daemon.json",
             "BENCH_fuzz.json",
+            "BENCH_trace.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
             if let Ok(text) = std::fs::read_to_string(&path) {
@@ -664,6 +701,58 @@ mod tests {
 
         let mut failures = Vec::new();
         check_fuzz(&mut failures, &baseline, &fuzz_doc(0, 200, false));
+        assert!(failures.iter().any(|f| f.contains("own gates")));
+    }
+
+    fn trace_doc(mismatches: u64, events: u64, conflicts: u64, gates_pass: bool) -> Json {
+        Json::parse(&format!(
+            "{{\"scale\": \"Quick\", \"untraced_total_ms\": 100.0, \"traced_total_ms\": 103.0, \
+             \"overhead_ratio\": 1.03, \"traced_events\": {events}, \"dropped_events\": 0, \
+             \"counter_mismatches\": {mismatches}, \"missing_spans\": [], \
+             \"gates_pass\": {gates_pass}, \"benchmarks\": [{{\"benchmark\": \"mul_w8_s0\", \
+             \"conflicts\": {conflicts}, \"iterations\": 2, \"identical\": true}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_rule_is_zero_tolerance_on_identity_and_ignores_overhead() {
+        let baseline = trace_doc(0, 500, 1000, true);
+        let mut failures = Vec::new();
+        check_trace(&mut failures, &baseline, &trace_doc(0, 500, 1050, true));
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // A single counter mismatch between traced and untraced is absolute.
+        let mut failures = Vec::new();
+        check_trace(&mut failures, &baseline, &trace_doc(1, 500, 1000, true));
+        assert!(failures.iter().any(|f| f.contains("counter_mismatches")));
+
+        // A traced pass with no events means the spans rotted.
+        let mut failures = Vec::new();
+        check_trace(&mut failures, &baseline, &trace_doc(0, 0, 1000, true));
+        assert!(failures.iter().any(|f| f.contains("no span events")));
+
+        // Search-work regressions beyond tolerance still trip the gate.
+        let mut failures = Vec::new();
+        check_trace(&mut failures, &baseline, &trace_doc(0, 500, 5000, true));
+        assert!(failures.iter().any(|f| f.contains("total conflicts")));
+
+        // Overhead ratio and wall times are ungated: a 100x slower traced pass
+        // with identical counters passes.
+        let mut failures = Vec::new();
+        let slow = Json::parse(
+            "{\"scale\": \"Quick\", \"untraced_total_ms\": 100.0, \
+             \"traced_total_ms\": 10000.0, \"overhead_ratio\": 100.0, \
+             \"traced_events\": 500, \"dropped_events\": 0, \"counter_mismatches\": 0, \
+             \"missing_spans\": [], \"gates_pass\": true, \"benchmarks\": [{\"benchmark\": \
+             \"mul_w8_s0\", \"conflicts\": 1000, \"iterations\": 2, \"identical\": true}]}",
+        )
+        .unwrap();
+        check_trace(&mut failures, &baseline, &slow);
+        assert!(failures.is_empty(), "overhead must be ungated: {failures:?}");
+
+        let mut failures = Vec::new();
+        check_trace(&mut failures, &baseline, &trace_doc(0, 500, 1000, false));
         assert!(failures.iter().any(|f| f.contains("own gates")));
     }
 

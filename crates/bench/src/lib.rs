@@ -13,11 +13,12 @@ pub mod fuzz;
 pub mod gate;
 pub mod sat;
 pub mod serve;
+pub mod trace;
 
 use std::collections::HashMap;
 use std::time::Duration;
 
-use lakeroad::report::{proportion_bar, summarize_timing, Histogram, RunClass, Tally};
+use lakeroad::report::{proportion_bar, runtime_histogram, summarize_timing, RunClass, Tally};
 use lakeroad::suite::{full_suite, suite_for, Microbenchmark};
 use lakeroad::{MapConfig, MapOutcome, Template};
 use lr_arch::{ArchName, Architecture};
@@ -240,10 +241,12 @@ pub fn print_completeness(arch: &Architecture, results: &ArchResults) {
 /// Prints the Figure 7 runtime histogram for one architecture.
 pub fn print_histogram(arch: &Architecture, results: &ArchResults, timeout: Duration) {
     println!("\n-- Figure 7: Lakeroad synthesis runtime histogram, {} --", arch.name());
-    let max = timeout.as_secs_f64();
-    let h = Histogram::build(&results.lakeroad_times, (max / 20.0).max(0.05), max);
-    print!("{}", h.render());
-    println!("  (timeout threshold: {max:.0} s)");
+    let h = runtime_histogram(&results.lakeroad_times);
+    print!("{}", h.render("ms"));
+    if let (Some(p50), Some(p99)) = (h.p50(), h.p99()) {
+        println!("  p50 <= {p50} ms   p99 <= {p99} ms");
+    }
+    println!("  (timeout threshold: {:.0} s)", timeout.as_secs_f64());
 }
 
 /// Prints the §5.1 resource-reduction comparison for one architecture.

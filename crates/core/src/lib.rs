@@ -217,11 +217,17 @@ pub enum MapOutcome {
         winning_solver: Option<String>,
         /// Whether the verdict was served from the synthesis cache.
         from_cache: bool,
+        /// Statistics of the run that produced the verdict (a `"cache"`-labelled
+        /// stub for cache-served verdicts).
+        stats: Box<SynthesisStats>,
     },
     /// The time/iteration budget was exhausted.
     Timeout {
         /// Synthesis wall-clock time.
         elapsed: Duration,
+        /// Partial statistics of the work performed before the budget ran out
+        /// (accumulated across every posed attempt for the auto-template loop).
+        stats: Box<SynthesisStats>,
     },
 }
 
@@ -255,7 +261,18 @@ impl MapOutcome {
     pub fn elapsed(&self) -> Duration {
         match self {
             MapOutcome::Success(m) => m.elapsed,
-            MapOutcome::Unsat { elapsed, .. } | MapOutcome::Timeout { elapsed } => *elapsed,
+            MapOutcome::Unsat { elapsed, .. } | MapOutcome::Timeout { elapsed, .. } => *elapsed,
+        }
+    }
+
+    /// The synthesis statistics behind the verdict, whatever it was: the winning
+    /// run's for success, the proving run's for UNSAT, and the accumulated
+    /// partial work for timeouts. Cache-served verdicts carry a
+    /// `"cache"`-labelled stub with [`SynthesisStats::from_cache`] set.
+    pub fn stats(&self) -> &SynthesisStats {
+        match self {
+            MapOutcome::Success(m) => &m.stats,
+            MapOutcome::Unsat { stats, .. } | MapOutcome::Timeout { stats, .. } => stats,
         }
     }
 
@@ -362,6 +379,8 @@ fn map_prepared_design(
     arch: &Architecture,
     config: &MapConfig,
 ) -> Result<MapOutcome, MapError> {
+    let mut map_span = lr_trace::span("map");
+    map_span.attr("template", template as u64);
     // Cache front door: address the job by its canonical content and replay a
     // stored verdict when one verifies. A hit that fails verification (stale or
     // colliding entry) is dropped and the request falls through to synthesis.
@@ -370,18 +389,39 @@ fn map_prepared_design(
         CacheKey::for_mapping(spec, arch, template, config.cache_budget.unwrap_or(config.timeout))
     });
     if let (Some(cache), Some(key)) = (config.cache.as_deref(), key) {
-        match cache.lookup(&key) {
+        let hit = {
+            let _sp = lr_trace::span("cache-lookup");
+            cache.lookup(&key)
+        };
+        lr_trace::counter_add(if hit.is_some() { "cache.hit" } else { "cache.miss" }, 1);
+        match hit {
             Some(CachedOutcome::Success { holes }) => {
-                match cache::replay(spec, template, arch, config, &holes, started) {
-                    Some(mapped) => return Ok(MapOutcome::Success(Box::new(mapped))),
-                    None => cache.invalidate(&key),
+                let mut sp = lr_trace::span("cache-replay");
+                let replayed = cache::replay(spec, template, arch, config, &holes, started);
+                sp.attr("verified", u64::from(replayed.is_some()));
+                match replayed {
+                    Some(mapped) => {
+                        lr_trace::counter_add("cache.replay.verified", 1);
+                        return Ok(MapOutcome::Success(Box::new(mapped)));
+                    }
+                    None => {
+                        lr_trace::counter_add("cache.replay.stale", 1);
+                        cache.invalidate(&key);
+                    }
                 }
             }
             Some(CachedOutcome::Unsat) => {
+                let elapsed = started.elapsed();
                 return Ok(MapOutcome::Unsat {
-                    elapsed: started.elapsed(),
+                    elapsed,
                     winning_solver: None,
                     from_cache: true,
+                    stats: Box::new(SynthesisStats {
+                        solver_name: "cache".to_string(),
+                        elapsed,
+                        from_cache: true,
+                        ..SynthesisStats::default()
+                    }),
                 });
             }
             None => {}
@@ -426,9 +466,16 @@ fn map_prepared_design(
             if let (Some(cache), Some(key)) = (config.cache.as_deref(), key) {
                 cache.store(key, CachedOutcome::Unsat);
             }
-            MapOutcome::Unsat { elapsed: stats.elapsed, winning_solver: winner, from_cache: false }
+            MapOutcome::Unsat {
+                elapsed: stats.elapsed,
+                winning_solver: winner,
+                from_cache: false,
+                stats: Box::new(stats),
+            }
         }
-        SynthesisOutcome::Timeout { stats } => MapOutcome::Timeout { elapsed: stats.elapsed },
+        SynthesisOutcome::Timeout { stats } => {
+            MapOutcome::Timeout { elapsed: stats.elapsed, stats: Box::new(stats) }
+        }
     })
 }
 
@@ -462,6 +509,10 @@ pub fn map_design_auto(
     let mut timed_out = false;
     let mut last_error: Option<MapError> = None;
     let mut posed_any = false;
+    // Work done by *failed* attempts still counts: accumulate every posed
+    // attempt's statistics so a timeout/UNSAT verdict reports the whole loop's
+    // solver effort, not just the final attempt's.
+    let mut acc = SynthesisStats::default();
     for template in ranked {
         // A raised cancel flag already stops the in-flight attempt through the
         // solver interrupt; checking it here too keeps the loop from posing
@@ -484,12 +535,14 @@ pub fn map_design_auto(
         };
         match map_prepared_design(&spec, template, arch, &attempt) {
             Ok(outcome) if outcome.is_success() => return Ok(outcome),
-            Ok(MapOutcome::Timeout { .. }) => {
+            Ok(MapOutcome::Timeout { stats, .. }) => {
                 posed_any = true;
                 timed_out = true;
+                acc.absorb(&stats);
             }
             Ok(outcome) => {
                 posed_any = true;
+                acc.absorb(outcome.stats());
                 if unsat.is_none() {
                     unsat = Some(outcome);
                 }
@@ -503,9 +556,14 @@ pub fn map_design_auto(
         ))));
     }
     if timed_out {
-        return Ok(MapOutcome::Timeout { elapsed: start.elapsed() });
+        return Ok(MapOutcome::Timeout { elapsed: start.elapsed(), stats: Box::new(acc) });
     }
-    Ok(unsat.expect("posed_any without timeout implies an UNSAT outcome"))
+    let mut unsat = unsat.expect("posed_any without timeout implies an UNSAT outcome");
+    if let MapOutcome::Unsat { stats, .. } = &mut unsat {
+        // The verdict came from one attempt; the statistics cover them all.
+        **stats = acc;
+    }
+    Ok(unsat)
 }
 
 /// Maps a behavioral mini-Verilog module (the partial-design-mapping workflow of

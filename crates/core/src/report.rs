@@ -84,39 +84,17 @@ pub fn summarize_timing(durations: &[Duration]) -> Option<TimingSummary> {
     Some(TimingSummary { median_s: median, min_s: secs[0], max_s: *secs.last().unwrap() })
 }
 
-/// A histogram over run times (Figure 7): fixed-width buckets in seconds.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Histogram {
-    /// Bucket width in seconds.
-    pub bucket_width_s: f64,
-    /// Counts per bucket (bucket `i` covers `[i*w, (i+1)*w)`).
-    pub counts: Vec<usize>,
-}
-
-impl Histogram {
-    /// Builds a histogram with the given bucket width covering all the samples.
-    pub fn build(durations: &[Duration], bucket_width_s: f64, max_s: f64) -> Histogram {
-        let buckets = (max_s / bucket_width_s).ceil().max(1.0) as usize;
-        let mut counts = vec![0usize; buckets];
-        for d in durations {
-            let idx = ((d.as_secs_f64() / bucket_width_s) as usize).min(buckets - 1);
-            counts[idx] += 1;
-        }
-        Histogram { bucket_width_s, counts }
+/// Builds the Figure 7 runtime histogram over the shared log-bucketed
+/// [`lr_trace::Histogram`] (millisecond samples). Exponential buckets replace
+/// the old fixed-width binning: synthesis runtimes span four orders of
+/// magnitude, and the shared type merges with daemon/scheduler latency
+/// histograms for free.
+pub fn runtime_histogram(durations: &[Duration]) -> lr_trace::Histogram {
+    let mut h = lr_trace::Histogram::new();
+    for d in durations {
+        h.record(u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
     }
-
-    /// Renders the histogram as rows of `lo..hi: count  ###`.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
-        for (i, &count) in self.counts.iter().enumerate() {
-            let lo = i as f64 * self.bucket_width_s;
-            let hi = lo + self.bucket_width_s;
-            let bar = "#".repeat((count * 40).div_ceil(max).min(40));
-            out.push_str(&format!("{lo:6.1}-{hi:6.1} s | {count:5} {bar}\n"));
-        }
-        out
-    }
+    h
 }
 
 /// Renders an ASCII bar for a proportion (used for the Figure 6 top bars).
@@ -156,16 +134,15 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_rendering() {
+    fn runtime_histogram_buckets_millisecond_samples() {
         let durations: Vec<Duration> =
             [0.1f64, 0.2, 1.5, 9.0].iter().map(|s| Duration::from_secs_f64(*s)).collect();
-        let h = Histogram::build(&durations, 1.0, 4.0);
-        assert_eq!(h.counts.len(), 4);
-        assert_eq!(h.counts[0], 2);
-        assert_eq!(h.counts[1], 1);
-        assert_eq!(h.counts[3], 1); // clamped into the last bucket
-        let rendered = h.render();
-        assert!(rendered.lines().count() == 4);
+        let h = runtime_histogram(&durations);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 100 + 200 + 1500 + 9000);
+        // 100 ms and 200 ms land in different power-of-two buckets.
+        assert_ne!(lr_trace::Histogram::bucket_index(100), lr_trace::Histogram::bucket_index(200));
+        let rendered = h.render("ms");
         assert!(rendered.contains('#'));
     }
 

@@ -80,6 +80,24 @@ pub fn saturate_with_goal(
     limits: &Limits,
     goal: Option<EClassId>,
 ) -> SaturationStats {
+    let mut sp = lr_trace::span("egraph-saturate");
+    let stats = saturate_goal_inner(egraph, rules, limits, goal);
+    if sp.is_active() {
+        sp.attr("iterations", stats.iterations as u64);
+        sp.attr("matches", stats.matches);
+        sp.attr("unions", stats.unions);
+        sp.attr("enodes", stats.enodes as u64);
+        sp.attr("classes", stats.classes as u64);
+    }
+    stats
+}
+
+fn saturate_goal_inner(
+    egraph: &mut EGraph,
+    rules: &[Rewrite],
+    limits: &Limits,
+    goal: Option<EClassId>,
+) -> SaturationStats {
     egraph.rebuild();
     let mut stats = SaturationStats {
         iterations: 0,

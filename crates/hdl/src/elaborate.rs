@@ -52,7 +52,13 @@ impl From<ParseError> for ElaborateError {
 /// # Errors
 /// Returns an error if parsing or elaboration fails.
 pub fn parse_and_elaborate(src: &str) -> Result<Prog, ElaborateError> {
-    let ast = parse_module(src)?;
+    let mut sp = lr_trace::span("elaborate");
+    sp.attr("source_bytes", src.len() as u64);
+    let ast = {
+        let _parse = lr_trace::span("hdl-parse");
+        parse_module(src)?
+    };
+    let _elab = lr_trace::span("hdl-elaborate");
     elaborate(&ast, false)
 }
 

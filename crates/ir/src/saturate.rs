@@ -158,6 +158,7 @@ impl Prog {
     /// [`Prog::saturated`] with explicit limits and the counters the `exp_egraph`
     /// benchmark records.
     pub fn saturated_with_stats(&self, limits: &Limits) -> SaturateOutcome {
+        let mut sp = lr_trace::span("saturate");
         // The cone roots: the program output plus every sequential/structural
         // boundary's inputs.
         let mut cone_roots: Vec<NodeId> = vec![self.root];
@@ -263,6 +264,12 @@ impl Prog {
             .filter(|(id, node)| reachable.contains(id) || matches!(node, Node::Var { .. }))
             .collect();
         let prog = Prog { name: self.name.clone(), root, nodes, inputs: self.inputs.clone() };
+        if sp.is_active() {
+            sp.attr("cones", cone_roots.len() as u64);
+            sp.attr("extracted_nodes", expr.len() as u64);
+            sp.attr("egraph_iterations", stats.iterations as u64);
+            sp.attr("egraph_unions", stats.unions);
+        }
         SaturateOutcome { prog, stats, cones: cone_roots.len(), extracted_nodes: expr.len() }
     }
 

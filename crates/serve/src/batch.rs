@@ -151,6 +151,20 @@ pub struct BatchReport {
     pub cached_latencies: Vec<Duration>,
     /// Cache counter deltas over the batch, when a cache was installed.
     pub cache: Option<CacheSnapshot>,
+    /// Per-job stage breakdowns, populated by [`BatchReport::attach_trace`]
+    /// when the batch ran with tracing enabled. Empty otherwise.
+    pub stages: Vec<JobStages>,
+}
+
+/// Aggregated span durations of one job, grouped by stage name.
+#[derive(Debug, Clone)]
+pub struct JobStages {
+    /// Submission index of the job.
+    pub index: usize,
+    /// Job name.
+    pub name: String,
+    /// `(stage, total time, span count)` per stage, longest total first.
+    pub totals: Vec<(&'static str, Duration, u64)>,
 }
 
 impl BatchReport {
@@ -172,6 +186,7 @@ impl BatchReport {
             synth_latencies: Vec::new(),
             cached_latencies: Vec::new(),
             cache,
+            stages: Vec::new(),
         };
         for record in &run.records {
             match &record.result {
@@ -199,6 +214,31 @@ impl BatchReport {
     /// Jobs per second of batch wall time.
     pub fn throughput(&self) -> f64 {
         self.jobs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Attributes a span buffer back to the run's jobs: the scheduler sets the
+    /// trace context of everything under job *i* to `i + 1`, so grouping by
+    /// `ctx` yields each job's stage-by-stage time. Events with `ctx` 0 (or
+    /// beyond the batch) are ignored.
+    pub fn attach_trace(&mut self, run: &BatchRun, events: &[lr_trace::TraceEvent]) {
+        self.stages = run
+            .records
+            .iter()
+            .map(|record| {
+                let mut totals: Vec<(&'static str, Duration, u64)> = Vec::new();
+                for e in events.iter().filter(|e| e.ctx == record.index as u64 + 1) {
+                    match totals.iter_mut().find(|(stage, ..)| *stage == e.name) {
+                        Some((_, total, count)) => {
+                            *total += Duration::from_nanos(e.dur_ns);
+                            *count += 1;
+                        }
+                        None => totals.push((e.name, Duration::from_nanos(e.dur_ns), 1)),
+                    }
+                }
+                totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                JobStages { index: record.index, name: record.name.clone(), totals }
+            })
+            .collect();
     }
 
     /// Renders the human-readable report the CLI prints.
@@ -250,6 +290,19 @@ impl BatchReport {
                 c.invalidations,
                 c.evictions,
             ));
+        }
+        if !self.stages.is_empty() {
+            out.push_str("per-job stages (traced):\n");
+            for job in &self.stages {
+                out.push_str(&format!("  [{}] {}:", job.index, job.name));
+                if job.totals.is_empty() {
+                    out.push_str(" no spans recorded");
+                }
+                for (stage, total, count) in &job.totals {
+                    out.push_str(&format!(" {stage} {:.1}ms x{count};", total.as_secs_f64() * 1e3));
+                }
+                out.push('\n');
+            }
         }
         out
     }
@@ -303,6 +356,44 @@ bench:mul_w8_s0 intel-cyclone10lp auto deadline=30  # trailing comment
             assert!(err.contains(needle), "{manifest}: {err}");
             assert!(err.contains("line 1"), "{manifest}: {err}");
         }
+    }
+
+    #[test]
+    fn attach_trace_groups_spans_by_job_context() {
+        let jobs = crate::scenario::suite_jobs(ArchName::IntelCyclone10Lp, 2);
+        let opts =
+            BatchOptions::new(1, MapConfig::single_solver().with_timeout(Duration::from_secs(30)));
+        let run = run_batch(&jobs, &opts);
+        let mut report = BatchReport::from_run(&run, None);
+        // Synthetic events: the scheduler stamps job i's spans with ctx i+1.
+        let ev = |name, ctx, dur_ns| lr_trace::TraceEvent {
+            name,
+            tid: 1,
+            ctx,
+            depth: 0,
+            start_ns: 0,
+            dur_ns,
+            attrs: Vec::new(),
+        };
+        let events = vec![
+            ev("job", 1, 5_000_000),
+            ev("cegis", 1, 3_000_000),
+            ev("sat-check", 1, 1_000_000),
+            ev("sat-check", 1, 2_000_000),
+            ev("job", 2, 1_000_000),
+            ev("stray", 0, 9_000_000), // unattributed: must be ignored
+        ];
+        report.attach_trace(&run, &events);
+        assert_eq!(report.stages.len(), 2);
+        let first = &report.stages[0];
+        assert_eq!(first.index, 0);
+        assert_eq!(first.totals[0], ("job", Duration::from_millis(5), 1));
+        assert!(first.totals.contains(&("sat-check", Duration::from_millis(3), 2)));
+        assert_eq!(report.stages[1].totals, vec![("job", Duration::from_millis(1), 1)]);
+        let rendered = report.render();
+        assert!(rendered.contains("per-job stages"));
+        assert!(rendered.contains("sat-check 3.0ms x2;"));
+        assert!(!rendered.contains("stray"));
     }
 
     #[test]

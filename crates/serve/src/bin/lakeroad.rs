@@ -36,8 +36,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lakeroad::{map_design_auto, map_verilog, MapConfig, MapOutcome, Template};
-use lr_arch::Architecture;
+use lakeroad::suite::{suite_for, FULL_WIDTHS};
+use lakeroad::{map_design, map_design_auto, MapConfig, MapOutcome, Template};
+use lr_arch::{ArchName, Architecture};
 use lr_serve::{
     parse_arch_name, parse_manifest, run_batch_streaming, BatchOptions, BatchReport, Daemon,
     DaemonConfig, JobResult, SynthCache,
@@ -52,6 +53,7 @@ enum TemplateChoice {
 
 struct Options {
     template: TemplateChoice,
+    arch_name: ArchName,
     arch: Architecture,
     input: String,
     output: Option<String>,
@@ -59,19 +61,21 @@ struct Options {
     incremental: bool,
     egraph: bool,
     stats: bool,
+    trace: Option<String>,
 }
 
 fn usage() -> String {
     "usage: lakeroad --template <auto|dsp|bitwise|bitwise-with-carry|comparison|multiplication>\n\
      \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
      \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--stats]\n\
-     \x20               [--output <file>] <design.v>\n\
+     \x20               [--trace <out.json>] [--output <file>] <design.v | bench:<name>>\n\
      \x20      lakeroad batch <manifest> [--jobs <N>] [--cache <file>] [--no-cache]\n\
      \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph]\n\
+     \x20               [--trace <out.json>]\n\
      \x20      lakeroad serve [--addr <host:port>] [--jobs <N>] [--cache <file>]\n\
      \x20               [--cache-capacity <entries>] [--persist-interval <seconds>]\n\
      \x20               [--max-pending <N>] [--timeout <seconds>] [--no-incremental]\n\
-     \x20               [--no-egraph]"
+     \x20               [--no-egraph] [--trace]"
         .to_string()
 }
 
@@ -129,9 +133,24 @@ fn render_stats(stats: &lakeroad::SynthesisStats) -> String {
     out
 }
 
-fn parse_arch(name: &str) -> Option<Architecture> {
-    // One alias table for both the CLI and batch manifests.
-    parse_arch_name(name).map(Architecture::load)
+/// Drains the trace buffer: writes it to `path` as Chrome trace-event JSON
+/// (open it in `chrome://tracing` or Perfetto) and prints the aggregated
+/// per-stage summary to stderr. Shared by the single-design and batch modes.
+fn finish_trace(path: &str) -> Vec<lr_trace::TraceEvent> {
+    lr_trace::flush();
+    let events = lr_trace::take_events();
+    match std::fs::write(path, lr_serve::chrome_trace_json(&events)) {
+        Ok(()) => eprintln!("wrote {} trace events to `{path}`", events.len()),
+        Err(e) => eprintln!("cannot write trace `{path}`: {e}"),
+    }
+    if lr_trace::dropped_events() > 0 {
+        eprintln!(
+            "({} older events were dropped by the bounded buffer)",
+            lr_trace::dropped_events()
+        );
+    }
+    eprint!("{}", lr_trace::stage_summary(&events));
+    events
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -143,10 +162,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut incremental = true;
     let mut egraph = true;
     let mut stats = false;
+    let mut trace = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--stats" => stats = true,
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).ok_or("--trace needs an output file")?.clone());
+            }
             "--template" => {
                 i += 1;
                 let name = args.get(i).ok_or("--template needs a value")?;
@@ -162,7 +186,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--arch-desc" => {
                 i += 1;
                 let name = args.get(i).ok_or("--arch-desc needs a value")?;
-                arch = Some(parse_arch(name).ok_or(format!("unknown architecture `{name}`"))?);
+                arch = Some(parse_arch_name(name).ok_or(format!("unknown architecture `{name}`"))?);
             }
             "--timeout" => {
                 i += 1;
@@ -186,15 +210,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
+    let arch_name = arch.ok_or(format!("missing --arch-desc\n{}", usage()))?;
     Ok(Options {
         template: template.ok_or(format!("missing --template\n{}", usage()))?,
-        arch: arch.ok_or(format!("missing --arch-desc\n{}", usage()))?,
+        arch_name,
+        arch: Architecture::load(arch_name),
         input: input.ok_or(format!("missing input design\n{}", usage()))?,
         output,
         timeout,
         incremental,
         egraph,
         stats,
+        trace,
     })
 }
 
@@ -206,6 +233,7 @@ struct BatchArgs {
     timeout: Duration,
     incremental: bool,
     egraph: bool,
+    trace: Option<String>,
 }
 
 fn parse_batch_args(args: &[String]) -> Result<BatchArgs, String> {
@@ -216,9 +244,14 @@ fn parse_batch_args(args: &[String]) -> Result<BatchArgs, String> {
     let mut timeout = Duration::from_secs(120);
     let mut incremental = true;
     let mut egraph = true;
+    let mut trace = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).ok_or("--trace needs an output file")?.clone());
+            }
             "--jobs" | "-j" => {
                 i += 1;
                 jobs = args
@@ -259,6 +292,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchArgs, String> {
         timeout,
         incremental,
         egraph,
+        trace,
     })
 }
 
@@ -320,6 +354,9 @@ fn batch_main(args: &[String]) -> ExitCode {
         map = map.with_cache(shared);
     }
     let opts = BatchOptions::new(options.jobs, map);
+    if options.trace.is_some() {
+        lr_trace::set_enabled(true);
+    }
 
     let total = jobs.len();
     let before = cache.as_ref().map(|c| c.snapshot());
@@ -353,7 +390,11 @@ fn batch_main(args: &[String]) -> ExitCode {
         (Some(before), Some(cache)) => Some(before.delta(&cache.snapshot())),
         _ => None,
     };
-    let report = BatchReport::from_run(&run, delta);
+    let mut report = BatchReport::from_run(&run, delta);
+    if let Some(path) = &options.trace {
+        let events = finish_trace(path);
+        report.attach_trace(&run, &events);
+    }
     print!("{}", report.render());
 
     if let (Some(cache), Some(path)) = (&cache, &options.cache_path) {
@@ -369,7 +410,7 @@ fn batch_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parse_serve_args(args: &[String]) -> Result<DaemonConfig, String> {
+fn parse_serve_args(args: &[String]) -> Result<(DaemonConfig, bool), String> {
     let mut config = DaemonConfig {
         addr: "127.0.0.1:9077".to_string(),
         workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -378,9 +419,11 @@ fn parse_serve_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut timeout = Duration::from_secs(120);
     let mut incremental = true;
     let mut egraph = true;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace" => trace = true,
             "--addr" => {
                 i += 1;
                 config.addr = args.get(i).ok_or("--addr needs a host:port value")?.clone();
@@ -445,17 +488,22 @@ fn parse_serve_args(args: &[String]) -> Result<DaemonConfig, String> {
         i += 1;
     }
     config.map = MapConfig { incremental, egraph, ..MapConfig::default().with_timeout(timeout) };
-    Ok(config)
+    Ok((config, trace))
 }
 
 fn serve_main(args: &[String]) -> ExitCode {
-    let config = match parse_serve_args(args) {
-        Ok(config) => config,
+    let (config, trace) = match parse_serve_args(args) {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
+    if trace {
+        // Record spans into the bounded in-process buffer; clients retrieve
+        // them with a `{"kind": "trace"}` request.
+        lr_trace::set_enabled(true);
+    }
     let persist = config.persist_path.clone();
     let daemon = match Daemon::bind(config) {
         Ok(daemon) => daemon,
@@ -500,11 +548,41 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let verilog = match std::fs::read_to_string(&options.input) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("cannot read `{}`: {e}", options.input);
-            return ExitCode::from(2);
+    if options.trace.is_some() {
+        lr_trace::set_enabled(true);
+    }
+    // Resolve the design: a Verilog file, or `bench:<name>` — one of the §5.1
+    // microbenchmarks of the chosen architecture (a known workload to trace or
+    // map without needing a source file, mirroring the manifest spelling).
+    let spec = if let Some(bench_name) = options.input.strip_prefix("bench:") {
+        // Suite specs are built programmatically, so the Verilog frontend's
+        // "elaborate" span never fires; record the construction under the same
+        // stage name to keep traces uniform across input kinds.
+        let mut sp = lr_trace::span("elaborate");
+        sp.attr("suite_bench", 1);
+        let bench =
+            suite_for(options.arch_name, FULL_WIDTHS).into_iter().find(|b| b.name == bench_name);
+        match bench {
+            Some(bench) => bench.build(),
+            None => {
+                eprintln!("no microbenchmark `{bench_name}` in the {} suite", options.arch_name);
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let verilog = match std::fs::read_to_string(&options.input) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read `{}`: {e}", options.input);
+                return ExitCode::from(2);
+            }
+        };
+        match lr_hdl::parse_and_elaborate(&verilog) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: frontend failed: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     let config = MapConfig {
@@ -513,11 +591,12 @@ fn main() -> ExitCode {
         ..MapConfig::default().with_timeout(options.timeout)
     };
     let result = match options.template {
-        TemplateChoice::Named(template) => map_verilog(&verilog, template, &options.arch, &config),
-        TemplateChoice::Auto => lr_hdl::parse_and_elaborate(&verilog)
-            .map_err(|e| lakeroad::MapError::Frontend(e.to_string()))
-            .and_then(|spec| map_design_auto(&spec, &options.arch, &config)),
+        TemplateChoice::Named(template) => map_design(&spec, template, &options.arch, &config),
+        TemplateChoice::Auto => map_design_auto(&spec, &options.arch, &config),
     };
+    if let Some(path) = &options.trace {
+        finish_trace(path);
+    }
     match result {
         Ok(MapOutcome::Success(mapped)) => {
             eprintln!(
@@ -555,7 +634,7 @@ fn main() -> ExitCode {
             }
             ExitCode::FAILURE
         }
-        Ok(MapOutcome::Timeout { elapsed }) => {
+        Ok(MapOutcome::Timeout { elapsed, .. }) => {
             eprintln!("timeout after {elapsed:.2?}");
             ExitCode::FAILURE
         }

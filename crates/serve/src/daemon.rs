@@ -7,7 +7,7 @@
 //! runtime, just scoped-lifetime-free std threads:
 //!
 //! * one **acceptor** hands each connection to a detached handler thread;
-//! * each **handler** reads frames, answers `ping`/`stats` inline, and admits
+//! * each **handler** reads frames, answers `ping`/`stats`/`trace` inline, and admits
 //!   `map` jobs into the shared priority queue — bounded per client, so one
 //!   greedy client cannot starve the rest (an over-limit job is *rejected* at
 //!   the door with a `rejected` response, never silently dropped);
@@ -41,7 +41,7 @@ use crate::cache::{CacheSnapshot, SynthCache};
 use crate::json::Json;
 use crate::protocol::{
     error_response, map_response, parse_request, pong_response, read_frame, rejected_response,
-    shutdown_response, write_frame, Request,
+    shutdown_response, trace_response, write_frame, Request,
 };
 use crate::scheduler::{execute_job, BatchJob, JobResult};
 
@@ -155,6 +155,12 @@ struct Counters {
     sat_conflicts: AtomicU64,
     sat_propagations: AtomicU64,
     sat_restarts: AtomicU64,
+    trace_requests: AtomicU64,
+    /// End-to-end handling latency of completed `map` jobs, µs.
+    request_latency_us: lr_trace::AtomicHistogram,
+    /// Time each job spent queued before a worker picked it up, µs — the
+    /// admission-pressure signal.
+    queue_wait_us: lr_trace::AtomicHistogram,
 }
 
 struct Inner {
@@ -383,6 +389,10 @@ fn handle_connection(mut stream: TcpStream, inner: &Inner) {
                 inner.counters.stats_requests.fetch_add(1, Ordering::Relaxed);
                 client.respond(&stats_response(inner, id.as_ref()));
             }
+            Ok(Request::Trace) => {
+                inner.counters.trace_requests.fetch_add(1, Ordering::Relaxed);
+                client.respond(&trace_response(id.as_ref()));
+            }
             Ok(Request::Shutdown) => {
                 client.respond(&shutdown_response(id.as_ref()));
                 begin_drain(inner);
@@ -443,19 +453,37 @@ fn worker_loop(inner: &Inner) {
             }
         };
         let waited = queued.submitted.elapsed();
+        let wait_us = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX);
+        inner.counters.queue_wait_us.record(wait_us);
+        lr_trace::hist_record("daemon.queue_wait_us", wait_us);
         let start = Instant::now();
         let result = if queued.job.deadline.is_some_and(|d| waited >= d) {
             JobResult::DeadlineExpired
         } else {
-            execute_job(&queued.job, &inner.map, &no_cancel, waited)
+            // Attribute the job's spans to its admission ticket (+1 keeps 0 as
+            // "unattributed"); a `trace` request groups the buffer by this ctx.
+            lr_trace::set_context(queued.seq + 1);
+            let mut sp = lr_trace::span("daemon-request");
+            sp.attr("seq", queued.seq);
+            sp.attr("priority", u64::from(queued.job.priority));
+            sp.attr("queue_wait_us", wait_us);
+            let result = execute_job(&queued.job, &inner.map, &no_cancel, waited);
+            drop(sp);
+            lr_trace::set_context(0);
+            result
         };
         record_result(&inner.counters, &result);
+        let latency = start.elapsed();
+        inner
+            .counters
+            .request_latency_us
+            .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
         queued.client.pending.fetch_sub(1, Ordering::Relaxed);
         queued.client.respond(&map_response(
             queued.id.as_ref(),
             &queued.job.name,
             &result,
-            start.elapsed(),
+            latency,
         ));
         inner.counters.completed.fetch_add(1, Ordering::Relaxed);
     }
@@ -467,14 +495,18 @@ fn record_result(c: &Counters, result: &JobResult) {
             if outcome.served_from_cache() {
                 c.cache_served.fetch_add(1, Ordering::Relaxed);
             }
+            // Every finished verdict carries its run's statistics now, so
+            // failed and expired-budget jobs' partial work is accounted too —
+            // the old success-only accumulation under-reported daemon load.
+            let stats = outcome.stats();
+            c.synth_iterations.fetch_add(stats.iterations as u64, Ordering::Relaxed);
+            c.synth_examples.fetch_add(stats.examples as u64, Ordering::Relaxed);
+            c.sat_conflicts.fetch_add(stats.conflicts, Ordering::Relaxed);
+            c.sat_propagations.fetch_add(stats.propagations, Ordering::Relaxed);
+            c.sat_restarts.fetch_add(stats.restarts, Ordering::Relaxed);
             match outcome {
-                MapOutcome::Success(mapped) => {
+                MapOutcome::Success(_) => {
                     c.successes.fetch_add(1, Ordering::Relaxed);
-                    c.synth_iterations.fetch_add(mapped.stats.iterations as u64, Ordering::Relaxed);
-                    c.synth_examples.fetch_add(mapped.stats.examples as u64, Ordering::Relaxed);
-                    c.sat_conflicts.fetch_add(mapped.stats.conflicts, Ordering::Relaxed);
-                    c.sat_propagations.fetch_add(mapped.stats.propagations, Ordering::Relaxed);
-                    c.sat_restarts.fetch_add(mapped.stats.restarts, Ordering::Relaxed);
                 }
                 MapOutcome::Unsat { .. } => {
                     c.unsats.fetch_add(1, Ordering::Relaxed);
@@ -512,6 +544,7 @@ fn stats_response(inner: &Inner, id: Option<&Json>) -> String {
             Json::obj([
                 ("pings", n(&c.pings)),
                 ("stats", n(&c.stats_requests)),
+                ("trace", n(&c.trace_requests)),
                 ("protocol_errors", n(&c.protocol_errors)),
                 ("accepted", n(&c.accepted)),
                 ("rejected", n(&c.rejected)),
@@ -555,6 +588,13 @@ fn stats_response(inner: &Inner, id: Option<&Json>) -> String {
                 ("conflicts", n(&c.sat_conflicts)),
                 ("propagations", n(&c.sat_propagations)),
                 ("restarts", n(&c.sat_restarts)),
+            ]),
+        ),
+        (
+            "latency",
+            Json::obj([
+                ("request_us", crate::tracefmt::histogram_json(&c.request_latency_us.snapshot())),
+                ("queue_wait_us", crate::tracefmt::histogram_json(&c.queue_wait_us.snapshot())),
             ]),
         ),
     ]);

@@ -54,8 +54,9 @@ pub mod json;
 pub mod protocol;
 pub mod scenario;
 pub mod scheduler;
+pub mod tracefmt;
 
-pub use batch::{parse_arch_name, parse_manifest, parse_template, BatchReport};
+pub use batch::{parse_arch_name, parse_manifest, parse_template, BatchReport, JobStages};
 pub use cache::{CacheSnapshot, SynthCache};
 pub use daemon::{Daemon, DaemonClient, DaemonConfig, DaemonSummary};
 pub use json::Json;
@@ -64,3 +65,4 @@ pub use scheduler::{
     run_batch, run_batch_streaming, BatchJob, BatchOptions, BatchRun, JobRecord, JobResult,
     TemplateChoice,
 };
+pub use tracefmt::{chrome_trace, chrome_trace_json};

@@ -14,13 +14,14 @@
 //! {"kind": "map", "arch": "lattice", "verilog": "module m(...); ... endmodule",
 //!  "priority": 3, "timeout_s": 20, "deadline_s": 60, "name": "hot-path"}
 //! {"kind": "stats"}
+//! {"kind": "trace"}
 //! {"kind": "shutdown"}
 //! ```
 //!
 //! A `map` request names its design either as `bench` (a §5.1 microbenchmark
 //! of the chosen architecture) or as inline `verilog` source. Responses carry
-//! `kind: "pong" | "mapped" | "stats" | "shutting_down" | "rejected" |
-//! "error"`; a malformed request earns an `error` response but does **not**
+//! `kind: "pong" | "mapped" | "stats" | "trace" | "shutting_down" |
+//! "rejected" | "error"`; a malformed request earns an `error` response but does **not**
 //! close the connection — only an unframeable byte stream does.
 
 use std::io::{self, Read, Write};
@@ -99,6 +100,8 @@ pub enum Request {
     Map(Box<BatchJob>),
     /// Daemon statistics.
     Stats,
+    /// The recent span buffer as a Chrome trace-event document.
+    Trace,
     /// Begin a graceful drain: finish queued work, then stop.
     Shutdown,
 }
@@ -123,6 +126,7 @@ fn parse_request_doc(doc: &Json) -> Result<Request, String> {
     match kind {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         "map" => parse_map_request(doc).map(|job| Request::Map(Box::new(job))),
         other => Err(format!("unknown request kind `{other}`")),
@@ -217,6 +221,34 @@ pub fn rejected_response(id: Option<&Json>, pending: usize, limit: usize) -> Str
             ("kind", Json::str("rejected")),
             ("pending", Json::num(pending as f64)),
             ("limit", Json::num(limit as f64)),
+        ]),
+        id,
+    )
+}
+
+/// Most recent spans a `trace` response returns. The span sink holds far more,
+/// but a response frame must stay below [`MAX_FRAME`]; at a conservative ~250
+/// rendered bytes per event this cap keeps the worst case near half the bound.
+pub const TRACE_RESPONSE_EVENTS: usize = 8192;
+
+/// The `trace` response: the most recent spans of the daemon's trace buffer as
+/// a Chrome trace-event document (see [`crate::tracefmt`]). `enabled` tells
+/// the client whether the daemon is recording at all, and `dropped` how many
+/// events the bounded sink has discarded since startup.
+pub fn trace_response(id: Option<&Json>) -> String {
+    let mut events = lr_trace::snapshot_events();
+    let total = events.len();
+    if total > TRACE_RESPONSE_EVENTS {
+        events.drain(..total - TRACE_RESPONSE_EVENTS);
+    }
+    finish(
+        Json::obj([
+            ("kind", Json::str("trace")),
+            ("enabled", Json::Bool(lr_trace::enabled())),
+            ("returned", Json::num(events.len() as f64)),
+            ("buffered", Json::num(total as f64)),
+            ("dropped", Json::num(lr_trace::dropped_events() as f64)),
+            ("trace", crate::tracefmt::chrome_trace(&events)),
         ]),
         id,
     )

@@ -248,8 +248,24 @@ pub fn run_batch_streaming(
                 } else if job.deadline.is_some_and(|d| elapsed_at_start >= d) {
                     (JobResult::DeadlineExpired, Duration::ZERO)
                 } else {
+                    // Jobs are all submitted at batch start, so the time until a
+                    // worker claims one *is* its queue wait — admission pressure
+                    // made visible.
+                    let wait_us = u64::try_from(elapsed_at_start.as_micros()).unwrap_or(u64::MAX);
+                    lr_trace::hist_record("scheduler.queue_wait_us", wait_us);
+                    // Attribute every span below this job to its submission
+                    // index (+1 so 0 stays "unattributed"); the batch report
+                    // groups the trace buffer by this context id.
+                    lr_trace::set_context(index as u64 + 1);
+                    let mut sp = lr_trace::span("job");
+                    sp.attr("index", index as u64);
+                    sp.attr("worker", me as u64);
+                    sp.attr("stolen", u64::from(stolen));
+                    sp.attr("queue_wait_us", wait_us);
                     let job_start = Instant::now();
                     let result = execute_job(job, &opts.map, &opts.cancel, elapsed_at_start);
+                    drop(sp);
+                    lr_trace::set_context(0);
                     (result, job_start.elapsed())
                 };
                 let record = JobRecord {

@@ -122,16 +122,26 @@ pub fn generate_sketch(
     arch: &Architecture,
     spec: &Prog,
 ) -> Result<Prog, SketchError> {
+    let mut sp = lr_trace::span("specialize");
     let inputs = spec.free_vars();
     let out_width = spec.width(spec.root());
     let name = format!("{}_{}_sketch", spec.name(), template.cli_name());
-    match template {
+    let sketch = match template {
         Template::Dsp => dsp_sketch(&name, arch, &inputs, out_width),
         Template::Bitwise => bitwise_sketch(&name, arch, &inputs, out_width, 0),
         Template::BitwiseWithCarry => carry_sketch(&name, arch, &inputs, out_width),
         Template::Comparison => comparison_sketch(&name, arch, &inputs),
         Template::Multiplication => multiplication_sketch(&name, arch, &inputs, out_width),
+    };
+    if sp.is_active() {
+        sp.attr("template", template as u64);
+        sp.attr("inputs", inputs.len() as u64);
+        sp.attr("out_width", u64::from(out_width));
+        if let Ok(sketch) = &sketch {
+            sp.attr("holes", sketch.holes().len() as u64);
+        }
     }
+    sketch
 }
 
 fn dsp_sketch(

@@ -156,6 +156,10 @@ impl BvSolver {
     /// # Panics
     /// Panics if an assumption term is not 1 bit wide.
     pub fn check_assuming(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
+        // The span covers assumption blasting too — encoding cost is part of
+        // what a check costs. Inert (one atomic load) when tracing is off.
+        let mut sp = lr_trace::span("sat-check");
+        let before = sp.is_active().then(|| self.sat.stats());
         let lits: Vec<Lit> = assumptions
             .iter()
             .map(|&t| {
@@ -168,6 +172,14 @@ impl BvSolver {
             SolveResult::Unsat => SatResult::Unsat,
             SolveResult::Unknown => SatResult::Unknown,
         };
+        if let Some(before) = before {
+            let after = self.sat.stats();
+            sp.attr("assumptions", lits.len() as u64);
+            sp.attr("conflicts", after.conflicts.saturating_sub(before.conflicts));
+            sp.attr("propagations", after.propagations.saturating_sub(before.propagations));
+            sp.attr("sat", u64::from(result == SatResult::Sat));
+            sp.attr("unknown", u64::from(result == SatResult::Unknown));
+        }
         self.last_result = Some(result);
         result
     }

@@ -64,6 +64,50 @@ pub fn synthesize(
     config: &SynthesisConfig,
     cancel: Option<Arc<AtomicBool>>,
 ) -> Result<SynthesisOutcome, SynthesisError> {
+    // Convenience toggles: the historical `LR_CEGIS_TRACE` env vars now enable
+    // the structured tracer plus its stderr echo sink, which prints one
+    // `[lr_trace]` line per recorded span — the successor of the old
+    // per-check `eprintln!`s (same signal, richer structure).
+    if std::env::var_os("LR_CEGIS_TRACE").is_some()
+        || std::env::var_os("LR_CEGIS_TRACE_TERMS").is_some()
+    {
+        lr_trace::set_enabled(true);
+        lr_trace::set_stderr_echo(true);
+    }
+    let mut sp = lr_trace::span("cegis");
+    let result = synthesize_run(task, config, cancel);
+    if sp.is_active() {
+        if let Ok(outcome) = &result {
+            // Absorb the run's SynthesisStats counters as span attributes, so
+            // the trace alone answers "what did this run cost".
+            let stats = outcome.stats();
+            sp.attr(
+                "verdict",
+                match outcome {
+                    SynthesisOutcome::Success(_) => 0,
+                    SynthesisOutcome::Unsat { .. } => 1,
+                    SynthesisOutcome::Timeout { .. } => 2,
+                },
+            );
+            sp.attr("iterations", stats.iterations as u64);
+            sp.attr("examples", stats.examples as u64);
+            sp.attr("conflicts", stats.conflicts);
+            sp.attr("propagations", stats.propagations);
+            sp.attr("restarts", stats.restarts);
+            sp.attr("constraints_encoded", stats.constraints_encoded as u64);
+            sp.attr("egraph_attempts", stats.egraph_attempts as u64);
+            sp.attr("egraph_folds", stats.egraph_folds as u64);
+            sp.attr("used_sat_verify", u64::from(stats.verification_used_sat));
+        }
+    }
+    result
+}
+
+fn synthesize_run(
+    task: &SynthesisTask<'_>,
+    config: &SynthesisConfig,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<SynthesisOutcome, SynthesisError> {
     validate(task)?;
     let start = Instant::now();
     let holes = task.sketch.holes();
@@ -108,6 +152,9 @@ pub fn synthesize(
     verifier.interrupts.clone_from(&interrupts);
 
     for iteration in 0..config.max_iterations {
+        let mut iter_span = lr_trace::span("cegis-iteration");
+        iter_span.attr("iteration", iteration as u64);
+        iter_span.attr("examples", examples.len() as u64);
         stats.iterations = iteration + 1;
         if cancelled() || out_of_time(&start) {
             stats.elapsed = start.elapsed();
@@ -304,17 +351,15 @@ impl SynthStep {
         self.ever_encoded = self.ever_encoded.max(examples.len());
 
         stats.learnt_clauses_reused += state.session.stats().learnt_clauses;
-        let trace_start = Instant::now();
+        let mut sp = lr_trace::span("synth-check");
         let verdict = state.session.check();
-        if std::env::var_os("LR_CEGIS_TRACE").is_some() {
-            eprintln!(
-                "[cegis] synth check: {:?} in {:.1} ms, {} conflicts ({} examples)",
-                verdict,
-                trace_start.elapsed().as_secs_f64() * 1e3,
-                state.session.stats().conflicts - before.conflicts,
-                examples.len(),
-            );
+        if sp.is_active() {
+            sp.attr("examples", examples.len() as u64);
+            sp.attr("conflicts", state.session.stats().conflicts - before.conflicts);
+            sp.attr("sat", u64::from(verdict == SatResult::Sat));
+            sp.attr("unknown", u64::from(verdict == SatResult::Unknown));
         }
+        drop(sp);
         absorb_sat_delta(stats, before, state.session.stats());
 
         Ok(match verdict {
@@ -410,7 +455,14 @@ impl VerifyStep {
             solver.add_interrupt(Arc::clone(flag));
         }
         solver.assert_true(&pool, differs);
+        let mut sp = lr_trace::span("verify-check");
         let verdict = solver.check(&pool);
+        if sp.is_active() {
+            sp.attr("conflicts", solver.stats().conflicts);
+            sp.attr("sat", u64::from(verdict == SatResult::Sat));
+            sp.attr("unknown", u64::from(verdict == SatResult::Unknown));
+        }
+        drop(sp);
         absorb_sat_delta(stats, lr_smt::SolverStats::default(), solver.stats());
         match verdict {
             SatResult::Unsat => Verification::Equivalent,
@@ -458,9 +510,15 @@ impl VerifyStep {
             Prefold::Undecided(term) => term,
         };
         stats.verification_used_sat = true;
+        // Term dumps are inherently textual, so they ride the echo sink (on
+        // whenever either trace env var is set) rather than span attributes.
         if std::env::var_os("LR_CEGIS_TRACE_TERMS").is_some() {
             let d = verify.session.pool_ref().display(differs);
-            eprintln!("[cegis] unfolded differs ({} chars): {}", d.len(), &d[..d.len().min(2000)]);
+            lr_trace::echo(&format!(
+                "unfolded differs ({} chars): {}",
+                d.len(),
+                &d[..d.len().min(2000)]
+            ));
         }
 
         // Assumption-guarded: `activation → differs` is asserted permanently, but
@@ -473,17 +531,15 @@ impl VerifyStep {
         verify.session.assert_true(guarded);
 
         let before = verify.session.stats();
-        let trace_start = Instant::now();
+        let mut sp = lr_trace::span("verify-check");
         let verdict = verify.session.check_assuming(&[activation]);
-        if std::env::var_os("LR_CEGIS_TRACE").is_some() {
-            eprintln!(
-                "[cegis] verify check (round {}): {:?} in {:.1} ms, {} conflicts",
-                verify.round,
-                verdict,
-                trace_start.elapsed().as_secs_f64() * 1e3,
-                verify.session.stats().conflicts - before.conflicts,
-            );
+        if sp.is_active() {
+            sp.attr("round", verify.round as u64);
+            sp.attr("conflicts", verify.session.stats().conflicts - before.conflicts);
+            sp.attr("sat", u64::from(verdict == SatResult::Sat));
+            sp.attr("unknown", u64::from(verdict == SatResult::Unknown));
         }
+        drop(sp);
         absorb_sat_delta(stats, before, verify.session.stats());
         match verdict {
             SatResult::Unsat => Verification::Equivalent,
@@ -517,23 +573,19 @@ fn prefold_differs(
         return Prefold::Undecided(differs);
     }
     stats.egraph_attempts += 1;
-    let trace_start = Instant::now();
+    let mut sp = lr_trace::span("egraph-prefold");
     let (folded, report) = lr_egraph::fold_term(
         pool,
         differs,
         lr_egraph::rules::bv_rules_cached(),
         &lr_egraph::Limits::verifier(),
     );
-    if std::env::var_os("LR_CEGIS_TRACE").is_some() {
-        eprintln!(
-            "[cegis] egraph prefold: {} -> {} nodes, decided={} in {:.1} ms ({:?})",
-            report.input_nodes,
-            report.output_nodes,
-            report.folded_const,
-            trace_start.elapsed().as_secs_f64() * 1e3,
-            report.stats.stop,
-        );
+    if sp.is_active() {
+        sp.attr("input_nodes", report.input_nodes as u64);
+        sp.attr("output_nodes", report.output_nodes as u64);
+        sp.attr("decided", u64::from(report.folded_const));
     }
+    drop(sp);
     match pool.as_const(folded) {
         Some(value) if value.is_zero() => {
             stats.egraph_folds += 1;

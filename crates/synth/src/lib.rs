@@ -183,6 +183,43 @@ pub struct SynthesisStats {
     pub from_cache: bool,
 }
 
+impl SynthesisStats {
+    /// Folds another run's additive counters into this one. Used when several
+    /// runs make up one logical job (the auto-template loop's attempts, a
+    /// daemon job's retries), so partial work is accounted even when the final
+    /// verdict is UNSAT or a timeout. Config echoes (`solver_name`,
+    /// `restart_mode`, `incremental`) and snapshots (`sat_tier_sizes`) take the
+    /// other run's values — last writer wins, matching "most recent attempt".
+    pub fn absorb(&mut self, other: &SynthesisStats) {
+        self.iterations += other.iterations;
+        self.examples += other.examples;
+        self.elapsed += other.elapsed;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.minimized_literals += other.minimized_literals;
+        self.learnt_literals += other.learnt_literals;
+        for (acc, g) in self.glue_histogram.iter_mut().zip(other.glue_histogram.iter()) {
+            *acc += g;
+        }
+        self.constraints_encoded += other.constraints_encoded;
+        self.constraints_reencoded += other.constraints_reencoded;
+        self.learnt_clauses_reused += other.learnt_clauses_reused;
+        self.egraph_attempts += other.egraph_attempts;
+        self.egraph_folds += other.egraph_folds;
+        self.verification_used_sat |= other.verification_used_sat;
+        if !other.solver_name.is_empty() {
+            self.solver_name.clone_from(&other.solver_name);
+        }
+        if !other.restart_mode.is_empty() {
+            self.restart_mode.clone_from(&other.restart_mode);
+        }
+        self.incremental = other.incremental;
+        self.sat_tier_sizes = other.sat_tier_sizes;
+        self.from_cache &= other.from_cache;
+    }
+}
+
 /// The verdict of a synthesis run.
 #[derive(Debug, Clone)]
 pub enum SynthesisOutcome {

@@ -59,14 +59,21 @@ pub fn synthesize_portfolio_with(
     let error: Mutex<Option<SynthesisError>> = Mutex::new(None);
     let timeouts: Mutex<Vec<SynthesisOutcome>> = Mutex::new(Vec::new());
 
+    // Spawned members inherit the submitting thread's trace context, so a
+    // job's spans stay attributed to it across the portfolio's threads.
+    let trace_ctx = lr_trace::context();
     std::thread::scope(|scope| {
-        for solver in solvers {
+        for (member, solver) in solvers.iter().enumerate() {
             let mut member_config = config.clone();
             member_config.solver = solver.clone();
             let cancel = Arc::clone(&cancel);
             let (winner, error, timeouts) = (&winner, &error, &timeouts);
             scope.spawn(move || {
+                lr_trace::set_context(trace_ctx);
+                let mut sp = lr_trace::span("portfolio-member");
+                sp.attr("member", member as u64);
                 let result = cegis::synthesize(task, &member_config, Some(Arc::clone(&cancel)));
+                drop(sp);
                 match result {
                     Err(e) => {
                         let mut guard = error.lock().unwrap();

@@ -1,0 +1,290 @@
+//! Log-bucketed latency histograms: mergeable, with exact count/sum
+//! invariants and quantile queries.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds the value 0; bucket `i ≥ 1` holds values
+/// in `[2^(i-1), 2^i - 1]`; the last bucket's upper bound is `u64::MAX`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram over `u64` samples (power-of-two bucket bounds).
+///
+/// Invariants, maintained by construction and checked by the property tests:
+/// `count == Σ buckets`, and `sum` is the exact (saturating) total of every
+/// recorded sample. [`Histogram::merge`] is lossless — merging is bucket-wise
+/// addition, so it is associative and commutative, which is what lets
+/// per-worker histograms combine into batch totals without coordination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// The bucket a value lands in: 0 for 0, else `floor(log2 v) + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper bound of a bucket.
+    pub fn bucket_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i if i >= HIST_BUCKETS - 1 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds another histogram into this one, bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating total of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile as the inclusive upper bound of the bucket holding
+    /// the sample of that rank — i.e. within one power-of-two bucket of the
+    /// exact order statistic, and never below it. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_bound(i));
+            }
+        }
+        Some(Self::bucket_bound(HIST_BUCKETS - 1))
+    }
+
+    /// Median upper bound. `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound. `None` when empty.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound. `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Renders the occupied bucket range as a text bar chart with a summary
+    /// line (count, mean, p50/p90/p99), all in the given unit.
+    pub fn render(&self, unit: &str) -> String {
+        let mut out = String::new();
+        if self.count == 0 {
+            let _ = writeln!(out, "  (no samples)");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "  n={} mean={:.1}{unit} p50≤{}{unit} p90≤{}{unit} p99≤{}{unit}",
+            self.count,
+            self.mean(),
+            self.p50().unwrap_or(0),
+            self.p90().unwrap_or(0),
+            self.p99().unwrap_or(0),
+        );
+        let lo = self.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+        let hi = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let peak = *self.buckets.iter().max().unwrap_or(&1);
+        for i in lo..=hi {
+            let c = self.buckets[i];
+            let width = (c * 40).checked_div(peak).unwrap_or(0) as usize;
+            let _ = writeln!(
+                out,
+                "  ≤{:>12}{unit} |{:<40}| {c}",
+                Self::bucket_bound(i),
+                "#".repeat(width)
+            );
+        }
+        out
+    }
+}
+
+/// A histogram whose buckets are `AtomicU64`s, for concurrent recording
+/// (e.g. the daemon's live request-latency and queue-wait metrics).
+///
+/// [`AtomicHistogram::snapshot`] derives `count` from the bucket loads so the
+/// snapshot always satisfies `count == Σ buckets`; `sum` is read separately
+/// and may lag by in-flight recordings under concurrency.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty atomic histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed ordering; counters, not synchronization).
+    pub fn record(&self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy as a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            h.buckets[i] = c;
+            h.count += c;
+        }
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 17, 1023, 1024, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_bound(i), "{v} within its bucket bound");
+            if i > 0 {
+                assert!(v > Histogram::bucket_bound(i - 1), "{v} above the previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_order_statistics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000, 1000, 1000, 5000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 1 + 2 + 3 + 10 + 100 + 1000 + 1000 + 1000 + 5000 + 100_000);
+        // Exact p50 (rank 5) is 100; the estimate is its bucket's bound.
+        assert_eq!(h.p50(), Some(127));
+        assert!(h.p99() >= h.p90() && h.p90() >= h.p50());
+        assert_eq!(Histogram::new().p50(), None);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 5, 1_000_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.sum(), a.sum() + b.sum());
+        assert_eq!(ab.buckets().iter().sum::<u64>(), ab.count());
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_serial_recording() {
+        let ah = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 1999, 1 << 40] {
+            ah.record(v);
+            h.record(v);
+        }
+        assert_eq!(ah.snapshot(), h);
+    }
+
+    #[test]
+    fn render_marks_occupied_buckets() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(900);
+        let text = h.render("us");
+        assert!(text.contains("n=2"), "{text}");
+        assert!(text.contains("≤"), "{text}");
+        assert!(Histogram::new().render("us").contains("no samples"));
+    }
+}

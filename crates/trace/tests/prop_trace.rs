@@ -1,0 +1,177 @@
+//! Property tests for the observability primitives: histogram merge is
+//! associative bucket-for-bucket, the count/sum invariants hold under any
+//! recording sequence, quantiles bound the exact order statistics to within
+//! one bucket, and span recording keeps per-thread nesting well-formed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use lr_trace::{span, Histogram, TraceEvent};
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn count_and_sum_invariants_hold(values in proptest::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let h = build(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+        let exact: u64 = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), exact);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a, and merging equals recording the concatenation.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&ab, &build(&concat));
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..10_000_000, 1..150),
+        q_permille in 0u64..=1000,
+    ) {
+        let h = build(&values);
+        let q = q_permille as f64 / 1000.0;
+        let est = h.quantile(q).expect("non-empty");
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+
+        // The estimate is the inclusive upper bound of the exact order
+        // statistic's bucket: never below it, and in the same bucket.
+        prop_assert!(est >= exact, "estimate {est} below exact {exact}");
+        prop_assert_eq!(
+            Histogram::bucket_index(est),
+            Histogram::bucket_index(exact),
+            "estimate {} and exact {} land in different buckets",
+            est,
+            exact
+        );
+    }
+}
+
+/// Span tests mutate process-global tracer state, so they serialize on one
+/// lock and claim a unique context id each, filtering their own events out of
+/// the shared sink.
+static SPAN_TEST_LOCK: Mutex<()> = Mutex::new(());
+static NEXT_CTX: AtomicU64 = AtomicU64::new(0);
+
+const CTX_BASE: u64 = 0x5EED_0000;
+
+fn claim_ctx(_guard: &MutexGuard<'_, ()>) -> u64 {
+    CTX_BASE + NEXT_CTX.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Recursively opens `shape[depth]` spans at each level, `levels` deep.
+fn nest(levels: usize, fanout: usize) {
+    if levels == 0 {
+        return;
+    }
+    for _ in 0..fanout {
+        let mut g = span("prop-nest");
+        g.attr("level", levels as u64);
+        nest(levels - 1, fanout);
+    }
+}
+
+/// Every recorded event at depth d+1 must be contained (interval and thread)
+/// in some event at depth d: the close-matches-innermost-open property, as
+/// observable from the completed-event log.
+fn assert_well_nested(events: &[TraceEvent]) {
+    for child in events.iter().filter(|e| e.depth > 0) {
+        let contained = events.iter().any(|parent| {
+            parent.tid == child.tid
+                && parent.depth + 1 == child.depth
+                && parent.start_ns <= child.start_ns
+                && child.start_ns + child.dur_ns <= parent.start_ns + parent.dur_ns
+        });
+        assert!(
+            contained,
+            "event at depth {} (tid {}, [{}, +{}]) has no enclosing parent",
+            child.depth, child.tid, child.start_ns, child.dur_ns
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn span_nesting_is_well_formed_per_thread(levels in 1usize..5, fanout in 1usize..4) {
+        let guard = SPAN_TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let ctx = claim_ctx(&guard);
+        lr_trace::set_enabled(true);
+        lr_trace::set_context(ctx);
+        nest(levels, fanout);
+        lr_trace::set_context(0);
+        lr_trace::set_enabled(false);
+
+        let events: Vec<TraceEvent> =
+            lr_trace::take_events().into_iter().filter(|e| e.ctx == ctx).collect();
+        let expected: usize = (1..=levels).map(|l| fanout.pow(l as u32)).sum();
+        prop_assert_eq!(events.len(), expected, "one event per span guard");
+        prop_assert!(events.iter().all(|e| (e.depth as usize) < levels));
+        assert_well_nested(&events);
+    }
+
+    #[test]
+    fn spans_across_threads_keep_independent_depths(workers in 1usize..4) {
+        let guard = SPAN_TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let ctx = claim_ctx(&guard);
+        lr_trace::set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    lr_trace::set_context(ctx);
+                    let _outer = span("prop-thread-outer");
+                    let _inner = span("prop-thread-inner");
+                });
+            }
+        });
+        lr_trace::set_enabled(false);
+
+        let events: Vec<TraceEvent> =
+            lr_trace::take_events().into_iter().filter(|e| e.ctx == ctx).collect();
+        prop_assert_eq!(events.len(), workers * 2);
+        for tid in events.iter().map(|e| e.tid).collect::<std::collections::BTreeSet<_>>() {
+            let per_thread: Vec<_> = events.iter().filter(|e| e.tid == tid).cloned().collect();
+            prop_assert_eq!(per_thread.len(), 2, "each worker thread owns exactly one pair");
+            prop_assert_eq!(per_thread.iter().filter(|e| e.depth == 0).count(), 1);
+            assert_well_nested(&per_thread);
+        }
+    }
+}

@@ -43,7 +43,7 @@ fn main() {
                 "{:22} -> UNSAT: a multiply-accumulate does not fit this DSP ({elapsed:.2?})",
                 arch.name().to_string()
             ),
-            MapOutcome::Timeout { elapsed } => {
+            MapOutcome::Timeout { elapsed, .. } => {
                 println!("{:22} -> timeout after {elapsed:.2?}", arch.name().to_string())
             }
         }
