@@ -458,11 +458,42 @@ fn check_trace(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
     }
 }
 
+fn check_obs(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_obs.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!(
+            "{FILE}: the observability experiment's own gates failed (forensics perturbed the \
+             search, bundles missing, or malformed metrics)"
+        ));
+    }
+    // Zero tolerance: the flight recorder is pure observation, the OpenMetrics
+    // exposition must always parse, and a graceful drain loses nothing.
+    for field in ["counter_mismatches", "metrics_errors", "lost"] {
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if f != 0.0 {
+            failures.push(format!("{FILE}: {field} is {f:.0}, expected exactly 0"));
+        }
+    }
+    // Deterministic accounting: the workload shape, the bundle-per-request
+    // contract of `--slow-ms 0`, and per-id retrieval depend only on the
+    // scale, never on timing. Wall clocks are deliberately ungated.
+    for field in ["accepted", "completed", "bundles_written", "records_retrieved"] {
+        let b = baseline.get(&[field]).and_then(Json::as_f64).unwrap_or(0.0);
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if f != b {
+            failures.push(format!("{FILE}: {field} changed: {f:.0} vs baseline {b:.0}"));
+        }
+    }
+}
+
 /// One file's comparison rule: (failures, baseline document, fresh document).
 pub type GateRule = fn(&mut Vec<String>, &Json, &Json);
 
 /// The `BENCH_*.json` files the gate knows how to compare, with their rules.
-pub const GATED_FILES: [(&str, GateRule); 7] = [
+pub const GATED_FILES: [(&str, GateRule); 8] = [
     ("BENCH_cegis.json", check_cegis),
     ("BENCH_egraph.json", check_egraph),
     ("BENCH_serve.json", check_serve),
@@ -470,6 +501,7 @@ pub const GATED_FILES: [(&str, GateRule); 7] = [
     ("BENCH_daemon.json", check_daemon),
     ("BENCH_fuzz.json", check_fuzz),
     ("BENCH_trace.json", check_trace),
+    ("BENCH_obs.json", check_obs),
 ];
 
 /// Compares every known bench record present in `baseline_dir` against its
@@ -564,6 +596,7 @@ mod tests {
             "BENCH_daemon.json",
             "BENCH_fuzz.json",
             "BENCH_trace.json",
+            "BENCH_obs.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
             if let Ok(text) = std::fs::read_to_string(&path) {
@@ -753,6 +786,45 @@ mod tests {
 
         let mut failures = Vec::new();
         check_trace(&mut failures, &baseline, &trace_doc(0, 500, 1000, false));
+        assert!(failures.iter().any(|f| f.contains("own gates")));
+    }
+
+    fn obs_doc(mismatches: u64, metrics_errors: u64, bundles: u64, gates_pass: bool) -> Json {
+        Json::parse(&format!(
+            "{{\"scale\": \"Quick\", \"distinct\": 4, \"accepted\": 9, \"completed\": 9, \
+             \"lost\": 0, \"counter_mismatches\": {mismatches}, \"bundles_written\": {bundles}, \
+             \"bundle_files\": 10, \"records_retrieved\": 4, \
+             \"metrics_errors\": {metrics_errors}, \"metrics_lines\": 120, \
+             \"off_wall_ms\": 500.0, \"on_wall_ms\": 520.0, \"gates_pass\": {gates_pass}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn obs_rule_is_zero_tolerance_on_identity_and_exposition() {
+        let baseline = obs_doc(0, 0, 9, true);
+        // Identical counters pass, no matter how the (ungated) wall time moved.
+        let mut failures = Vec::new();
+        check_obs(&mut failures, &baseline, &obs_doc(0, 0, 9, true));
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // One deterministic counter perturbed by forensics is absolute.
+        let mut failures = Vec::new();
+        check_obs(&mut failures, &baseline, &obs_doc(1, 0, 9, true));
+        assert!(failures.iter().any(|f| f.contains("counter_mismatches")));
+
+        // A malformed metrics exposition is absolute.
+        let mut failures = Vec::new();
+        check_obs(&mut failures, &baseline, &obs_doc(0, 2, 9, true));
+        assert!(failures.iter().any(|f| f.contains("metrics_errors")));
+
+        // The bundle-per-request contract must reproduce exactly.
+        let mut failures = Vec::new();
+        check_obs(&mut failures, &baseline, &obs_doc(0, 0, 8, true));
+        assert!(failures.iter().any(|f| f.contains("bundles_written")));
+
+        let mut failures = Vec::new();
+        check_obs(&mut failures, &baseline, &obs_doc(0, 0, 9, false));
         assert!(failures.iter().any(|f| f.contains("own gates")));
     }
 

@@ -11,6 +11,7 @@ pub mod daemon;
 pub mod egraph;
 pub mod fuzz;
 pub mod gate;
+pub mod obs;
 pub mod sat;
 pub mod serve;
 pub mod trace;

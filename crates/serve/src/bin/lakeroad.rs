@@ -75,7 +75,9 @@ fn usage() -> String {
      \x20      lakeroad serve [--addr <host:port>] [--jobs <N>] [--cache <file>]\n\
      \x20               [--cache-capacity <entries>] [--persist-interval <seconds>]\n\
      \x20               [--max-pending <N>] [--timeout <seconds>] [--no-incremental]\n\
-     \x20               [--no-egraph] [--trace]"
+     \x20               [--no-egraph] [--trace] [--slow-ms <ms>]\n\
+     \x20               [--forensics-dir <dir>] [--forensics-keep <N>]\n\
+     \x20      lakeroad top [--addr <host:port>] [--interval <seconds>] [--once]"
         .to_string()
 }
 
@@ -482,6 +484,32 @@ fn parse_serve_args(args: &[String]) -> Result<(DaemonConfig, bool), String> {
             }
             "--no-incremental" => incremental = false,
             "--no-egraph" => egraph = false,
+            "--slow-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--slow-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--slow-ms expects a number of milliseconds".to_string())?;
+                // 0 is meaningful: every request breaches the threshold, so
+                // every request is dumped (what the integration tests use).
+                config.forensics.slow = Some(Duration::from_millis(ms));
+            }
+            "--forensics-dir" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--forensics-dir needs a directory path")?;
+                config.forensics.dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--forensics-keep" => {
+                i += 1;
+                config.forensics.keep = args
+                    .get(i)
+                    .ok_or("--forensics-keep needs a value")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--forensics-keep expects a bound of at least 1".to_string())?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -533,6 +561,52 @@ fn serve_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_top_args(args: &[String]) -> Result<(String, Duration, bool), String> {
+    let mut addr = "127.0.0.1:9077".to_string();
+    let mut interval = Duration::from_secs(2);
+    let mut once = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).ok_or("--addr needs a host:port value")?.clone();
+            }
+            "--interval" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .ok_or("--interval needs a value")?
+                    .parse()
+                    .map_err(|_| "--interval expects a number of seconds".to_string())?;
+                interval = Duration::from_secs(secs.max(1));
+            }
+            "--once" => once = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok((addr, interval, once))
+}
+
+fn top_main(args: &[String]) -> ExitCode {
+    let (addr, interval, once) = match parse_top_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match lr_serve::top::run(&addr, interval, once) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cannot reach daemon at {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("batch") {
@@ -540,6 +614,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return top_main(&args[1..]);
     }
     let options = match parse_args(&args) {
         Ok(o) => o,

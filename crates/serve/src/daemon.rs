@@ -35,15 +35,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lakeroad::{MapConfig, MapOutcome};
+use lakeroad::{CacheKey, MapConfig, MapOutcome};
+use lr_trace::{OpenMetricsWriter, RollingCounter, RollingHistogram};
 
 use crate::cache::{CacheSnapshot, SynthCache};
+use crate::forensics::{FlightRecorder, ForensicsConfig, RequestRecord};
 use crate::json::Json;
 use crate::protocol::{
     error_response, map_response, parse_request, pong_response, read_frame, rejected_response,
     shutdown_response, trace_response, write_frame, Request,
 };
-use crate::scheduler::{execute_job, BatchJob, JobResult};
+use crate::scheduler::{execute_job, BatchJob, JobResult, TemplateChoice};
 
 /// Configuration of a daemon instance.
 #[derive(Clone)]
@@ -67,6 +69,10 @@ pub struct DaemonConfig {
     /// Per-client admission bound: a client with this many jobs queued or
     /// running has further `map` requests rejected until some complete.
     pub max_pending_per_client: usize,
+    /// Flight-recorder configuration (`--slow-ms`, `--forensics-dir`,
+    /// `--forensics-keep`). When active, the daemon enables span recording so
+    /// records carry their request's span tree.
+    pub forensics: ForensicsConfig,
 }
 
 impl Default for DaemonConfig {
@@ -79,6 +85,7 @@ impl Default for DaemonConfig {
             persist_path: None,
             persist_interval: Duration::from_secs(30),
             max_pending_per_client: 64,
+            forensics: ForensicsConfig { dir: None, slow: None, keep: 64, ring: 256 },
         }
     }
 }
@@ -156,11 +163,36 @@ struct Counters {
     sat_propagations: AtomicU64,
     sat_restarts: AtomicU64,
     trace_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    forensics_requests: AtomicU64,
     /// End-to-end handling latency of completed `map` jobs, µs.
     request_latency_us: lr_trace::AtomicHistogram,
     /// Time each job spent queued before a worker picked it up, µs — the
     /// admission-pressure signal.
     queue_wait_us: lr_trace::AtomicHistogram,
+}
+
+/// One-second interval buckets; 64 of them cover the longest (60s) window.
+const RATE_WIDTH_MS: u64 = 1_000;
+const RATE_SLOTS: usize = 64;
+
+/// The daemon's windowed rates: what `stats` reports as *current* load, as
+/// opposed to the lifetime aggregates in [`Counters`]. Live regardless of
+/// whether tracing is enabled, like the admission counters.
+struct Rates {
+    completed: RollingCounter,
+    rejected: RollingCounter,
+    latency_us: RollingHistogram,
+}
+
+impl Rates {
+    fn new() -> Rates {
+        Rates {
+            completed: RollingCounter::new(RATE_WIDTH_MS, RATE_SLOTS),
+            rejected: RollingCounter::new(RATE_WIDTH_MS, RATE_SLOTS),
+            latency_us: RollingHistogram::new(RATE_WIDTH_MS, RATE_SLOTS),
+        }
+    }
 }
 
 struct Inner {
@@ -179,6 +211,16 @@ struct Inner {
     started: Instant,
     local_addr: SocketAddr,
     counters: Counters,
+    rates: Mutex<Rates>,
+    /// The flight recorder; `Some` when any forensics surface is configured.
+    recorder: Option<FlightRecorder>,
+}
+
+impl Inner {
+    /// Milliseconds since daemon start — the tick the rolling windows run on.
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Final accounting of a drained daemon.
@@ -235,6 +277,16 @@ impl Daemon {
         let mut map = config.map;
         map.cache = Some(Arc::<SynthCache>::clone(&cache) as _);
 
+        let recorder = config.forensics.active().then(|| {
+            // Span trees are the payload of every post-mortem bundle, so an
+            // active recorder turns span recording on (process-wide, like the
+            // CLI's --trace). Observation only: the mapping configuration and
+            // cache are untouched, so deterministic synthesis counters are
+            // identical with forensics on or off.
+            lr_trace::set_enabled(true);
+            FlightRecorder::new(config.forensics.clone())
+        });
+
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState { heap: BinaryHeap::new(), draining: false, next_seq: 0 }),
             queue_cv: Condvar::new(),
@@ -250,6 +302,8 @@ impl Daemon {
             started: Instant::now(),
             local_addr,
             counters: Counters::default(),
+            rates: Mutex::new(Rates::new()),
+            recorder,
         });
 
         let acceptor = {
@@ -285,6 +339,12 @@ impl Daemon {
         }
         if let Some(persister) = self.persister {
             let _ = persister.join();
+        }
+        // The final forensics sync rides along with the shutdown cache
+        // snapshot: every worker has exited, so the ring is final and the
+        // drained run's last requests survive the restart as one bundle.
+        if let Some(recorder) = &self.inner.recorder {
+            recorder.final_sync();
         }
         let c = &self.inner.counters;
         DaemonSummary {
@@ -393,6 +453,14 @@ fn handle_connection(mut stream: TcpStream, inner: &Inner) {
                 inner.counters.trace_requests.fetch_add(1, Ordering::Relaxed);
                 client.respond(&trace_response(id.as_ref()));
             }
+            Ok(Request::Metrics) => {
+                inner.counters.metrics_requests.fetch_add(1, Ordering::Relaxed);
+                client.respond(&metrics_response(inner, id.as_ref()));
+            }
+            Ok(Request::Forensics) => {
+                inner.counters.forensics_requests.fetch_add(1, Ordering::Relaxed);
+                client.respond(&forensics_response(inner, id.as_ref()));
+            }
             Ok(Request::Shutdown) => {
                 client.respond(&shutdown_response(id.as_ref()));
                 begin_drain(inner);
@@ -408,6 +476,7 @@ fn submit(inner: &Inner, client: &Arc<ClientSlot>, job: BatchJob, id: Option<Jso
     let pending = client.pending.load(Ordering::Relaxed);
     if pending >= inner.max_pending {
         inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        inner.rates.lock().unwrap().rejected.add(inner.now_ms(), 1);
         client.respond(&rejected_response(id.as_ref(), pending, inner.max_pending));
         return;
     }
@@ -416,6 +485,7 @@ fn submit(inner: &Inner, client: &Arc<ClientSlot>, job: BatchJob, id: Option<Jso
         if queue.draining {
             drop(queue);
             inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.rates.lock().unwrap().rejected.add(inner.now_ms(), 1);
             client.respond(&error_response(id.as_ref(), "daemon is draining"));
             return;
         }
@@ -457,6 +527,7 @@ fn worker_loop(inner: &Inner) {
         inner.counters.queue_wait_us.record(wait_us);
         lr_trace::hist_record("daemon.queue_wait_us", wait_us);
         let start = Instant::now();
+        let mut spans: Vec<lr_trace::TraceEvent> = Vec::new();
         let result = if queued.job.deadline.is_some_and(|d| waited >= d) {
             JobResult::DeadlineExpired
         } else {
@@ -469,15 +540,32 @@ fn worker_loop(inner: &Inner) {
             sp.attr("queue_wait_us", wait_us);
             let result = execute_job(&queued.job, &inner.map, &no_cancel, waited);
             drop(sp);
+            // The outer span just closed at depth 0, flushing this thread's
+            // buffer, and `execute_job` joins any portfolio threads before
+            // returning — so the sink holds the job's complete span tree,
+            // selectable by its ctx.
+            if inner.recorder.is_some() {
+                spans = lr_trace::snapshot_events()
+                    .into_iter()
+                    .filter(|e| e.ctx == queued.seq + 1)
+                    .collect();
+            }
             lr_trace::set_context(0);
             result
         };
         record_result(&inner.counters, &result);
         let latency = start.elapsed();
-        inner
-            .counters
-            .request_latency_us
-            .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+        let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        inner.counters.request_latency_us.record(latency_us);
+        {
+            let now = inner.now_ms();
+            let mut rates = inner.rates.lock().unwrap();
+            rates.completed.add(now, 1);
+            rates.latency_us.record(now, latency_us);
+        }
+        if let Some(recorder) = &inner.recorder {
+            recorder.record(build_record(inner, &queued, &result, wait_us, latency_us, spans));
+        }
         queued.client.pending.fetch_sub(1, Ordering::Relaxed);
         queued.client.respond(&map_response(
             queued.id.as_ref(),
@@ -486,6 +574,65 @@ fn worker_loop(inner: &Inner) {
             latency,
         ));
         inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Assembles the flight-recorder record for one answered job: identity,
+/// design hash, verdict, the latency split, this run's synthesis counters,
+/// and the captured span tree.
+fn build_record(
+    inner: &Inner,
+    queued: &QueuedJob,
+    result: &JobResult,
+    queue_wait_us: u64,
+    latency_us: u64,
+    spans: Vec<lr_trace::TraceEvent>,
+) -> RequestRecord {
+    let (hi, lo) = lakeroad::cache::spec_fingerprint(&queued.job.spec);
+    let (verdict, error, from_cache) = match result {
+        JobResult::Finished(outcome) => {
+            let verdict = match outcome {
+                MapOutcome::Success(_) => "success",
+                MapOutcome::Unsat { .. } => "unsat",
+                MapOutcome::Timeout { .. } => "timeout",
+            };
+            (verdict, None, outcome.served_from_cache())
+        }
+        JobResult::Error(message) => ("error", Some(message.clone()), false),
+        JobResult::DeadlineExpired => ("deadline_expired", None, false),
+        JobResult::Cancelled => ("cancelled", None, false),
+    };
+    let stats = match result {
+        JobResult::Finished(outcome) => Some(outcome.stats()),
+        _ => None,
+    };
+    RequestRecord {
+        seq: queued.seq,
+        id: queued.id.clone(),
+        name: queued.job.name.clone(),
+        design: CacheKey([hi, lo]).to_string(),
+        arch: queued.job.arch.name().to_string(),
+        template: match &queued.job.template {
+            TemplateChoice::Named(t) => t.cli_name().to_string(),
+            TemplateChoice::Auto => "auto".to_string(),
+        },
+        priority: queued.job.priority,
+        verdict,
+        // `execute_job` contains worker panics via `catch_unwind` and reports
+        // them with this prefix — the recorder's `panic` trigger keys off it.
+        panicked: error.as_deref().is_some_and(|e| e.starts_with("panicked: ")),
+        error,
+        from_cache,
+        queue_wait_us,
+        latency_us,
+        completed_at_ms: inner.now_ms(),
+        iterations: stats.map_or(0, |s| s.iterations as u64),
+        examples: stats.map_or(0, |s| s.examples as u64),
+        conflicts: stats.map_or(0, |s| s.conflicts),
+        propagations: stats.map_or(0, |s| s.propagations),
+        restarts: stats.map_or(0, |s| s.restarts),
+        spans,
+        trigger: None,
     }
 }
 
@@ -545,6 +692,8 @@ fn stats_response(inner: &Inner, id: Option<&Json>) -> String {
                 ("pings", n(&c.pings)),
                 ("stats", n(&c.stats_requests)),
                 ("trace", n(&c.trace_requests)),
+                ("metrics", n(&c.metrics_requests)),
+                ("forensics", n(&c.forensics_requests)),
                 ("protocol_errors", n(&c.protocol_errors)),
                 ("accepted", n(&c.accepted)),
                 ("rejected", n(&c.rejected)),
@@ -597,7 +746,198 @@ fn stats_response(inner: &Inner, id: Option<&Json>) -> String {
                 ("queue_wait_us", crate::tracefmt::histogram_json(&c.queue_wait_us.snapshot())),
             ]),
         ),
+        ("rates", rates_json(inner)),
+        (
+            "trace",
+            Json::obj([
+                ("enabled", Json::Bool(lr_trace::enabled())),
+                ("spans_dropped", Json::num(lr_trace::counter_value("trace_spans_dropped") as f64)),
+            ]),
+        ),
+        (
+            "forensics",
+            match &inner.recorder {
+                None => Json::obj([("active", Json::Bool(false))]),
+                Some(rec) => Json::obj([
+                    ("active", Json::Bool(true)),
+                    ("bundles_written", Json::num(rec.bundles_written() as f64)),
+                    ("bundle_errors", Json::num(rec.bundle_errors() as f64)),
+                    ("retained", Json::num(rec.retained() as f64)),
+                    (
+                        "slow_ms",
+                        rec.slow_threshold()
+                            .map_or(Json::Null, |d| Json::num(d.as_secs_f64() * 1e3)),
+                    ),
+                ]),
+            },
+        ),
     ]);
+    if let (Json::Obj(map), Some(id)) = (&mut doc, id) {
+        map.insert("id".to_string(), id.clone());
+    }
+    doc.render()
+}
+
+/// The windowed-rate section of `stats`: current load over the last 1/10/60
+/// seconds, plus the windowed latency quantiles — as opposed to the lifetime
+/// aggregates everywhere else in the response.
+fn rates_json(inner: &Inner) -> Json {
+    let now = inner.now_ms();
+    let rates = inner.rates.lock().unwrap();
+    let windows = |c: &RollingCounter| {
+        Json::obj([
+            ("per_sec_1s", Json::num(c.rate_per_sec(now, 1_000))),
+            ("per_sec_10s", Json::num(c.rate_per_sec(now, 10_000))),
+            ("per_sec_60s", Json::num(c.rate_per_sec(now, 60_000))),
+        ])
+    };
+    Json::obj([
+        ("completed", windows(&rates.completed)),
+        ("rejected", windows(&rates.rejected)),
+        (
+            "latency_us_10s",
+            crate::tracefmt::histogram_json(&rates.latency_us.windowed(now, 10_000)),
+        ),
+    ])
+}
+
+/// Renders the whole metrics surface in OpenMetrics text format: the
+/// `lr_trace` registry (prefixed `lakeroad_`), the daemon's lifetime request
+/// and verdict counters, cache and queue gauges, the latency histograms, and
+/// the windowed rates. The text rides inside the usual JSON frame so the
+/// protocol stays uniform; an HTTP bridge can serve `text` verbatim with the
+/// given `content_type`.
+fn metrics_response(inner: &Inner, id: Option<&Json>) -> String {
+    let c = &inner.counters;
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut w = OpenMetricsWriter::new();
+
+    for (kind, counter) in [
+        ("ping", &c.pings),
+        ("stats", &c.stats_requests),
+        ("trace", &c.trace_requests),
+        ("metrics", &c.metrics_requests),
+        ("forensics", &c.forensics_requests),
+        ("protocol_error", &c.protocol_errors),
+    ] {
+        w.counter("lakeroad_daemon_requests", &[("kind", kind)], load(counter));
+    }
+    for (outcome, counter) in
+        [("accepted", &c.accepted), ("rejected", &c.rejected), ("completed", &c.completed)]
+    {
+        w.counter("lakeroad_daemon_jobs", &[("outcome", outcome)], load(counter));
+    }
+    for (verdict, counter) in [
+        ("success", &c.successes),
+        ("unsat", &c.unsats),
+        ("timeout", &c.timeouts),
+        ("error", &c.job_errors),
+        ("deadline_expired", &c.deadline_expired),
+        ("cancelled", &c.cancelled),
+    ] {
+        w.counter("lakeroad_daemon_verdicts", &[("verdict", verdict)], load(counter));
+    }
+    let cache = inner.cache.snapshot();
+    for (event, value) in [
+        ("hit", cache.hits),
+        ("miss", cache.misses),
+        ("store", cache.stores),
+        ("invalidation", cache.invalidations),
+        ("eviction", cache.evictions),
+        ("served", load(&c.cache_served)),
+    ] {
+        w.counter("lakeroad_daemon_cache_events", &[("event", event)], value);
+    }
+    for (stage, counter) in [
+        ("iterations", &c.synth_iterations),
+        ("examples", &c.synth_examples),
+        ("conflicts", &c.sat_conflicts),
+        ("propagations", &c.sat_propagations),
+        ("restarts", &c.sat_restarts),
+    ] {
+        w.counter("lakeroad_daemon_synthesis", &[("counter", stage)], load(counter));
+    }
+    w.gauge("lakeroad_daemon_queue_depth", &[], inner.queue.lock().unwrap().heap.len() as u64);
+    w.gauge("lakeroad_daemon_workers", &[], inner.workers as u64);
+    w.gauge("lakeroad_daemon_draining", &[], u64::from(inner.draining.load(Ordering::SeqCst)));
+    w.gauge("lakeroad_daemon_cache_entries", &[], inner.cache.len() as u64);
+    w.gauge_f64("lakeroad_daemon_uptime_seconds", &[], inner.started.elapsed().as_secs_f64());
+
+    {
+        let now = inner.now_ms();
+        let rates = inner.rates.lock().unwrap();
+        for (window, ms) in [("1s", 1_000), ("10s", 10_000), ("60s", 60_000)] {
+            let lbl = [("window", window)];
+            w.gauge_f64(
+                "lakeroad_daemon_completed_per_sec",
+                &lbl,
+                rates.completed.rate_per_sec(now, ms),
+            );
+            w.gauge_f64(
+                "lakeroad_daemon_rejected_per_sec",
+                &lbl,
+                rates.rejected.rate_per_sec(now, ms),
+            );
+        }
+        w.histogram("lakeroad_daemon_latency_10s_us", &[], &rates.latency_us.windowed(now, 10_000));
+    }
+    w.histogram("lakeroad_daemon_request_latency_us", &[], &c.request_latency_us.snapshot());
+    // The daemon's own queue-wait histogram and the spans-dropped counter are
+    // NOT emitted here: the registry snapshot below carries the same families
+    // (`daemon.queue_wait_us`, `trace_spans_dropped`) under the `lakeroad_`
+    // prefix, and OpenMetrics forbids a family appearing twice.
+
+    if let Some(rec) = &inner.recorder {
+        w.counter("lakeroad_daemon_forensics_bundles_written", &[], rec.bundles_written());
+        w.counter("lakeroad_daemon_forensics_bundle_errors", &[], rec.bundle_errors());
+        w.gauge("lakeroad_daemon_forensics_retained", &[], rec.retained() as u64);
+    }
+
+    // The registry last: per-stage counters, gauges, and stage-latency
+    // histograms recorded by the instrumented mapping stack itself.
+    w.snapshot("lakeroad_", &lr_trace::metrics_snapshot());
+
+    let mut doc = Json::obj([
+        ("kind", Json::str("metrics")),
+        ("content_type", Json::str("application/openmetrics-text; version=1.0.0")),
+        ("text", Json::str(w.finish())),
+    ]);
+    if let (Json::Obj(map), Some(id)) = (&mut doc, id) {
+        map.insert("id".to_string(), id.clone());
+    }
+    doc.render()
+}
+
+/// Answers `{"kind":"forensics"}`: with an `id`, the full record (header +
+/// span tree) of the newest retained request with that correlation id; without
+/// one, the listing of retained records and on-disk bundles.
+fn forensics_response(inner: &Inner, id: Option<&Json>) -> String {
+    let Some(recorder) = &inner.recorder else {
+        return error_response(id, "forensics are not enabled (--slow-ms / --forensics-dir)");
+    };
+    let mut doc = match id {
+        Some(wanted) => match recorder.fetch(wanted) {
+            Some(record) => {
+                let mut doc = Json::obj([("kind", Json::str("forensics"))]);
+                if let (Json::Obj(map), Json::Obj(fields)) = (&mut doc, record) {
+                    for (k, v) in fields {
+                        map.insert(k, v);
+                    }
+                }
+                doc
+            }
+            None => return error_response(id, "no forensics record with that id"),
+        },
+        None => {
+            let mut doc = Json::obj([("kind", Json::str("forensics"))]);
+            if let (Json::Obj(map), Json::Obj(fields)) = (&mut doc, recorder.list_json()) {
+                for (k, v) in fields {
+                    map.insert(k, v);
+                }
+            }
+            doc
+        }
+    };
     if let (Json::Obj(map), Some(id)) = (&mut doc, id) {
         map.insert("id".to_string(), id.clone());
     }

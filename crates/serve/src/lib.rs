@@ -50,19 +50,22 @@
 pub mod batch;
 pub mod cache;
 pub mod daemon;
+pub mod forensics;
 pub mod json;
 pub mod protocol;
 pub mod scenario;
 pub mod scheduler;
+pub mod top;
 pub mod tracefmt;
 
 pub use batch::{parse_arch_name, parse_manifest, parse_template, BatchReport, JobStages};
 pub use cache::{CacheSnapshot, SynthCache};
 pub use daemon::{Daemon, DaemonClient, DaemonConfig, DaemonSummary};
+pub use forensics::{FlightRecorder, ForensicsConfig, RequestRecord};
 pub use json::Json;
 pub use scenario::{fuzz_jobs, grinder_jobs, random_program, suite_jobs, synthetic_jobs, Rng};
 pub use scheduler::{
-    run_batch, run_batch_streaming, BatchJob, BatchOptions, BatchRun, JobRecord, JobResult,
-    TemplateChoice,
+    run_batch, run_batch_streaming, set_poison_job, BatchJob, BatchOptions, BatchRun, JobRecord,
+    JobResult, TemplateChoice,
 };
 pub use tracefmt::{chrome_trace, chrome_trace_json};

@@ -15,14 +15,36 @@
 //!  "priority": 3, "timeout_s": 20, "deadline_s": 60, "name": "hot-path"}
 //! {"kind": "stats"}
 //! {"kind": "trace"}
+//! {"kind": "metrics"}
+//! {"kind": "forensics"}
+//! {"kind": "forensics", "id": 7}
 //! {"kind": "shutdown"}
 //! ```
 //!
 //! A `map` request names its design either as `bench` (a §5.1 microbenchmark
 //! of the chosen architecture) or as inline `verilog` source. Responses carry
-//! `kind: "pong" | "mapped" | "stats" | "trace" | "shutting_down" |
-//! "rejected" | "error"`; a malformed request earns an `error` response but does **not**
-//! close the connection — only an unframeable byte stream does.
+//! `kind: "pong" | "mapped" | "stats" | "trace" | "metrics" | "forensics" |
+//! "shutting_down" | "rejected" | "error"`; a malformed request earns an
+//! `error` response but does **not** close the connection — only an
+//! unframeable byte stream does.
+//!
+//! **`metrics`** answers with `{"kind":"metrics", "content_type":
+//! "application/openmetrics-text; version=1.0.0", "text": "..."}` where
+//! `text` is the whole observable surface — the `lr_trace` registry plus the
+//! daemon's own counters, rates, and latency histograms (as cumulative
+//! `_bucket`/`_sum`/`_count` series) — in OpenMetrics text format, terminated
+//! by `# EOF`. Any Prometheus-compatible scraper (or `lakeroad top`) can
+//! consume it without knowing this protocol's JSON shapes.
+//!
+//! **`forensics`** drives the flight recorder. Without an `id` it answers
+//! `{"kind":"forensics", "records": [...], "bundles": [...],
+//! "bundles_written": N, "bundle_errors": N, "dir": ...}` — newest-first
+//! record headers for the retained ring and the bundle files on disk. With an
+//! `id` it looks up the newest retained record whose `map` request carried
+//! that correlation id and answers `{"kind":"forensics", "record": {...}}`
+//! with the full record, span tree included (an unknown id is an `error`
+//! response). The `id` doubles as the correlation id, so the response echoes
+//! it back like any other.
 
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -102,6 +124,11 @@ pub enum Request {
     Stats,
     /// The recent span buffer as a Chrome trace-event document.
     Trace,
+    /// The whole metrics surface in OpenMetrics text format.
+    Metrics,
+    /// The flight recorder: list retained records and bundles, or (when the
+    /// request's `id` names a recorded `map` request) fetch one full record.
+    Forensics,
     /// Begin a graceful drain: finish queued work, then stop.
     Shutdown,
 }
@@ -127,6 +154,8 @@ fn parse_request_doc(doc: &Json) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "trace" => Ok(Request::Trace),
+        "metrics" => Ok(Request::Metrics),
+        "forensics" => Ok(Request::Forensics),
         "shutdown" => Ok(Request::Shutdown),
         "map" => parse_map_request(doc).map(|job| Request::Map(Box::new(job))),
         other => Err(format!("unknown request kind `{other}`")),
@@ -233,8 +262,10 @@ pub const TRACE_RESPONSE_EVENTS: usize = 8192;
 
 /// The `trace` response: the most recent spans of the daemon's trace buffer as
 /// a Chrome trace-event document (see [`crate::tracefmt`]). `enabled` tells
-/// the client whether the daemon is recording at all, and `dropped` how many
-/// events the bounded sink has discarded since startup.
+/// the client whether the daemon is recording at all, `dropped` how many
+/// events the bounded sink has discarded since startup, and `truncated` how
+/// many *buffered* events this response had to leave out to respect the
+/// frame bound — previously that truncation was silent.
 pub fn trace_response(id: Option<&Json>) -> String {
     let mut events = lr_trace::snapshot_events();
     let total = events.len();
@@ -247,6 +278,7 @@ pub fn trace_response(id: Option<&Json>) -> String {
             ("enabled", Json::Bool(lr_trace::enabled())),
             ("returned", Json::num(events.len() as f64)),
             ("buffered", Json::num(total as f64)),
+            ("truncated", Json::num((total - events.len()) as f64)),
             ("dropped", Json::num(lr_trace::dropped_events() as f64)),
             ("trace", crate::tracefmt::chrome_trace(&events)),
         ]),

@@ -326,11 +326,14 @@ pub(crate) fn execute_job(
         let remaining = deadline.saturating_sub(already_elapsed);
         config.timeout = config.timeout.min(remaining);
     }
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.template {
-        TemplateChoice::Named(template) => {
-            lakeroad::map_design(&job.spec, template, &job.arch, &config)
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        poison_check(&job.name);
+        match job.template {
+            TemplateChoice::Named(template) => {
+                lakeroad::map_design(&job.spec, template, &job.arch, &config)
+            }
+            TemplateChoice::Auto => map_design_auto(&job.spec, &job.arch, &config),
         }
-        TemplateChoice::Auto => map_design_auto(&job.spec, &job.arch, &config),
     }));
     match outcome {
         // A cancelled run surfaces as a timeout verdict from the synthesis
@@ -341,6 +344,28 @@ pub(crate) fn execute_job(
         Ok(Ok(outcome)) => JobResult::Finished(outcome),
         Ok(Err(e)) => JobResult::Error(render_error(&e)),
         Err(panic) => JobResult::Error(format!("panicked: {}", render_panic(&panic))),
+    }
+}
+
+/// The installed poison-job name (see [`set_poison_job`]).
+static POISON_JOB: Mutex<Option<String>> = Mutex::new(None);
+
+/// Installs (or clears, with `None`) a process-wide *poison job* name: any
+/// job whose name matches panics inside the mapping closure, behind
+/// [`execute_job`]'s `catch_unwind`. This is deliberate test apparatus — the
+/// forensics integration tests and `exp_obs`'s poison phase use it to drive
+/// the panic-containment and post-mortem paths end to end over a real
+/// socket; nothing installs it in production. The panic fires *before* any
+/// synthesis work, so a poisoned job contributes zero solver counters.
+pub fn set_poison_job(name: Option<&str>) {
+    *POISON_JOB.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+        name.map(str::to_string);
+}
+
+fn poison_check(name: &str) {
+    let poisoned = POISON_JOB.lock().map(|guard| guard.as_deref() == Some(name)).unwrap_or(false);
+    if poisoned {
+        panic!("poison job `{name}` injected a panic");
     }
 }
 

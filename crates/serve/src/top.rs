@@ -1,0 +1,316 @@
+//! `lakeroad top`: a live terminal dashboard for a running daemon.
+//!
+//! The daemon's `stats` response is a point-in-time JSON document; `top` turns
+//! it into the operator's view — current throughput (the windowed rates, not
+//! lifetime averages), warm-hit share, queue pressure, windowed latency
+//! quantiles, the per-stage time split aggregated from the span buffer, and
+//! the flight recorder's most recent notable requests — refreshed in place
+//! until interrupted, or printed once with `--once`.
+//!
+//! Rendering is pure ([`render`] maps fetched JSON documents to a string), so
+//! the dashboard is unit-testable without a socket; [`fetch`] does the
+//! protocol round-trips and tolerates a daemon without forensics enabled.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::time::Duration;
+
+use crate::daemon::DaemonClient;
+use crate::json::Json;
+
+/// One round of polled documents: `stats` (required), `trace` and `forensics`
+/// (both optional — the daemon may have tracing disabled or forensics off).
+pub struct TopSnapshot {
+    /// The `stats` response document.
+    pub stats: Json,
+    /// The `trace` response document, when the daemon is recording spans.
+    pub trace: Option<Json>,
+    /// The `forensics` listing, when the flight recorder is active.
+    pub forensics: Option<Json>,
+}
+
+/// Polls one snapshot over the daemon protocol.
+///
+/// # Errors
+/// Socket/framing errors talking to `addr`; a daemon that answers `stats` but
+/// rejects `forensics` (recorder off) still yields a snapshot.
+pub fn fetch(addr: &str) -> io::Result<TopSnapshot> {
+    let mut client = DaemonClient::connect(addr)?;
+    let stats = client.request("{\"kind\":\"stats\"}")?;
+    let trace = client
+        .request("{\"kind\":\"trace\"}")
+        .ok()
+        .filter(|doc| doc.get(&["enabled"]).and_then(Json::as_bool) == Some(true));
+    let forensics = client
+        .request("{\"kind\":\"forensics\"}")
+        .ok()
+        .filter(|doc| doc.get(&["kind"]).and_then(Json::as_str) == Some("forensics"));
+    Ok(TopSnapshot { stats, trace, forensics })
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    doc.get(path).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn quantile(doc: &Json, path: &[&str]) -> String {
+    match doc.get(path).and_then(Json::as_f64) {
+        Some(us) => format_us(us),
+        None => "-".to_string(),
+    }
+}
+
+fn format_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.1}ms", us / 1e3)
+    } else {
+        format!("{us:.0}µs")
+    }
+}
+
+/// Renders one snapshot as the dashboard text (no ANSI control codes — the
+/// refresh loop adds the clear-screen prefix itself).
+pub fn render(snap: &TopSnapshot) -> String {
+    let s = &snap.stats;
+    let mut out = String::new();
+
+    let uptime_s = num(s, &["uptime_ms"]) / 1e3;
+    out.push_str(&format!(
+        "lakeroad top — uptime {:.0}s, {} workers, queue depth {}{}\n",
+        uptime_s,
+        num(s, &["workers"]),
+        num(s, &["queue_depth"]),
+        if s.get(&["draining"]).and_then(Json::as_bool) == Some(true) { ", DRAINING" } else { "" },
+    ));
+
+    out.push_str(&format!(
+        "throughput   {:>7.2}/s (1s)  {:>7.2}/s (10s)  {:>7.2}/s (60s)   rejected {:.2}/s (10s)\n",
+        num(s, &["rates", "completed", "per_sec_1s"]),
+        num(s, &["rates", "completed", "per_sec_10s"]),
+        num(s, &["rates", "completed", "per_sec_60s"]),
+        num(s, &["rates", "rejected", "per_sec_10s"]),
+    ));
+
+    let completed = num(s, &["requests", "completed"]);
+    let served = num(s, &["cache", "served"]);
+    let warm = if completed > 0.0 { 100.0 * served / completed } else { 0.0 };
+    out.push_str(&format!(
+        "lifetime     accepted {}  completed {}  rejected {}  warm-hit {:.1}% ({} served)\n",
+        num(s, &["requests", "accepted"]),
+        completed,
+        num(s, &["requests", "rejected"]),
+        warm,
+        served,
+    ));
+
+    out.push_str(&format!(
+        "latency 10s  p50 {}  p99 {}    lifetime p50 {}  p99 {}  queue-wait p99 {}\n",
+        quantile(s, &["rates", "latency_us_10s", "p50"]),
+        quantile(s, &["rates", "latency_us_10s", "p99"]),
+        quantile(s, &["latency", "request_us", "p50"]),
+        quantile(s, &["latency", "request_us", "p99"]),
+        quantile(s, &["latency", "queue_wait_us", "p99"]),
+    ));
+
+    out.push_str(&format!(
+        "verdicts     success {}  unsat {}  timeout {}  error {}  expired {}   spans dropped {}\n",
+        num(s, &["verdicts", "success"]),
+        num(s, &["verdicts", "unsat"]),
+        num(s, &["verdicts", "timeout"]),
+        num(s, &["verdicts", "error"]),
+        num(s, &["verdicts", "deadline_expired"]),
+        num(s, &["trace", "spans_dropped"]),
+    ));
+
+    if let Some(trace) = &snap.trace {
+        out.push_str(&stage_split(trace));
+    }
+    if let Some(forensics) = &snap.forensics {
+        out.push_str(&recent_records(forensics));
+    } else if s.get(&["forensics", "active"]).and_then(Json::as_bool) == Some(true) {
+        out.push_str(&format!(
+            "forensics    {} bundles written, {} records retained\n",
+            num(s, &["forensics", "bundles_written"]),
+            num(s, &["forensics", "retained"]),
+        ));
+    }
+    out
+}
+
+/// The per-stage inclusive time split, aggregated from the daemon's span
+/// buffer (same grouping as [`lr_trace::stage_summary`], but over the
+/// protocol). Nested spans count toward their own stage, so shares are
+/// inclusive and need not sum to 100%.
+fn stage_split(trace: &Json) -> String {
+    let Some(events) = trace.get(&["trace", "traceEvents"]).and_then(Json::as_arr) else {
+        return String::new();
+    };
+    let mut agg: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for ev in events {
+        let Some(name) = ev.get(&["name"]).and_then(Json::as_str) else { continue };
+        let dur = num(ev, &["dur"]);
+        let e = agg.entry(name).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += dur;
+    }
+    if agg.is_empty() {
+        return String::new();
+    }
+    let total: f64 =
+        agg.iter().filter(|&(&name, _)| name == "daemon-request").map(|(_, &(_, dur))| dur).sum();
+    let mut rows: Vec<(&str, (u64, f64))> = agg.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = String::from("stages (span buffer, inclusive)\n");
+    for (name, (count, dur)) in rows.iter().take(8) {
+        let share = if total > 0.0 { 100.0 * dur / total } else { 0.0 };
+        out.push_str(&format!(
+            "  {name:<18} {count:>6}x  {:>10}  {share:>5.1}%\n",
+            format_us(*dur)
+        ));
+    }
+    let truncated = num(trace, &["truncated"]);
+    if truncated > 0.0 {
+        out.push_str(&format!("  (+{truncated} buffered events truncated from this view)\n"));
+    }
+    out
+}
+
+/// The flight recorder's newest notable records: anything that triggered a
+/// bundle first (slow/unsat/timeout/panic), padded with the newest ordinary
+/// records up to six rows.
+fn recent_records(forensics: &Json) -> String {
+    let retained =
+        forensics.get(&["records"]).and_then(Json::as_arr).map_or(0, |records| records.len());
+    let mut out = format!(
+        "forensics    {} bundles written ({} errors), {retained} records retained\n",
+        num(forensics, &["bundles_written"]),
+        num(forensics, &["bundle_errors"]),
+    );
+    let Some(records) = forensics.get(&["records"]).and_then(Json::as_arr) else { return out };
+    let notable: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get(&["trigger"]).and_then(Json::as_str).is_some())
+        .chain(records.iter().filter(|r| r.get(&["trigger"]).and_then(Json::as_str).is_none()))
+        .take(6)
+        .collect();
+    for record in notable {
+        out.push_str(&format!(
+            "  #{:<6} {:<24} {:<8} {:>10}  {}\n",
+            num(record, &["seq"]),
+            record.get(&["name"]).and_then(Json::as_str).unwrap_or("?"),
+            record.get(&["verdict"]).and_then(Json::as_str).unwrap_or("?"),
+            format_us(num(record, &["latency_us"])),
+            record.get(&["trigger"]).and_then(Json::as_str).unwrap_or("-"),
+        ));
+    }
+    out
+}
+
+/// The refresh loop behind `lakeroad top`: fetch, clear, render, sleep — or a
+/// single fetch-and-print with `once`.
+///
+/// # Errors
+/// Propagates the *first* fetch failure; after one good snapshot a transient
+/// failure is rendered as a status line and retried, so a daemon restart does
+/// not kill the dashboard.
+pub fn run(addr: &str, interval: Duration, once: bool) -> io::Result<()> {
+    let mut had_snapshot = false;
+    loop {
+        match fetch(addr) {
+            Ok(snap) => {
+                had_snapshot = true;
+                let body = render(&snap);
+                if once {
+                    print!("{body}");
+                    return Ok(());
+                }
+                // Clear screen + home, then the frame; plain ANSI, no TUI dep.
+                print!("\x1b[2J\x1b[H{body}");
+                use std::io::Write as _;
+                let _ = io::stdout().flush();
+            }
+            Err(e) if once || !had_snapshot => return Err(e),
+            Err(e) => {
+                println!("\x1b[2J\x1b[H(daemon unreachable: {e}; retrying)");
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> Json {
+        Json::parse(
+            r#"{"kind":"stats","uptime_ms":5000,"workers":2,"queue_depth":3,"draining":false,
+            "requests":{"accepted":10,"completed":8,"rejected":1},
+            "cache":{"served":4},
+            "verdicts":{"success":6,"unsat":1,"timeout":1,"error":0,"deadline_expired":0},
+            "rates":{"completed":{"per_sec_1s":2.0,"per_sec_10s":0.8,"per_sec_60s":0.13},
+                     "rejected":{"per_sec_1s":0,"per_sec_10s":0.1,"per_sec_60s":0},
+                     "latency_us_10s":{"p50":1500,"p99":250000}},
+            "latency":{"request_us":{"p50":2000,"p99":300000},"queue_wait_us":{"p99":500}},
+            "trace":{"enabled":true,"spans_dropped":0},
+            "forensics":{"active":true,"bundles_written":2,"retained":8}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn render_reports_rates_warm_share_and_latency() {
+        let snap = TopSnapshot { stats: sample_stats(), trace: None, forensics: None };
+        let body = render(&snap);
+        assert!(body.contains("2 workers"), "{body}");
+        assert!(body.contains("queue depth 3"), "{body}");
+        assert!(body.contains("0.80/s (10s)"), "{body}");
+        assert!(body.contains("warm-hit 50.0%"), "{body}");
+        assert!(body.contains("p50 1.5ms"), "{body}");
+        assert!(body.contains("p99 250.0ms"), "{body}");
+        assert!(body.contains("2 bundles written"), "{body}");
+    }
+
+    #[test]
+    fn stage_split_aggregates_and_flags_truncation() {
+        let trace = Json::parse(
+            r#"{"kind":"trace","enabled":true,"truncated":5,"trace":{"traceEvents":[
+                {"name":"daemon-request","dur":1000.0},
+                {"name":"cegis","dur":700.0},
+                {"name":"cegis","dur":100.0},
+                {"name":"sat-check","dur":600.0}]}}"#,
+        )
+        .unwrap();
+        let body = stage_split(&trace);
+        assert!(body.contains("daemon-request"), "{body}");
+        assert!(body.contains("cegis"), "{body}");
+        let cegis_at = body.find("cegis").unwrap();
+        let sat_at = body.find("sat-check").unwrap();
+        assert!(cegis_at < sat_at, "sorted by inclusive time: {body}");
+        assert!(body.contains("80.0%"), "cegis share of daemon-request total: {body}");
+        assert!(body.contains("+5 buffered events truncated"), "{body}");
+    }
+
+    #[test]
+    fn recent_records_lead_with_triggered_requests() {
+        let forensics = Json::parse(
+            r#"{"kind":"forensics","bundles_written":1,"bundle_errors":0,"records":[
+                {"seq":9,"name":"ok-job","verdict":"success","latency_us":100,"trigger":null},
+                {"seq":7,"name":"bad-job","verdict":"unsat","latency_us":90000,"trigger":"unsat"}]}"#,
+        )
+        .unwrap();
+        let body = recent_records(&forensics);
+        let bad_at = body.find("bad-job").unwrap();
+        let ok_at = body.find("ok-job").unwrap();
+        assert!(bad_at < ok_at, "triggered records first: {body}");
+        assert!(body.contains("unsat"), "{body}");
+    }
+
+    #[test]
+    fn microsecond_formatting_picks_the_readable_unit() {
+        assert_eq!(format_us(750.0), "750µs");
+        assert_eq!(format_us(1_500.0), "1.5ms");
+        assert_eq!(format_us(2_500_000.0), "2.50s");
+    }
+}

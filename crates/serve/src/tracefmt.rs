@@ -26,7 +26,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     chrome_trace(events).render()
 }
 
-fn event_json(e: &TraceEvent) -> Json {
+pub(crate) fn event_json(e: &TraceEvent) -> Json {
     let mut args: Vec<(&'static str, Json)> =
         e.attrs.iter().map(|&(k, v)| (k, Json::num(v as f64))).collect();
     args.push(("ctx", Json::num(e.ctx as f64)));

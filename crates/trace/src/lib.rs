@@ -25,6 +25,17 @@
 //!   [`hist_record`], [`metrics_snapshot`]): process-wide counters, gauges,
 //!   and histograms keyed by name, active only while tracing is enabled.
 //!
+//! On top of those, two serving-oriented surfaces:
+//!
+//! * **Rolling windows** ([`RollingCounter`], [`RollingHistogram`]): fixed
+//!   rings of interval buckets over a caller-supplied clock, answering
+//!   "events in the last 1s/10s/60s" and "p99 over the last 10s" instead of
+//!   lifetime aggregates — what a resident daemon's `stats` should report.
+//! * **OpenMetrics exposition** ([`OpenMetricsWriter`]): renders counters,
+//!   gauges, and the log-bucketed histograms (as cumulative
+//!   `_bucket`/`_sum`/`_count` series) in Prometheus/OpenMetrics text format,
+//!   so any scraper can consume the registry without a bespoke client.
+//!
 //! The stderr echo sink ([`set_stderr_echo`]) reproduces the old
 //! `LR_CEGIS_TRACE` line-per-check behaviour: with it on, every recorded span
 //! also prints one `[lr_trace]` line. The CEGIS engine still honours the
@@ -32,13 +43,18 @@
 //! on tracing plus this sink.
 
 mod hist;
+pub mod openmetrics;
 mod registry;
+mod rolling;
 mod span;
 
 pub use hist::{AtomicHistogram, Histogram, HIST_BUCKETS};
+pub use openmetrics::OpenMetricsWriter;
 pub use registry::{
-    counter_add, gauge_set, hist_record, metrics_snapshot, reset_metrics, MetricsSnapshot,
+    counter_add, counter_value, gauge_set, hist_record, metrics_snapshot, reset_metrics,
+    MetricsSnapshot,
 };
+pub use rolling::{RollingCounter, RollingHistogram};
 pub use span::{
     context, dropped_events, echo, enabled, flush, now_ns, set_context, set_enabled,
     set_stderr_echo, snapshot_events, span, stage_summary, stderr_echo, take_events, SpanGuard,

@@ -1,0 +1,244 @@
+//! Windowed rates: fixed rings of interval buckets over a caller-supplied
+//! clock, giving "last 1s/10s/60s" totals instead of lifetime aggregates.
+//!
+//! Both [`RollingCounter`] and [`RollingHistogram`] are deliberately *passive*
+//! about time: every operation takes an explicit `now_ms` tick. That keeps the
+//! window arithmetic pure (and property-testable — advance, wrap, and merge
+//! are plain integer manipulation), and leaves the clock choice to the caller;
+//! the daemon feeds them milliseconds since its own start from a `Mutex`.
+//!
+//! Each ring slot covers one interval of `width_ms` and remembers which
+//! absolute interval (`now_ms / width_ms`) it belongs to. Writes lazily evict
+//! a slot whose interval has passed out of the ring; reads filter by interval
+//! number, so stale slots are simply ignored — there is no sweeper to run.
+//!
+//! Merging two rings of identical geometry keeps, per slot, the newer
+//! interval (two intervals sharing a slot differ by a multiple of the ring
+//! length, so the older one is out of every queryable window). For queries at
+//! or after the newest write on either side, a merged ring therefore reports
+//! exactly the sum of what its parts would report.
+
+use crate::hist::Histogram;
+
+/// The slot geometry shared by both rolling types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Geometry {
+    /// Width of one interval bucket, in milliseconds (> 0).
+    width_ms: u64,
+    /// Number of ring slots (> 0). The longest queryable window is
+    /// `width_ms * slots`.
+    slots: usize,
+}
+
+impl Geometry {
+    fn interval(self, now_ms: u64) -> u64 {
+        now_ms / self.width_ms
+    }
+
+    fn position(self, interval: u64) -> usize {
+        (interval % self.slots as u64) as usize
+    }
+
+    /// Number of trailing intervals a `window_ms` query covers, clamped to
+    /// the ring (at least 1, at most `slots`).
+    fn window_intervals(self, window_ms: u64) -> u64 {
+        (window_ms / self.width_ms).clamp(1, self.slots as u64)
+    }
+
+    /// Whether a slot stamped `interval` is inside the window ending at the
+    /// interval containing `now_ms`.
+    fn in_window(self, slot_interval: u64, now_ms: u64, window_ms: u64) -> bool {
+        let cur = self.interval(now_ms);
+        let span = self.window_intervals(window_ms);
+        slot_interval <= cur && cur - slot_interval < span
+    }
+}
+
+/// A windowed event counter: a fixed ring of per-interval counts supporting
+/// "events in the last W milliseconds" and rate-per-second queries.
+#[derive(Debug, Clone)]
+pub struct RollingCounter {
+    geo: Geometry,
+    /// `(interval, count)` per slot; `None` until first written.
+    ring: Vec<Option<(u64, u64)>>,
+}
+
+impl RollingCounter {
+    /// A counter with `slots` buckets of `width_ms` each. Panics when either
+    /// is zero.
+    pub fn new(width_ms: u64, slots: usize) -> Self {
+        assert!(width_ms > 0 && slots > 0, "rolling geometry must be non-degenerate");
+        RollingCounter { geo: Geometry { width_ms, slots }, ring: vec![None; slots] }
+    }
+
+    /// Adds `delta` events at tick `now_ms`. A tick so far in the past that
+    /// its slot already holds a newer interval (≥ one full ring behind) is
+    /// dropped — it is outside every queryable window anyway.
+    pub fn add(&mut self, now_ms: u64, delta: u64) {
+        let interval = self.geo.interval(now_ms);
+        let pos = self.geo.position(interval);
+        match &mut self.ring[pos] {
+            Some((stamp, count)) if *stamp == interval => *count = count.saturating_add(delta),
+            Some((stamp, _)) if *stamp > interval => {}
+            slot => *slot = Some((interval, delta)),
+        }
+    }
+
+    /// Events observed in the trailing `window_ms` as of `now_ms`. The window
+    /// is clamped to the ring span and always includes the (possibly partial)
+    /// current interval.
+    pub fn total(&self, now_ms: u64, window_ms: u64) -> u64 {
+        self.ring
+            .iter()
+            .flatten()
+            .filter(|(stamp, _)| self.geo.in_window(*stamp, now_ms, window_ms))
+            .map(|(_, count)| *count)
+            .sum()
+    }
+
+    /// [`total`](RollingCounter::total) divided by the (clamped) window
+    /// length in seconds.
+    pub fn rate_per_sec(&self, now_ms: u64, window_ms: u64) -> f64 {
+        let span_ms = self.geo.window_intervals(window_ms) * self.geo.width_ms;
+        self.total(now_ms, window_ms) as f64 * 1e3 / span_ms as f64
+    }
+
+    /// Folds `other` into `self` slot-wise: matching intervals add, newer
+    /// intervals replace, older ones are ignored. Panics when the geometries
+    /// differ.
+    pub fn merge(&mut self, other: &RollingCounter) {
+        assert_eq!(self.geo, other.geo, "rolling merge requires identical geometry");
+        for (mine, theirs) in self.ring.iter_mut().zip(other.ring.iter()) {
+            let Some((stamp, count)) = theirs else { continue };
+            match mine {
+                Some((s, c)) if s == stamp => *c = c.saturating_add(*count),
+                Some((s, _)) if *s > *stamp => {}
+                slot => *slot = Some((*stamp, *count)),
+            }
+        }
+    }
+}
+
+/// A windowed histogram: a fixed ring of per-interval [`Histogram`]s whose
+/// window query merges the live intervals, giving "p99 over the last 10s"
+/// rather than a lifetime distribution.
+#[derive(Debug, Clone)]
+pub struct RollingHistogram {
+    geo: Geometry,
+    ring: Vec<Option<(u64, Histogram)>>,
+}
+
+impl RollingHistogram {
+    /// A histogram ring with `slots` buckets of `width_ms` each. Panics when
+    /// either is zero.
+    pub fn new(width_ms: u64, slots: usize) -> Self {
+        assert!(width_ms > 0 && slots > 0, "rolling geometry must be non-degenerate");
+        RollingHistogram { geo: Geometry { width_ms, slots }, ring: vec![None; slots] }
+    }
+
+    /// Records one sample at tick `now_ms`. As with
+    /// [`RollingCounter::add`], a tick a full ring behind the slot's current
+    /// interval is dropped.
+    pub fn record(&mut self, now_ms: u64, value: u64) {
+        let interval = self.geo.interval(now_ms);
+        let pos = self.geo.position(interval);
+        match &mut self.ring[pos] {
+            Some((stamp, h)) if *stamp == interval => h.record(value),
+            Some((stamp, _)) if *stamp > interval => {}
+            slot => {
+                let mut h = Histogram::new();
+                h.record(value);
+                *slot = Some((interval, h));
+            }
+        }
+    }
+
+    /// The merged distribution of the trailing `window_ms` as of `now_ms`
+    /// (window clamped to the ring span).
+    pub fn windowed(&self, now_ms: u64, window_ms: u64) -> Histogram {
+        let mut out = Histogram::new();
+        for (stamp, h) in self.ring.iter().flatten() {
+            if self.geo.in_window(*stamp, now_ms, window_ms) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Folds `other` into `self` slot-wise: matching intervals merge their
+    /// histograms, newer intervals replace, older ones are ignored. Panics
+    /// when the geometries differ.
+    pub fn merge(&mut self, other: &RollingHistogram) {
+        assert_eq!(self.geo, other.geo, "rolling merge requires identical geometry");
+        for (mine, theirs) in self.ring.iter_mut().zip(other.ring.iter()) {
+            let Some((stamp, h)) = theirs else { continue };
+            match mine {
+                Some((s, mh)) if s == stamp => mh.merge(h),
+                Some((s, _)) if *s > *stamp => {}
+                slot => *slot = Some((*stamp, h.clone())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_respect_the_window() {
+        let mut c = RollingCounter::new(1_000, 64);
+        c.add(0, 3);
+        c.add(5_500, 2);
+        c.add(9_999, 1);
+        // As of t=9999s: the 1s window sees only the current interval.
+        assert_eq!(c.total(9_999, 1_000), 1);
+        // The 10s window covers intervals 0..=9, so everything.
+        assert_eq!(c.total(9_999, 10_000), 6);
+        // Step forward: interval 0 ages out of the 10s window.
+        assert_eq!(c.total(10_500, 10_000), 3);
+    }
+
+    #[test]
+    fn wrapping_overwrites_expired_slots() {
+        let mut c = RollingCounter::new(1_000, 4);
+        c.add(0, 7);
+        // Interval 4 reuses slot 0; the stale count must not leak in.
+        c.add(4_000, 1);
+        assert_eq!(c.total(4_000, 4_000), 1);
+    }
+
+    #[test]
+    fn rates_divide_by_the_clamped_window() {
+        let mut c = RollingCounter::new(1_000, 64);
+        for t in 0..10u64 {
+            c.add(t * 1_000, 5);
+        }
+        let rps = c.rate_per_sec(9_999, 10_000);
+        assert!((rps - 5.0).abs() < 1e-9, "{rps}");
+    }
+
+    #[test]
+    fn merge_adds_matching_intervals_and_keeps_newer() {
+        let mut a = RollingCounter::new(1_000, 4);
+        let mut b = RollingCounter::new(1_000, 4);
+        a.add(1_000, 2);
+        b.add(1_000, 3);
+        b.add(2_500, 10);
+        a.merge(&b);
+        assert_eq!(a.total(2_500, 4_000), 15);
+    }
+
+    #[test]
+    fn windowed_histograms_merge_live_intervals() {
+        let mut h = RollingHistogram::new(1_000, 8);
+        h.record(0, 100);
+        h.record(3_000, 1_000);
+        h.record(3_100, 1_000);
+        let recent = h.windowed(3_500, 1_000);
+        assert_eq!(recent.count(), 2);
+        let all = h.windowed(3_500, 8_000);
+        assert_eq!(all.count(), 3);
+        assert_eq!(all.sum(), 2_100);
+    }
+}

@@ -116,13 +116,23 @@ fn flush_into_sink(buf: &mut Vec<TraceEvent>) {
     if buf.is_empty() {
         return;
     }
-    let mut sink = sink().lock().unwrap_or_else(PoisonError::into_inner);
-    for ev in buf.drain(..) {
-        if sink.len() == SINK_CAP {
-            sink.pop_front();
-            DROPPED.fetch_add(1, Ordering::Relaxed);
+    let mut dropped = 0u64;
+    {
+        let mut sink = sink().lock().unwrap_or_else(PoisonError::into_inner);
+        for ev in buf.drain(..) {
+            if sink.len() == SINK_CAP {
+                sink.pop_front();
+                dropped += 1;
+            }
+            sink.push_back(ev);
         }
-        sink.push_back(ev);
+    }
+    if dropped > 0 {
+        DROPPED.fetch_add(dropped, Ordering::Relaxed);
+        // Mirrored into the registry (outside the sink lock) so overflow is
+        // visible on the ordinary metrics surfaces, not only via the
+        // dedicated accessor.
+        crate::registry::counter_add("trace_spans_dropped", dropped);
     }
 }
 

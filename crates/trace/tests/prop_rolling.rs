@@ -1,0 +1,247 @@
+//! Property tests for the windowed-rate primitives and the OpenMetrics
+//! renderer: rolling totals match a brute-force model over any event
+//! sequence, slot reuse (wrap) never leaks expired counts, merge reports the
+//! sum of its parts, and rendered expositions keep cumulative buckets
+//! monotone, escape labels reversibly, and round-trip float samples.
+
+use lr_trace::openmetrics::{escape_label, format_value, sanitize_name};
+use lr_trace::{Histogram, OpenMetricsWriter, RollingCounter, RollingHistogram};
+use proptest::prelude::*;
+
+/// Brute-force reference: the number of events whose interval falls inside
+/// the (ring-clamped) window ending at `now_ms`. Exact for queries at or
+/// after every event, because an interval old enough to have been overwritten
+/// is also old enough to be outside every queryable window.
+fn model_total(
+    events: &[(u64, u64)],
+    width_ms: u64,
+    slots: usize,
+    now_ms: u64,
+    window_ms: u64,
+) -> u64 {
+    let cur = now_ms / width_ms;
+    let span = (window_ms / width_ms).clamp(1, slots as u64);
+    events
+        .iter()
+        .filter(|(t, _)| {
+            let i = t / width_ms;
+            i <= cur && cur - i < span
+        })
+        .map(|(_, d)| d)
+        .sum()
+}
+
+fn event_seq() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..100_000, 1u64..100), 0..80)
+}
+
+/// Text with the characters that matter for exposition framing: printable
+/// ASCII mixed with backslashes, quotes, newlines, and one non-ASCII char.
+fn tricky_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..68, 0..60).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c {
+                64 => '\\',
+                65 => '"',
+                66 => '\n',
+                67 => 'λ',
+                c => char::from_u32(c + 33).unwrap(),
+            })
+            .collect()
+    })
+}
+
+/// Finite, varied floats: signed mantissa scaled by a power of ten.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1_000_000_000_000i64..1_000_000_000_000, -200i32..200)
+        .prop_map(|(m, e)| m as f64 * 10f64.powi(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn rolling_counter_matches_the_model(
+        events in event_seq(),
+        width_ms in 1u64..3_000,
+        slots in 1usize..48,
+        window_ms in 0u64..200_000,
+        after in 0u64..50_000,
+    ) {
+        let mut c = RollingCounter::new(width_ms, slots);
+        let mut latest = 0u64;
+        for &(t, d) in &events {
+            c.add(t, d);
+            latest = latest.max(t);
+        }
+        let now = latest + after;
+        prop_assert_eq!(
+            c.total(now, window_ms),
+            model_total(&events, width_ms, slots, now, window_ms)
+        );
+    }
+
+    #[test]
+    fn rolling_counter_wrap_never_leaks(
+        width_ms in 1u64..1_000,
+        slots in 1usize..16,
+        laps in 1u64..5,
+        delta in 1u64..50,
+    ) {
+        // Write into interval 0, then into the interval exactly `laps` ring
+        // lengths later — the same slot. Only the newer count may survive.
+        let mut c = RollingCounter::new(width_ms, slots);
+        c.add(0, 7);
+        let later = laps * slots as u64 * width_ms;
+        c.add(later, delta);
+        prop_assert_eq!(c.total(later, width_ms * slots as u64), delta);
+    }
+
+    #[test]
+    fn rolling_counter_merge_is_additive(
+        a_events in event_seq(),
+        b_events in event_seq(),
+        width_ms in 1u64..3_000,
+        slots in 1usize..48,
+        window_ms in 0u64..200_000,
+    ) {
+        let mut a = RollingCounter::new(width_ms, slots);
+        let mut b = RollingCounter::new(width_ms, slots);
+        let mut latest = 0u64;
+        for &(t, d) in &a_events {
+            a.add(t, d);
+            latest = latest.max(t);
+        }
+        for &(t, d) in &b_events {
+            b.add(t, d);
+            latest = latest.max(t);
+        }
+        let separate = a.total(latest, window_ms) + b.total(latest, window_ms);
+        a.merge(&b);
+        prop_assert_eq!(a.total(latest, window_ms), separate);
+    }
+
+    #[test]
+    fn rolling_histogram_matches_the_model(
+        events in event_seq(),
+        width_ms in 1u64..3_000,
+        slots in 1usize..48,
+        window_ms in 0u64..200_000,
+    ) {
+        let mut h = RollingHistogram::new(width_ms, slots);
+        let mut latest = 0u64;
+        for &(t, v) in &events {
+            h.record(t, v);
+            latest = latest.max(t);
+        }
+        let windowed = h.windowed(latest, window_ms);
+        let cur = latest / width_ms;
+        let span = (window_ms / width_ms).clamp(1, slots as u64);
+        let in_window: Vec<u64> = events
+            .iter()
+            .filter(|(t, _)| {
+                let i = t / width_ms;
+                i <= cur && cur - i < span
+            })
+            .map(|(_, v)| *v)
+            .collect();
+        prop_assert_eq!(windowed.count(), in_window.len() as u64);
+        prop_assert_eq!(windowed.sum(), in_window.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn rolling_histogram_merge_is_additive(
+        a_events in event_seq(),
+        b_events in event_seq(),
+        width_ms in 1u64..3_000,
+        slots in 1usize..48,
+        window_ms in 0u64..200_000,
+    ) {
+        let mut a = RollingHistogram::new(width_ms, slots);
+        let mut b = RollingHistogram::new(width_ms, slots);
+        let mut latest = 0u64;
+        for &(t, v) in &a_events {
+            a.record(t, v);
+            latest = latest.max(t);
+        }
+        for &(t, v) in &b_events {
+            b.record(t, v);
+            latest = latest.max(t);
+        }
+        let mut separate = a.windowed(latest, window_ms);
+        separate.merge(&b.windowed(latest, window_ms));
+        a.merge(&b);
+        prop_assert_eq!(a.windowed(latest, window_ms), separate);
+    }
+
+    #[test]
+    fn sanitized_names_stay_in_the_charset(name in tricky_text()) {
+        let clean = sanitize_name(&name);
+        prop_assert!(!clean.is_empty());
+        prop_assert!(clean.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+        prop_assert!(!clean.chars().next().unwrap().is_ascii_digit());
+    }
+
+    #[test]
+    fn label_escaping_is_reversible(value in tricky_text()) {
+        let escaped = escape_label(&value);
+        // Escaped text never contains a raw quote or newline (what would
+        // break the `label="..."` framing).
+        prop_assert!(!escaped.contains('\n'));
+        let mut unescaped = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => unescaped.push('\\'),
+                    Some('"') => unescaped.push('"'),
+                    Some('n') => unescaped.push('\n'),
+                    other => prop_assert!(false, "dangling escape: {other:?}"),
+                }
+            } else {
+                prop_assert!(c != '"', "unescaped quote survived");
+                unescaped.push(c);
+            }
+        }
+        prop_assert_eq!(unescaped, value);
+    }
+
+    #[test]
+    fn float_samples_round_trip(value in finite_f64()) {
+        let text = format_value(value);
+        prop_assert_eq!(text.parse::<f64>().unwrap(), value, "{}", text);
+    }
+
+    #[test]
+    fn rendered_histograms_are_cumulative_and_consistent(
+        values in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut w = OpenMetricsWriter::new();
+        w.histogram("lat_us", &[], &h);
+        let text = w.finish();
+
+        let mut cumulative: Vec<u64> = Vec::new();
+        let mut count_line = None;
+        let mut sum_line = None;
+        for line in text.lines() {
+            if line.starts_with("lat_us_bucket") {
+                let v = line.rsplit(' ').next().unwrap().parse::<u64>().unwrap();
+                cumulative.push(v);
+            } else if let Some(rest) = line.strip_prefix("lat_us_count ") {
+                count_line = Some(rest.parse::<u64>().unwrap());
+            } else if let Some(rest) = line.strip_prefix("lat_us_sum ") {
+                sum_line = Some(rest.parse::<u64>().unwrap());
+            }
+        }
+        prop_assert!(cumulative.windows(2).all(|w| w[0] <= w[1]), "monotone: {:?}", cumulative);
+        prop_assert_eq!(*cumulative.last().unwrap(), h.count(), "+Inf bucket equals count");
+        prop_assert_eq!(count_line, Some(h.count()));
+        prop_assert_eq!(sum_line, Some(h.sum()));
+        prop_assert!(text.ends_with("# EOF\n"));
+    }
+}
