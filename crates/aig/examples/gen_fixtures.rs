@@ -1,0 +1,28 @@
+//! Regenerates the committed AIGER fixtures under `crates/bench/fixtures/aig/`:
+//!
+//! ```text
+//! $ cargo run -p lr_aig --example gen_fixtures -- crates/bench/fixtures/aig
+//! ```
+//!
+//! Seeds and shapes are fixed, so the fixtures are reproducible byte-for-byte;
+//! `exp_aig` maps them and gates the deterministic cone accounting in CI.
+
+use lr_aig::{random_aig, GenConfig};
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "crates/bench/fixtures/aig".to_string());
+    let dir = std::path::Path::new(&dir);
+
+    // The large ASCII fixture: a >=1000-AND sequential netlist, the size class
+    // the cone partitioner exists for.
+    let large =
+        random_aig(0xA16_F1C5, &GenConfig { inputs: 12, latches: 6, ands: 1100, outputs: 8 });
+    std::fs::write(dir.join("rand_large.aag"), large.to_aag()).expect("write rand_large.aag");
+    println!("rand_large.aag: {} ANDs, {} latches", large.num_ands(), large.num_latches());
+
+    // The binary fixture: mid-sized, exercising the delta-compressed reader on
+    // a committed file rather than only on round-trip property tests.
+    let mid = random_aig(0x5EED_B1A5, &GenConfig { inputs: 8, latches: 4, ands: 220, outputs: 6 });
+    std::fs::write(dir.join("rand_mid.aig"), mid.to_aig_binary()).expect("write rand_mid.aig");
+    println!("rand_mid.aig: {} ANDs, {} latches", mid.num_ands(), mid.num_latches());
+}

@@ -1,0 +1,512 @@
+//! # lr-aig: the structural netlist frontend
+//!
+//! The paper's toolchain (§2) is fed behavioral designs a few operators wide;
+//! real mapping workloads arrive as *structural* netlists — AIGER and-inverter
+//! graphs or ISCAS-style `.bench` gate lists, thousands of nodes deep. This
+//! crate is the bridge between those worlds:
+//!
+//! * [`parse::parse_aag`] / [`parse::parse_aig_binary`] / [`parse::parse_bench`]
+//!   read the three interchange formats into one canonical [`Aig`] (an
+//!   and-inverter graph with latches),
+//! * [`Aig::to_prog`] converts an AIG into a single ℒlr program
+//!   ([`lr_ir::Prog`]) whose root concatenates the netlist outputs,
+//! * [`cone::partition`] cuts a large AIG into bounded-fanin cones, each a
+//!   LUT-sized ℒlr spec the sketch engine can map independently, and
+//! * [`cone::stitch`] / [`cone::verify_stitched`] reassemble per-cone mapped
+//!   implementations into one design and check it against direct AIG
+//!   simulation on random stimulus.
+//!
+//! ## Literal encoding
+//!
+//! Variables are numbered densely: variable 0 is the constant *false*, then
+//! inputs, then latches, then AND gates. A literal is `2*var + sign`, so the
+//! even literal is the variable itself and the odd literal its complement —
+//! exactly the AIGER convention, which makes the parsers almost transcription.
+
+pub mod cone;
+pub mod gen;
+pub mod parse;
+
+use std::fmt;
+
+pub use cone::{partition, stitch, verify_stitched, Cone, ConeOptions, Partition, VerifyReport};
+pub use gen::{random_aig, GenConfig};
+pub use parse::{parse_aag, parse_aig_binary, parse_bench, parse_netlist, NetlistFormat};
+
+use lr_bv::BitVec;
+use lr_ir::{BvOp, NodeId, Prog, ProgBuilder};
+
+/// An AIG literal: a variable index with a complement bit (`2*var + sign`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a variable index and a complement flag.
+    pub fn new(var: u32, negated: bool) -> Lit {
+        Lit(var << 1 | u32::from(negated))
+    }
+
+    /// The variable this literal refers to.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented.
+    pub fn negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Whether this literal is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.var() == 0
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A latch: a one-bit register with a next-state literal and a reset value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch {
+    /// The literal sampled at each clock edge.
+    pub next: Lit,
+    /// The value held at time 0.
+    pub init: bool,
+}
+
+/// A two-input AND gate over literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AndGate {
+    /// First operand.
+    pub rhs0: Lit,
+    /// Second operand.
+    pub rhs1: Lit,
+}
+
+/// A named primary output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Output name (symbol table entry, `.bench` signal, or `o<n>`).
+    pub name: String,
+    /// The literal the output observes.
+    pub lit: Lit,
+}
+
+/// An error from parsing or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigError {
+    /// Malformed text or header.
+    Parse(String),
+    /// The byte stream ended inside a structure (e.g. a binary AND delta).
+    Truncated(String),
+    /// A literal (or `.bench` signal) is used but never defined.
+    UndefinedLiteral(String),
+    /// A signal or output is defined twice.
+    Duplicate(String),
+    /// Structurally valid but unsupported (e.g. an `.aig` justice section).
+    Unsupported(String),
+    /// The combinational part of the graph contains a cycle.
+    Cycle(String),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::Parse(m) => write!(f, "parse error: {m}"),
+            AigError::Truncated(m) => write!(f, "truncated input: {m}"),
+            AigError::UndefinedLiteral(m) => write!(f, "undefined literal: {m}"),
+            AigError::Duplicate(m) => write!(f, "duplicate definition: {m}"),
+            AigError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            AigError::Cycle(m) => write!(f, "combinational cycle: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {}
+
+/// An and-inverter graph with latches — the canonical in-memory form every
+/// parser targets.
+///
+/// Variables are dense: `0` is constant false, `1..=num_inputs()` the inputs,
+/// then the latches, then the AND gates, in that order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aig {
+    name: String,
+    input_names: Vec<String>,
+    latches: Vec<Latch>,
+    ands: Vec<AndGate>,
+    outputs: Vec<Output>,
+    /// AND variables in dependency order (every gate after its AND operands).
+    order: Vec<u32>,
+}
+
+impl Aig {
+    /// Validates raw parts into an AIG: every referenced variable must exist,
+    /// output names must be unique, and the AND gates must be acyclic.
+    pub fn new(
+        name: impl Into<String>,
+        input_names: Vec<String>,
+        latches: Vec<Latch>,
+        ands: Vec<AndGate>,
+        outputs: Vec<Output>,
+    ) -> Result<Aig, AigError> {
+        let total = 1 + input_names.len() + latches.len() + ands.len();
+        let check = |lit: Lit, what: &str| {
+            if (lit.var() as usize) < total {
+                Ok(())
+            } else {
+                Err(AigError::UndefinedLiteral(format!(
+                    "{what} refers to literal {lit} (variable {}), but only {total} variables exist",
+                    lit.var()
+                )))
+            }
+        };
+        for (i, latch) in latches.iter().enumerate() {
+            check(latch.next, &format!("latch {i}"))?;
+        }
+        for (i, gate) in ands.iter().enumerate() {
+            check(gate.rhs0, &format!("AND gate {i}"))?;
+            check(gate.rhs1, &format!("AND gate {i}"))?;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for output in &outputs {
+            check(output.lit, &format!("output `{}`", output.name))?;
+            if !seen.insert(output.name.as_str()) {
+                return Err(AigError::Duplicate(format!("output `{}`", output.name)));
+            }
+        }
+        let mut aig =
+            Aig { name: name.into(), input_names, latches, ands, outputs, order: Vec::new() };
+        aig.order = aig.topo_order()?;
+        Ok(aig)
+    }
+
+    /// Dependency order over the AND gates; latches and inputs break cycles, so
+    /// a cycle that never passes a latch is a validation error.
+    fn topo_order(&self) -> Result<Vec<u32>, AigError> {
+        let first_and = self.first_and_var();
+        let mut state = vec![0u8; self.ands.len()]; // 0 unvisited, 1 open, 2 done
+        let mut order = Vec::with_capacity(self.ands.len());
+        for start in 0..self.ands.len() {
+            if state[start] != 0 {
+                continue;
+            }
+            // Iterative DFS: (gate index, next child to visit).
+            let mut stack = vec![(start, 0u8)];
+            state[start] = 1;
+            while let Some(&mut (gate, ref mut child)) = stack.last_mut() {
+                if *child < 2 {
+                    let lit = if *child == 0 { self.ands[gate].rhs0 } else { self.ands[gate].rhs1 };
+                    *child += 1;
+                    if lit.var() >= first_and {
+                        let next = (lit.var() - first_and) as usize;
+                        match state[next] {
+                            0 => {
+                                state[next] = 1;
+                                stack.push((next, 0));
+                            }
+                            1 => {
+                                return Err(AigError::Cycle(format!(
+                                    "AND variable {} participates in a loop with no latch",
+                                    lit.var()
+                                )));
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    state[gate] = 2;
+                    order.push(first_and + gate as u32);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// The netlist's name (file stem or module name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.ands.len()
+    }
+
+    /// Total variable count, constant included.
+    pub fn num_vars(&self) -> usize {
+        1 + self.num_inputs() + self.num_latches() + self.num_ands()
+    }
+
+    /// Primary input names, in declaration order (variable `1 + i`).
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// The latches (variable `1 + num_inputs() + j` for latch `j`).
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// The AND gates (variable `first_and_var() + k` for gate `k`).
+    pub fn ands(&self) -> &[AndGate] {
+        &self.ands
+    }
+
+    /// The named outputs.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// The first AND-gate variable index.
+    pub fn first_and_var(&self) -> u32 {
+        1 + (self.num_inputs() + self.num_latches()) as u32
+    }
+
+    /// Whether a variable is a primary input.
+    pub fn is_input_var(&self, var: u32) -> bool {
+        var >= 1 && (var as usize) <= self.num_inputs()
+    }
+
+    /// Whether a variable is a latch.
+    pub fn is_latch_var(&self, var: u32) -> bool {
+        (var as usize) > self.num_inputs() && var < self.first_and_var()
+    }
+
+    /// The AND gate defining `var`, if `var` is an AND variable.
+    pub fn and_of(&self, var: u32) -> Option<&AndGate> {
+        var.checked_sub(self.first_and_var()).and_then(|k| self.ands.get(k as usize))
+    }
+
+    /// Renames the AIG.
+    pub fn with_name(mut self, name: impl Into<String>) -> Aig {
+        self.name = name.into();
+        self
+    }
+
+    /// The latch reset vector — the simulation state at time 0.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.latches.iter().map(|l| l.init).collect()
+    }
+
+    /// Evaluates every variable combinationally from the given input and latch
+    /// values. Index the result by variable number.
+    pub fn eval_vars(&self, inputs: &[bool], latch_state: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs(), "one value per primary input");
+        assert_eq!(latch_state.len(), self.num_latches(), "one value per latch");
+        let mut values = vec![false; self.num_vars()];
+        values[1..=inputs.len()].copy_from_slice(inputs);
+        let base = 1 + inputs.len();
+        values[base..base + latch_state.len()].copy_from_slice(latch_state);
+        let first_and = self.first_and_var();
+        let lit = |values: &[bool], l: Lit| values[l.var() as usize] ^ l.negated();
+        for &var in &self.order {
+            let gate = self.ands[(var - first_and) as usize];
+            values[var as usize] = lit(&values, gate.rhs0) && lit(&values, gate.rhs1);
+        }
+        values
+    }
+
+    /// One simulation step: computes this cycle's outputs from `inputs` and the
+    /// current latch `state`, then advances the state through every latch.
+    pub fn step(&self, state: &mut Vec<bool>, inputs: &[bool]) -> Vec<bool> {
+        let values = self.eval_vars(inputs, state);
+        let lit = |l: Lit| values[l.var() as usize] ^ l.negated();
+        let outputs = self.outputs.iter().map(|o| lit(o.lit)).collect();
+        *state = self.latches.iter().map(|l| lit(l.next)).collect();
+        outputs
+    }
+
+    /// Simulates from the reset state: `stimulus[t]` holds the input values of
+    /// cycle `t`; the result holds the output values of each cycle.
+    pub fn simulate(&self, stimulus: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let mut state = self.initial_state();
+        stimulus.iter().map(|inputs| self.step(&mut state, inputs)).collect()
+    }
+
+    /// Converts the whole AIG into one ℒlr program: one-bit inputs named after
+    /// the primary inputs, latches as registers, and a root that concatenates
+    /// the outputs (output `i` is bit `i` of the root).
+    ///
+    /// # Panics
+    /// Panics if the AIG has no outputs (an ℒlr program needs a root).
+    pub fn to_prog(&self) -> Prog {
+        assert!(!self.outputs.is_empty(), "cannot convert an AIG without outputs");
+        let mut b = ProgBuilder::new(&self.name);
+        let mut var_nodes = vec![None::<NodeId>; self.num_vars()];
+        for (i, name) in self.input_names.iter().enumerate() {
+            var_nodes[1 + i] = Some(b.input(name, 1));
+        }
+        let first_latch = 1 + self.num_inputs();
+        for (j, latch) in self.latches.iter().enumerate() {
+            let init = BitVec::from_u64(u64::from(latch.init), 1);
+            var_nodes[first_latch + j] = Some(b.reg_placeholder_init(init));
+        }
+        let first_and = self.first_and_var();
+        for &var in &self.order {
+            let gate = self.ands[(var - first_and) as usize];
+            let a = lit_node(&mut b, &mut var_nodes, gate.rhs0);
+            let x = lit_node(&mut b, &mut var_nodes, gate.rhs1);
+            var_nodes[var as usize] = Some(b.op2(BvOp::And, a, x));
+        }
+        for (j, latch) in self.latches.iter().enumerate().rev() {
+            let data = lit_node(&mut b, &mut var_nodes, latch.next);
+            b.set_reg_data(var_nodes[first_latch + j].expect("latch node exists"), data);
+        }
+        let mut root = lit_node(&mut b, &mut var_nodes, self.outputs[0].lit);
+        for output in &self.outputs[1..] {
+            let bit = lit_node(&mut b, &mut var_nodes, output.lit);
+            // `Concat`'s first operand lands in the high bits, so later outputs
+            // stack on top: output i stays at bit i.
+            root = b.op2(BvOp::Concat, bit, root);
+        }
+        b.finish(root)
+    }
+}
+
+/// The node computing a literal's value, materializing the variable's node (a
+/// constant for variable 0) plus an inverter when complemented.
+pub(crate) fn lit_node(b: &mut ProgBuilder, var_nodes: &mut [Option<NodeId>], lit: Lit) -> NodeId {
+    let node = match var_nodes[lit.var() as usize] {
+        Some(node) => node,
+        None => {
+            debug_assert_eq!(lit.var(), 0, "only the constant is materialized on demand");
+            let node = b.constant_u64(0, 1);
+            var_nodes[lit.var() as usize] = Some(node);
+            node
+        }
+    };
+    if lit.negated() {
+        b.op1(BvOp::Not, node)
+    } else {
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_ir::StreamInputs;
+
+    /// in0 AND NOT in1, plus a toggle latch observing it.
+    fn tiny() -> Aig {
+        let g = Lit::new(4, false);
+        Aig::new(
+            "tiny",
+            vec!["in0".into(), "in1".into()],
+            vec![Latch { next: g, init: false }],
+            vec![AndGate { rhs0: Lit::new(1, false), rhs1: Lit::new(2, true) }],
+            vec![
+                Output { name: "comb".into(), lit: g },
+                Output { name: "held".into(), lit: Lit::new(3, false) },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let l = Lit::new(7, true);
+        assert_eq!(l.0, 15);
+        assert_eq!(l.var(), 7);
+        assert!(l.negated());
+        assert_eq!(l.negate(), Lit::new(7, false));
+        assert!(Lit::TRUE.is_const() && Lit::FALSE.is_const());
+    }
+
+    #[test]
+    fn simulation_tracks_latch_state() {
+        let aig = tiny();
+        let outs = aig.simulate(&[vec![true, false], vec![false, false], vec![true, true]]);
+        // comb = in0 & !in1 each cycle; held = previous comb (init 0).
+        assert_eq!(outs[0], vec![true, false]);
+        assert_eq!(outs[1], vec![false, true]);
+        assert_eq!(outs[2], vec![false, false]);
+    }
+
+    #[test]
+    fn to_prog_matches_simulation() {
+        let aig = tiny();
+        let prog = aig.to_prog();
+        assert!(prog.well_formed().is_ok());
+        let stimulus = [vec![true, false], vec![false, false], vec![true, true]];
+        let mut env = StreamInputs::new();
+        for (i, name) in aig.input_names().iter().enumerate() {
+            let trace = stimulus.iter().map(|s| BitVec::from_u64(u64::from(s[i]), 1)).collect();
+            env.set_trace(name.clone(), trace);
+        }
+        let sim = aig.simulate(&stimulus);
+        for (t, expected) in sim.iter().enumerate() {
+            let got = prog.interp(&env, t as u32).unwrap();
+            for (bit, &want) in expected.iter().enumerate() {
+                assert_eq!(got.bit(bit as u32), want, "cycle {t} output {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_structure() {
+        // Undefined literal.
+        let err = Aig::new(
+            "u",
+            vec!["a".into()],
+            vec![],
+            vec![],
+            vec![Output { name: "o".into(), lit: Lit::new(9, false) }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AigError::UndefinedLiteral(_)), "{err}");
+
+        // Duplicate output name.
+        let err = Aig::new(
+            "d",
+            vec!["a".into()],
+            vec![],
+            vec![],
+            vec![
+                Output { name: "o".into(), lit: Lit::new(1, false) },
+                Output { name: "o".into(), lit: Lit::new(1, true) },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AigError::Duplicate(_)), "{err}");
+
+        // Combinational cycle: two ANDs feeding each other.
+        let err = Aig::new(
+            "c",
+            vec!["a".into()],
+            vec![],
+            vec![
+                AndGate { rhs0: Lit::new(3, false), rhs1: Lit::new(1, false) },
+                AndGate { rhs0: Lit::new(2, false), rhs1: Lit::new(1, false) },
+            ],
+            vec![Output { name: "o".into(), lit: Lit::new(2, false) }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AigError::Cycle(_)), "{err}");
+    }
+}

@@ -1,0 +1,857 @@
+//! Parsers and writers for the three structural interchange formats.
+//!
+//! * **ASCII AIGER** (`.aag`): `aag M I L O A` header, then input literals,
+//!   latch lines (`lhs next [init]`), output literals, AND lines
+//!   (`lhs rhs0 rhs1`), then an optional symbol table and comment section.
+//!   Literals need not be dense — the parser remaps them onto the canonical
+//!   numbering of [`Aig`].
+//! * **Binary AIGER** (`.aig`): same header with `aig`; inputs are implicit,
+//!   latch/output lines carry only the referenced literals, and the AND gates
+//!   are delta-compressed (each gate is two 7-bit-group varints
+//!   `lhs - rhs0` and `rhs0 - rhs1`, with `lhs > rhs0 >= rhs1`).
+//! * **ISCAS-style `.bench`**: `INPUT(x)` / `OUTPUT(x)` declarations plus
+//!   `x = GATE(a, b, …)` lines. Gates (`AND`, `NAND`, `OR`, `NOR`, `XOR`,
+//!   `XNOR`, `NOT`, `BUFF`, `DFF`) are decomposed into AND/inverter structure;
+//!   `DFF` becomes a latch with reset value 0.
+//!
+//! [`parse_netlist`] dispatches on a path hint (extension) or, failing that,
+//! sniffs the header bytes.
+
+use std::collections::BTreeMap;
+
+use crate::{Aig, AigError, AndGate, Latch, Lit, Output};
+
+/// The on-disk formats the frontend understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetlistFormat {
+    /// ASCII AIGER (`.aag`).
+    AigerAscii,
+    /// Binary AIGER (`.aig`).
+    AigerBinary,
+    /// ISCAS-style gate list (`.bench`).
+    Bench,
+}
+
+/// Whether a path names a structural netlist this crate parses (by extension).
+pub fn is_netlist_path(path: &str) -> bool {
+    format_from_path(path).is_some()
+}
+
+fn format_from_path(path: &str) -> Option<NetlistFormat> {
+    let ext = path.rsplit('.').next()?;
+    match ext.to_ascii_lowercase().as_str() {
+        "aag" => Some(NetlistFormat::AigerAscii),
+        "aig" => Some(NetlistFormat::AigerBinary),
+        "bench" => Some(NetlistFormat::Bench),
+        _ => None,
+    }
+}
+
+fn sniff_header(bytes: &[u8]) -> Option<NetlistFormat> {
+    if bytes.starts_with(b"aag ") {
+        return Some(NetlistFormat::AigerAscii);
+    }
+    if bytes.starts_with(b"aig ") {
+        return Some(NetlistFormat::AigerBinary);
+    }
+    let text = std::str::from_utf8(bytes).ok()?;
+    let looks_bench = text.lines().map(str::trim).filter(|l| !l.is_empty()).all(|l| {
+        l.starts_with('#') || l.starts_with("INPUT(") || l.starts_with("OUTPUT(") || l.contains('=')
+    });
+    (looks_bench && !text.trim().is_empty()).then_some(NetlistFormat::Bench)
+}
+
+/// Parses a netlist in any supported format. `path_hint`, when given, picks the
+/// format by extension; otherwise the header bytes decide.
+pub fn parse_netlist(bytes: &[u8], path_hint: Option<&str>) -> Result<Aig, AigError> {
+    let format =
+        path_hint.and_then(format_from_path).or_else(|| sniff_header(bytes)).ok_or_else(|| {
+            AigError::Parse(
+                "unrecognized netlist format (expected AIGER `aag`/`aig` or a `.bench` gate list)"
+                    .to_string(),
+            )
+        })?;
+    match format {
+        NetlistFormat::AigerBinary => parse_aig_binary(bytes),
+        NetlistFormat::AigerAscii => {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| AigError::Parse("ASCII AIGER must be UTF-8".to_string()))?;
+            parse_aag(text)
+        }
+        NetlistFormat::Bench => {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| AigError::Parse("`.bench` must be UTF-8".to_string()))?;
+            parse_bench(text)
+        }
+    }
+}
+
+/// Makes a symbol usable as an ℒlr input name (and, downstream, a Verilog
+/// identifier): non-alphanumerics become `_`, and a leading digit is prefixed.
+fn sanitize(name: &str) -> String {
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+struct Header {
+    m: u64,
+    i: u64,
+    l: u64,
+    o: u64,
+    a: u64,
+}
+
+fn parse_header(line: &str, magic: &str) -> Result<Header, AigError> {
+    let mut fields = line.split_whitespace();
+    if fields.next() != Some(magic) {
+        return Err(AigError::Parse(format!("expected `{magic} M I L O A` header, got `{line}`")));
+    }
+    let mut next = |what: &str| {
+        fields.next().and_then(|f| f.parse::<u64>().ok()).ok_or_else(|| {
+            AigError::Parse(format!("header field {what} is not a number: `{line}`"))
+        })
+    };
+    let header =
+        Header { m: next("M")?, i: next("I")?, l: next("L")?, o: next("O")?, a: next("A")? };
+    if header.i + header.l + header.a > header.m {
+        return Err(AigError::Parse(format!(
+            "header claims {} variables but declares {} inputs + {} latches + {} ANDs",
+            header.m, header.i, header.l, header.a
+        )));
+    }
+    if header.m > 10_000_000 {
+        return Err(AigError::Unsupported(format!("{} variables is beyond this parser", header.m)));
+    }
+    Ok(header)
+}
+
+/// Applies an AIGER symbol table / comment line. Returns false once the comment
+/// section starts.
+fn apply_symbol(
+    line: &str,
+    input_names: &mut [String],
+    outputs: &mut [Output],
+) -> Result<bool, AigError> {
+    if line == "c" || line.starts_with("c ") {
+        return Ok(false);
+    }
+    let err = || AigError::Parse(format!("malformed symbol table entry `{line}`"));
+    let (pos, name) = line[1..].split_once(char::is_whitespace).ok_or_else(err)?;
+    let pos: usize = pos.parse().map_err(|_| err())?;
+    let name = sanitize(name.trim());
+    match line.as_bytes()[0] {
+        b'i' => {
+            *input_names.get_mut(pos).ok_or_else(err)? = name;
+        }
+        b'o' => {
+            outputs.get_mut(pos).ok_or_else(err)?.name = name;
+        }
+        b'l' => {} // Latch names carry no semantics here.
+        _ => return Err(err()),
+    }
+    Ok(true)
+}
+
+/// Parses ASCII AIGER. Literals are remapped onto the dense canonical
+/// numbering, so files with gaps or out-of-order definitions are accepted as
+/// long as every referenced literal is defined.
+pub fn parse_aag(text: &str) -> Result<Aig, AigError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) =
+        lines.next().ok_or_else(|| AigError::Truncated("empty file".to_string()))?;
+    let header = parse_header(header_line, "aag")?;
+
+    let mut next_line = |what: &str| {
+        lines
+            .next()
+            .ok_or_else(|| AigError::Truncated(format!("file ends before the {what} section")))
+    };
+    // old variable -> canonical variable.
+    let mut var_map: BTreeMap<u32, u32> = BTreeMap::new();
+    var_map.insert(0, 0);
+    let define = |lit: u64, what: &str, lineno: usize, var_map: &mut BTreeMap<u32, u32>| {
+        if lit % 2 == 1 || lit == 0 || lit / 2 > header.m {
+            return Err(AigError::Parse(format!(
+                "line {}: {what} must be defined by a fresh even literal, got {lit}",
+                lineno + 1
+            )));
+        }
+        let canonical = var_map.len() as u32;
+        if var_map.insert((lit / 2) as u32, canonical).is_some() {
+            return Err(AigError::Duplicate(format!(
+                "line {}: literal {lit} is defined twice",
+                lineno + 1
+            )));
+        }
+        Ok(())
+    };
+
+    let parse_lit = |field: &str, lineno: usize| {
+        field.parse::<u64>().map_err(|_| {
+            AigError::Parse(format!("line {}: `{field}` is not a literal", lineno + 1))
+        })
+    };
+
+    let mut input_lits = Vec::new();
+    for k in 0..header.i {
+        let (lineno, line) = next_line("input")?;
+        let lit = parse_lit(line.trim(), lineno)?;
+        define(lit, &format!("input {k}"), lineno, &mut var_map)?;
+        input_lits.push(lit);
+    }
+    let mut latch_lines = Vec::new();
+    for k in 0..header.l {
+        let (lineno, line) = next_line("latch")?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(AigError::Parse(format!(
+                "line {}: latch lines are `lhs next [init]`",
+                lineno + 1
+            )));
+        }
+        let lhs = parse_lit(fields[0], lineno)?;
+        let next = parse_lit(fields[1], lineno)?;
+        let init = match fields.get(2) {
+            None => false,
+            Some(&"0") => false,
+            Some(&"1") => true,
+            // An init equal to the latch's own literal means "uninitialized";
+            // model it as 0 like most tools do.
+            Some(f) if parse_lit(f, lineno)? == lhs => false,
+            Some(f) => {
+                return Err(AigError::Parse(format!(
+                    "line {}: latch init must be 0, 1, or the latch literal, got `{f}`",
+                    lineno + 1
+                )))
+            }
+        };
+        define(lhs, &format!("latch {k}"), lineno, &mut var_map)?;
+        latch_lines.push((next, init));
+    }
+    let mut output_lits = Vec::new();
+    for _ in 0..header.o {
+        let (lineno, line) = next_line("output")?;
+        output_lits.push(parse_lit(line.trim(), lineno)?);
+    }
+    let mut and_lines = Vec::new();
+    for k in 0..header.a {
+        let (lineno, line) = next_line("AND")?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(AigError::Parse(format!(
+                "line {}: AND lines are `lhs rhs0 rhs1`",
+                lineno + 1
+            )));
+        }
+        let lhs = parse_lit(fields[0], lineno)?;
+        let rhs0 = parse_lit(fields[1], lineno)?;
+        let rhs1 = parse_lit(fields[2], lineno)?;
+        define(lhs, &format!("AND gate {k}"), lineno, &mut var_map)?;
+        and_lines.push((rhs0, rhs1));
+    }
+
+    let resolve = |lit: u64| -> Result<Lit, AigError> {
+        let var = *var_map
+            .get(&((lit / 2) as u32))
+            .ok_or_else(|| AigError::UndefinedLiteral(format!("literal {lit} is never defined")))?;
+        Ok(Lit::new(var, lit % 2 == 1))
+    };
+
+    let input_names = (0..header.i).map(|k| format!("i{k}")).collect::<Vec<_>>();
+    let latches = latch_lines
+        .into_iter()
+        .map(|(next, init)| Ok(Latch { next: resolve(next)?, init }))
+        .collect::<Result<Vec<_>, AigError>>()?;
+    let ands = and_lines
+        .into_iter()
+        .map(|(rhs0, rhs1)| Ok(AndGate { rhs0: resolve(rhs0)?, rhs1: resolve(rhs1)? }))
+        .collect::<Result<Vec<_>, AigError>>()?;
+    let mut outputs = output_lits
+        .into_iter()
+        .enumerate()
+        .map(|(k, lit)| Ok(Output { name: format!("o{k}"), lit: resolve(lit)? }))
+        .collect::<Result<Vec<_>, AigError>>()?;
+
+    let mut input_names = input_names;
+    for (_, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match apply_symbol(line, &mut input_names, &mut outputs) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Aig::new("netlist", input_names, latches, ands, outputs)
+}
+
+/// Parses binary AIGER. The variable numbering of a binary file is already the
+/// canonical one, so no remapping happens; truncated delta streams and
+/// non-monotone gates are rejected.
+pub fn parse_aig_binary(bytes: &[u8]) -> Result<Aig, AigError> {
+    let mut pos = 0usize;
+    let mut read_line = |what: &str| -> Result<String, AigError> {
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'\n' {
+            pos += 1;
+        }
+        if pos >= bytes.len() {
+            return Err(AigError::Truncated(format!("file ends inside the {what} line")));
+        }
+        let line = std::str::from_utf8(&bytes[start..pos])
+            .map_err(|_| AigError::Parse(format!("{what} line is not UTF-8")))?;
+        pos += 1; // Consume the newline.
+        Ok(line.to_string())
+    };
+
+    let header = parse_header(&read_line("header")?, "aig")?;
+    if header.i + header.l + header.a != header.m {
+        return Err(AigError::Parse(format!(
+            "binary AIGER requires M = I + L + A, got M={} I={} L={} A={}",
+            header.m, header.i, header.l, header.a
+        )));
+    }
+    let max_lit = 2 * header.m + 1;
+    let parse_lit = |field: &str, what: &str| -> Result<Lit, AigError> {
+        let lit = field
+            .parse::<u64>()
+            .map_err(|_| AigError::Parse(format!("{what}: `{field}` is not a literal")))?;
+        if lit > max_lit {
+            return Err(AigError::UndefinedLiteral(format!(
+                "{what}: literal {lit} exceeds the declared maximum {max_lit}"
+            )));
+        }
+        Ok(Lit(lit as u32))
+    };
+
+    let mut latches = Vec::new();
+    for k in 0..header.l {
+        let line = read_line("latch")?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let what = format!("latch {k}");
+        let next = parse_lit(
+            fields.first().ok_or_else(|| AigError::Parse(format!("{what}: empty line")))?,
+            &what,
+        )?;
+        let own_lit = 2 * (header.i + k + 1);
+        let init = match fields.get(1) {
+            None | Some(&"0") => false,
+            Some(&"1") => true,
+            Some(f) if f.parse::<u64>() == Ok(own_lit) => false, // "uninitialized"
+            Some(f) => {
+                return Err(AigError::Parse(format!(
+                    "{what}: init must be 0, 1, or the latch literal, got `{f}`"
+                )))
+            }
+        };
+        if fields.len() > 2 {
+            return Err(AigError::Parse(format!("{what}: too many fields")));
+        }
+        latches.push(Latch { next, init });
+    }
+    let mut outputs = Vec::new();
+    for k in 0..header.o {
+        let line = read_line("output")?;
+        let lit = parse_lit(line.trim(), &format!("output {k}"))?;
+        outputs.push(Output { name: format!("o{k}"), lit });
+    }
+
+    // The delta-compressed AND section: 7-bit groups, high bit = continuation.
+    let mut read_delta = |gate: u64| -> Result<u64, AigError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *bytes.get(pos).ok_or_else(|| {
+                AigError::Truncated(format!("delta stream ends inside AND gate {gate}"))
+            })?;
+            pos += 1;
+            if shift >= 63 {
+                return Err(AigError::Parse(format!("AND gate {gate}: delta overflows")));
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    };
+    let mut ands = Vec::new();
+    for k in 0..header.a {
+        let lhs = 2 * (header.i + header.l + k + 1);
+        let delta0 = read_delta(k)?;
+        let delta1 = read_delta(k)?;
+        let rhs0 = lhs.checked_sub(delta0).filter(|_| delta0 >= 1).ok_or_else(|| {
+            AigError::Parse(format!("AND gate {k}: operand delta {delta0} exceeds lhs {lhs}"))
+        })?;
+        let rhs1 = rhs0.checked_sub(delta1).ok_or_else(|| {
+            AigError::Parse(format!("AND gate {k}: second delta {delta1} exceeds rhs0 {rhs0}"))
+        })?;
+        ands.push(AndGate { rhs0: Lit(rhs0 as u32), rhs1: Lit(rhs1 as u32) });
+    }
+
+    let mut input_names = (0..header.i).map(|k| format!("i{k}")).collect::<Vec<_>>();
+    if pos < bytes.len() {
+        let tail = std::str::from_utf8(&bytes[pos..])
+            .map_err(|_| AigError::Parse("symbol table is not UTF-8".to_string()))?;
+        for raw in tail.lines() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !apply_symbol(line, &mut input_names, &mut outputs)? {
+                break;
+            }
+        }
+    }
+    Aig::new("netlist", input_names, latches, ands, outputs)
+}
+
+/// Parses an ISCAS-style `.bench` gate list, decomposing the gate vocabulary
+/// into AND/inverter structure and `DFF`s into latches.
+pub fn parse_bench(text: &str) -> Result<Aig, AigError> {
+    enum Def {
+        Gate { op: String, args: Vec<String>, lineno: usize },
+        Dff,
+    }
+    let mut inputs: Vec<String> = Vec::new();
+    let mut output_decls: Vec<(String, usize)> = Vec::new();
+    let mut defs: BTreeMap<String, Def> = BTreeMap::new();
+    let mut dffs: Vec<(String, String, usize)> = Vec::new(); // (signal, arg, line)
+
+    let inner = |line: &str, head: &str| -> Option<String> {
+        let rest = line.strip_prefix(head)?.trim();
+        let rest = rest.strip_prefix('(')?.strip_suffix(')')?;
+        Some(rest.trim().to_string())
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| AigError::Parse(format!("line {}: {msg}", lineno + 1));
+        if let Some(name) = inner(line, "INPUT") {
+            if name.is_empty() {
+                return Err(at("INPUT needs a signal name".to_string()));
+            }
+            if defs.contains_key(&name) || inputs.contains(&name) {
+                return Err(AigError::Duplicate(format!(
+                    "line {}: signal `{name}` is defined twice",
+                    lineno + 1
+                )));
+            }
+            inputs.push(name);
+        } else if let Some(name) = inner(line, "OUTPUT") {
+            if name.is_empty() {
+                return Err(at("OUTPUT needs a signal name".to_string()));
+            }
+            output_decls.push((name, lineno));
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let lhs = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open =
+                rhs.find('(').ok_or_else(|| at(format!("expected `GATE(args)`: `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(at(format!("unbalanced parentheses: `{rhs}`")));
+            }
+            let op = rhs[..open].trim().to_ascii_uppercase();
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if args.is_empty() {
+                return Err(at(format!("gate `{op}` has no operands")));
+            }
+            if inputs.contains(&lhs) {
+                return Err(AigError::Duplicate(format!(
+                    "line {}: signal `{lhs}` is defined twice",
+                    lineno + 1
+                )));
+            }
+            let def = if op == "DFF" {
+                if args.len() != 1 {
+                    return Err(at("DFF takes exactly one operand".to_string()));
+                }
+                dffs.push((lhs.clone(), args[0].clone(), lineno));
+                Def::Dff
+            } else {
+                Def::Gate { op, args, lineno }
+            };
+            if defs.insert(lhs.clone(), def).is_some() {
+                return Err(AigError::Duplicate(format!(
+                    "line {}: signal `{lhs}` is defined twice",
+                    lineno + 1
+                )));
+            }
+        } else {
+            return Err(at(format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // Canonical numbering: inputs, then DFFs (latches), then decomposed ANDs.
+    let mut env: BTreeMap<&str, Lit> = BTreeMap::new();
+    for (i, name) in inputs.iter().enumerate() {
+        env.insert(name, Lit::new(1 + i as u32, false));
+    }
+    let first_latch = 1 + inputs.len() as u32;
+    for (j, (signal, ..)) in dffs.iter().enumerate() {
+        env.insert(signal, Lit::new(first_latch + j as u32, false));
+    }
+    let first_and = first_latch + dffs.len() as u32;
+    let mut ands: Vec<AndGate> = Vec::new();
+    let mut and2 = |ands: &mut Vec<AndGate>, a: Lit, b: Lit| -> Lit {
+        ands.push(AndGate { rhs0: a, rhs1: b });
+        Lit::new(first_and + (ands.len() - 1) as u32, false)
+    };
+
+    // Resolve signals iteratively (netlists can be thousands of gates deep).
+    // `on_path` marks gates on the current DFS path; reaching one again before
+    // it resolves is a combinational cycle. Diamond reconvergence is fine: the
+    // reconverging signal is already in `env` by the time its duplicate stack
+    // entry surfaces.
+    let mut on_path: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut resolve = |start: &str| -> Result<Lit, AigError> {
+        if let Some(&lit) = env.get(start) {
+            return Ok(lit);
+        }
+        let start_key = defs
+            .get_key_value(start)
+            .ok_or_else(|| {
+                AigError::UndefinedLiteral(format!("signal `{start}` is never defined"))
+            })?
+            .0
+            .as_str();
+        let mut stack: Vec<(&str, bool)> = vec![(start_key, false)];
+        while let Some(&mut (signal, ref mut expanded)) = stack.last_mut() {
+            if env.contains_key(signal) {
+                stack.pop();
+                continue;
+            }
+            let Some(Def::Gate { op, args, lineno }) = defs.get(signal) else {
+                unreachable!("DFFs and inputs are pre-seeded into env");
+            };
+            let at = |msg: String| AigError::Parse(format!("line {}: {msg}", lineno + 1));
+            if !*expanded {
+                if !on_path.insert(signal) {
+                    return Err(AigError::Cycle(format!(
+                        "signal `{signal}` depends on itself without a DFF"
+                    )));
+                }
+                *expanded = true;
+                for arg in args {
+                    if env.contains_key(arg.as_str()) {
+                        continue;
+                    }
+                    let key = defs
+                        .get_key_value(arg.as_str())
+                        .ok_or_else(|| {
+                            AigError::UndefinedLiteral(format!("signal `{arg}` is never defined"))
+                        })?
+                        .0
+                        .as_str();
+                    stack.push((key, false));
+                }
+                continue;
+            }
+            let operands: Vec<Lit> = args.iter().map(|a| env[a.as_str()]).collect();
+            let fold =
+                |ands: &mut Vec<AndGate>, f: &mut dyn FnMut(&mut Vec<AndGate>, Lit, Lit) -> Lit| {
+                    let mut acc = operands[0];
+                    for &next in &operands[1..] {
+                        acc = f(ands, acc, next);
+                    }
+                    acc
+                };
+            let mut or2 = |ands: &mut Vec<AndGate>, a: Lit, b: Lit| {
+                and2(ands, a.negate(), b.negate()).negate()
+            };
+            let mut xor2 = |ands: &mut Vec<AndGate>, a: Lit, b: Lit| {
+                let t0 = and2(ands, a, b.negate());
+                let t1 = and2(ands, a.negate(), b);
+                and2(ands, t0.negate(), t1.negate()).negate()
+            };
+            let one = |operands: &[Lit]| -> Result<Lit, AigError> {
+                if operands.len() == 1 {
+                    Ok(operands[0])
+                } else {
+                    Err(at(format!("`{op}` takes exactly one operand")))
+                }
+            };
+            let lit = match op.as_str() {
+                "BUFF" | "BUF" => one(&operands)?,
+                "NOT" => one(&operands)?.negate(),
+                "AND" => fold(&mut ands, &mut and2),
+                "NAND" => fold(&mut ands, &mut and2).negate(),
+                "OR" => fold(&mut ands, &mut or2),
+                "NOR" => fold(&mut ands, &mut or2).negate(),
+                "XOR" => fold(&mut ands, &mut xor2),
+                "XNOR" => fold(&mut ands, &mut xor2).negate(),
+                other => return Err(at(format!("unknown gate `{other}`"))),
+            };
+            env.insert(signal, lit);
+            on_path.remove(signal);
+            stack.pop();
+        }
+        Ok(env[start])
+    };
+
+    let mut outputs = Vec::new();
+    for (name, _lineno) in &output_decls {
+        let lit = resolve(name)?;
+        outputs.push(Output { name: sanitize(name), lit });
+    }
+    let mut latches = Vec::new();
+    for (_, arg, _) in &dffs {
+        let next = resolve(arg)?;
+        latches.push(Latch { next, init: false });
+    }
+    let input_names = inputs.iter().map(|n| sanitize(n)).collect();
+    Aig::new("netlist", input_names, latches, ands, outputs)
+}
+
+impl Aig {
+    /// Writes the AIG as ASCII AIGER (canonical numbering, symbol table for
+    /// inputs and outputs).
+    pub fn to_aag(&self) -> String {
+        let i = self.num_inputs();
+        let l = self.num_latches();
+        let a = self.num_ands();
+        let mut out = format!("aag {} {i} {l} {} {a}\n", i + l + a, self.outputs().len());
+        for k in 0..i {
+            out.push_str(&format!("{}\n", 2 * (k + 1)));
+        }
+        for (j, latch) in self.latches().iter().enumerate() {
+            let lhs = 2 * (1 + i + j);
+            if latch.init {
+                out.push_str(&format!("{lhs} {} 1\n", latch.next));
+            } else {
+                out.push_str(&format!("{lhs} {}\n", latch.next));
+            }
+        }
+        for output in self.outputs() {
+            out.push_str(&format!("{}\n", output.lit));
+        }
+        let first_and = self.first_and_var();
+        for (k, gate) in self.ands().iter().enumerate() {
+            out.push_str(&format!("{} {} {}\n", 2 * (first_and + k as u32), gate.rhs0, gate.rhs1));
+        }
+        for (k, name) in self.input_names().iter().enumerate() {
+            out.push_str(&format!("i{k} {name}\n"));
+        }
+        for (k, output) in self.outputs().iter().enumerate() {
+            out.push_str(&format!("o{k} {}\n", output.name));
+        }
+        out
+    }
+
+    /// Writes the AIG as binary AIGER. Gates are renumbered into dependency
+    /// order first, since the format requires `lhs > rhs0 >= rhs1`.
+    pub fn to_aig_binary(&self) -> Vec<u8> {
+        let i = self.num_inputs() as u32;
+        let l = self.num_latches() as u32;
+        let a = self.num_ands() as u32;
+        let first_and = self.first_and_var();
+        // order[k] = old AND var of the gate emitted k-th; renumber maps old -> new.
+        let mut renumber: Vec<u32> = vec![0; self.num_vars()];
+        for var in 0..first_and {
+            renumber[var as usize] = var;
+        }
+        for (k, &old) in self.order.iter().enumerate() {
+            renumber[old as usize] = first_and + k as u32;
+        }
+        let remap = |lit: Lit| Lit::new(renumber[lit.var() as usize], lit.negated());
+
+        let mut out =
+            format!("aig {} {i} {l} {} {a}\n", i + l + a, self.outputs().len()).into_bytes();
+        for latch in self.latches() {
+            let next = remap(latch.next);
+            if latch.init {
+                out.extend_from_slice(format!("{next} 1\n").as_bytes());
+            } else {
+                out.extend_from_slice(format!("{next}\n").as_bytes());
+            }
+        }
+        for output in self.outputs() {
+            out.extend_from_slice(format!("{}\n", remap(output.lit)).as_bytes());
+        }
+        let push_delta = |out: &mut Vec<u8>, mut delta: u32| loop {
+            let byte = (delta & 0x7F) as u8;
+            delta >>= 7;
+            if delta == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        };
+        for (k, &old) in self.order.iter().enumerate() {
+            let gate = &self.ands()[(old - first_and) as usize];
+            let lhs = 2 * (first_and + k as u32);
+            let (mut rhs0, mut rhs1) = (remap(gate.rhs0).0, remap(gate.rhs1).0);
+            if rhs0 < rhs1 {
+                std::mem::swap(&mut rhs0, &mut rhs1);
+            }
+            debug_assert!(lhs > rhs0, "dependency order guarantees monotone gates");
+            push_delta(&mut out, lhs - rhs0);
+            push_delta(&mut out, rhs0 - rhs1);
+        }
+        for (k, name) in self.input_names().iter().enumerate() {
+            out.extend_from_slice(format!("i{k} {name}\n").as_bytes());
+        }
+        for (k, output) in self.outputs().iter().enumerate() {
+            out.extend_from_slice(format!("o{k} {}\n", output.name).as_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HALF_ADDER_AAG: &str = "\
+aag 7 2 0 2 3
+2
+4
+6
+12
+6 13 15
+12 2 4
+14 3 5
+i0 x
+i1 y
+o0 sum
+o1 carry
+";
+
+    #[test]
+    fn ascii_aiger_parses_the_spec_example() {
+        // The half adder from the AIGER report: sum = x ^ y, carry = x & y.
+        let aig = parse_aag(HALF_ADDER_AAG).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_ands(), 3);
+        assert_eq!(aig.input_names(), ["x", "y"]);
+        assert_eq!(aig.outputs()[0].name, "sum");
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let outs = aig.simulate(&[vec![x, y]]);
+            assert_eq!(outs[0][0], x ^ y, "sum({x},{y})");
+            assert_eq!(outs[0][1], x && y, "carry({x},{y})");
+        }
+    }
+
+    #[test]
+    fn ascii_writer_round_trips() {
+        let aig = parse_aag(HALF_ADDER_AAG).unwrap();
+        let again = parse_aag(&aig.to_aag()).unwrap();
+        assert_eq!(aig, again);
+    }
+
+    #[test]
+    fn binary_writer_round_trips_through_the_binary_parser() {
+        let aig = parse_aag(HALF_ADDER_AAG).unwrap();
+        let bytes = aig.to_aig_binary();
+        let again = parse_aig_binary(&bytes).unwrap();
+        assert_eq!(again.num_ands(), 3);
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(aig.simulate(&[vec![x, y]]), again.simulate(&[vec![x, y]]));
+        }
+    }
+
+    #[test]
+    fn bench_gates_decompose_correctly() {
+        let text = "\
+# tiny mixed netlist
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+OUTPUT(g)
+n1 = XOR(a, b)
+f = NAND(n1, a)
+q = DFF(f)
+g = OR(q, b)
+";
+        let aig = parse_bench(text).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_latches(), 1);
+        let mut state = aig.initial_state();
+        for (a, b) in [(true, false), (true, true), (false, true), (false, false)] {
+            let f = !((a ^ b) && a);
+            let outs = aig.step(&mut state, &[a, b]);
+            assert_eq!(outs[0], f, "f({a},{b})");
+            // g = previous f OR b (DFF init 0).
+            assert_eq!(state, vec![f]);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_are_rejected() {
+        // ASCII: file ends before the AND section.
+        let err = parse_aag("aag 3 1 0 1 2\n2\n4\n").unwrap_err();
+        assert!(matches!(err, AigError::Truncated(_)), "{err}");
+
+        // Binary: delta stream ends inside a gate.
+        let aig = parse_aag(HALF_ADDER_AAG).unwrap();
+        let bytes = aig.to_aig_binary();
+        // Find the end of the output section and cut one delta byte off.
+        let err = parse_aig_binary(&bytes[..bytes.len().saturating_sub(40)]).unwrap_err();
+        assert!(
+            matches!(err, AigError::Truncated(_) | AigError::Parse(_)),
+            "truncated binary must not parse: {err}"
+        );
+    }
+
+    #[test]
+    fn undefined_and_duplicate_definitions_are_rejected() {
+        // Output literal 8 names a variable that is never defined.
+        let err = parse_aag("aag 3 1 0 1 1\n2\n8\n4 2 3\n").unwrap_err();
+        assert!(matches!(err, AigError::UndefinedLiteral(_)), "{err}");
+
+        // The same literal defined as both input and AND.
+        let err = parse_aag("aag 2 1 0 1 1\n2\n2\n2 2 2\n").unwrap_err();
+        assert!(matches!(err, AigError::Duplicate(_)), "{err}");
+
+        // .bench: gate over an undefined signal.
+        let err = parse_bench("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n").unwrap_err();
+        assert!(matches!(err, AigError::UndefinedLiteral(_)), "{err}");
+
+        // .bench: duplicate OUTPUT.
+        let err = parse_bench("INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n").unwrap_err();
+        assert!(matches!(err, AigError::Duplicate(_)), "{err}");
+
+        // .bench: signal defined twice.
+        let err = parse_bench("INPUT(a)\nf = NOT(a)\nf = BUFF(a)\nOUTPUT(f)\n").unwrap_err();
+        assert!(matches!(err, AigError::Duplicate(_)), "{err}");
+    }
+
+    #[test]
+    fn bench_combinational_cycles_are_rejected() {
+        let err = parse_bench("INPUT(a)\nf = AND(g, a)\ng = AND(f, a)\nOUTPUT(f)\n").unwrap_err();
+        assert!(matches!(err, AigError::Cycle(_)), "{err}");
+        // A cycle through a DFF is fine (sequential feedback).
+        let aig = parse_bench("INPUT(a)\nq = DFF(f)\nf = XOR(q, a)\nOUTPUT(q)\n").unwrap();
+        assert_eq!(aig.num_latches(), 1);
+        // Toggle when a is held high.
+        let outs = aig.simulate(&[vec![true], vec![true], vec![true], vec![true]]);
+        assert_eq!(outs.iter().map(|o| o[0]).collect::<Vec<_>>(), [false, true, false, true]);
+    }
+
+    #[test]
+    fn format_sniffing_uses_extension_then_header() {
+        assert!(is_netlist_path("designs/foo.aag"));
+        assert!(is_netlist_path("foo.BENCH"));
+        assert!(!is_netlist_path("foo.v"));
+        let aig = parse_netlist(HALF_ADDER_AAG.as_bytes(), None).unwrap();
+        assert_eq!(aig.num_ands(), 3);
+        let bench = b"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n";
+        let aig = parse_netlist(bench, None).unwrap();
+        assert_eq!(aig.num_inputs(), 1);
+        let err = parse_netlist(b"module m; endmodule", None).unwrap_err();
+        assert!(matches!(err, AigError::Parse(_)), "{err}");
+    }
+}

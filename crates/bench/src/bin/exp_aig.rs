@@ -1,0 +1,25 @@
+//! The structural-frontend experiment: map the committed AIGER/`.bench`
+//! fixtures through the cone-partitioned netlist pipeline (`lr_serve::netlist`)
+//! cold and warm, verify every stitch against the source AIG, and write
+//! `BENCH_aig.json`. Exits non-zero if a gate fails (any verification
+//! mismatch, a warm cone missing the cache, a cone wider than the LUT, or a
+//! register-count drift) — CI runs this at `--quick`.
+
+use std::process::ExitCode;
+
+use lr_bench::aig::{report_and_write, run_aig_experiment};
+use lr_bench::Scale;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let workers = Scale::workers_from_args();
+    println!("Structural-frontend experiment at {scale:?} scale ({workers} workers)");
+    let report = run_aig_experiment(scale, workers);
+    match report_and_write(&report) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            eprintln!("exp_aig gates failed: {failures}");
+            ExitCode::FAILURE
+        }
+    }
+}

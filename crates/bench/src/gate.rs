@@ -489,11 +489,55 @@ fn check_obs(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
     }
 }
 
+fn check_aig(failures: &mut Vec<String>, baseline: &Json, fresh: &Json) {
+    const FILE: &str = "BENCH_aig.json";
+    if !scales_match(failures, FILE, baseline, fresh) {
+        return;
+    }
+    if fresh.get(&["gates_pass"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!(
+            "{FILE}: the structural-frontend experiment's own gates failed (a stitch \
+             disagreed with its netlist, a warm cone missed the cache, or a cone \
+             outgrew the LUT)"
+        ));
+    }
+    // Zero tolerance: a stitched design that disagrees with its source netlist
+    // is a soundness bug, never an acceptable drift — and every warm cone must
+    // be served from the cache.
+    let mismatches = fresh.get(&["total_mismatches"]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+    if mismatches != 0.0 {
+        failures.push(format!("{FILE}: total_mismatches is {mismatches:.0}, expected exactly 0"));
+    }
+    if fresh.get(&["warm_all_hits"]).and_then(Json::as_bool) != Some(true) {
+        failures.push(format!("{FILE}: a warm cone was not served from the cache"));
+    }
+    // Deterministic accounting: the fixtures are committed and the partitioner
+    // is a pure function of the AIG, so the cone/coverage counters must
+    // reproduce exactly. Wall clocks and cold cache hits (timing-dependent
+    // under parallel workers) are deliberately ungated.
+    for field in ["total_ands", "largest_fixture_ands", "total_cones", "unique_cones"] {
+        let b = baseline.get(&[field]).and_then(Json::as_f64).unwrap_or(0.0);
+        let f = fresh.get(&[field]).and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if f != b {
+            failures.push(format!("{FILE}: {field} changed: {f:.0} vs baseline {b:.0}"));
+        }
+    }
+    for field in ["covered_ands", "max_leaves", "logic_elements", "registers"] {
+        let b = sum_field(baseline, "fixtures", field, |_| true);
+        let f = sum_field(fresh, "fixtures", field, |_| true);
+        if f != b {
+            failures.push(format!(
+                "{FILE}: per-fixture {field} total changed: {f:.0} vs baseline {b:.0}"
+            ));
+        }
+    }
+}
+
 /// One file's comparison rule: (failures, baseline document, fresh document).
 pub type GateRule = fn(&mut Vec<String>, &Json, &Json);
 
 /// The `BENCH_*.json` files the gate knows how to compare, with their rules.
-pub const GATED_FILES: [(&str, GateRule); 8] = [
+pub const GATED_FILES: [(&str, GateRule); 9] = [
     ("BENCH_cegis.json", check_cegis),
     ("BENCH_egraph.json", check_egraph),
     ("BENCH_serve.json", check_serve),
@@ -502,6 +546,7 @@ pub const GATED_FILES: [(&str, GateRule); 8] = [
     ("BENCH_fuzz.json", check_fuzz),
     ("BENCH_trace.json", check_trace),
     ("BENCH_obs.json", check_obs),
+    ("BENCH_aig.json", check_aig),
 ];
 
 /// Compares every known bench record present in `baseline_dir` against its
@@ -597,6 +642,7 @@ mod tests {
             "BENCH_fuzz.json",
             "BENCH_trace.json",
             "BENCH_obs.json",
+            "BENCH_aig.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
             if let Ok(text) = std::fs::read_to_string(&path) {
@@ -825,6 +871,47 @@ mod tests {
 
         let mut failures = Vec::new();
         check_obs(&mut failures, &baseline, &obs_doc(0, 0, 9, false));
+        assert!(failures.iter().any(|f| f.contains("own gates")));
+    }
+
+    fn aig_doc(mismatches: u64, cones: u64, warm_all: bool, gates_pass: bool) -> Json {
+        Json::parse(&format!(
+            "{{\"scale\": \"Quick\", \"total_ands\": 1326, \"largest_fixture_ands\": 1100, \
+             \"total_cones\": {cones}, \"unique_cones\": 80, \
+             \"total_mismatches\": {mismatches}, \"warm_all_hits\": {warm_all}, \
+             \"gates_pass\": {gates_pass}, \"fixtures\": [{{\"name\": \"c17.bench\", \
+             \"ands\": 6, \"cones\": 2, \"covered_ands\": 7, \"max_leaves\": 4, \
+             \"logic_elements\": 2, \"registers\": 0, \"cold_wall_ms\": 120.0, \
+             \"warm_wall_ms\": 4.0}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn aig_rule_is_zero_tolerance_on_stitch_identity_and_cone_accounting() {
+        let baseline = aig_doc(0, 400, true, true);
+        // Identical counters pass, no matter how the (ungated) wall time moved.
+        let mut failures = Vec::new();
+        check_aig(&mut failures, &baseline, &aig_doc(0, 400, true, true));
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // A single stitched-verification mismatch is absolute.
+        let mut failures = Vec::new();
+        check_aig(&mut failures, &baseline, &aig_doc(1, 400, true, true));
+        assert!(failures.iter().any(|f| f.contains("total_mismatches")));
+
+        // A warm cone that missed the cache is absolute.
+        let mut failures = Vec::new();
+        check_aig(&mut failures, &baseline, &aig_doc(0, 400, false, true));
+        assert!(failures.iter().any(|f| f.contains("warm cone")));
+
+        // The partitioner is deterministic: cone counts must reproduce exactly.
+        let mut failures = Vec::new();
+        check_aig(&mut failures, &baseline, &aig_doc(0, 401, true, true));
+        assert!(failures.iter().any(|f| f.contains("total_cones")));
+
+        let mut failures = Vec::new();
+        check_aig(&mut failures, &baseline, &aig_doc(0, 400, true, false));
         assert!(failures.iter().any(|f| f.contains("own gates")));
     }
 

@@ -6,6 +6,7 @@
 //! Figure 7, the resource-reduction and solver-portfolio paragraphs, Table 1, and
 //! the §5.2 extensibility comparison).
 
+pub mod aig;
 pub mod cegis;
 pub mod daemon;
 pub mod egraph;

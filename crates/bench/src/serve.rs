@@ -25,8 +25,8 @@ use std::time::Duration;
 use lakeroad::{MapConfig, MapOutcome};
 use lr_arch::ArchName;
 use lr_serve::{
-    fuzz_jobs, grinder_jobs, run_batch, suite_jobs, BatchJob, BatchOptions, BatchReport, BatchRun,
-    CacheSnapshot, JobResult, SynthCache,
+    fuzz_jobs, grinder_jobs, netlist_jobs, run_batch, suite_jobs, BatchJob, BatchOptions,
+    BatchReport, BatchRun, CacheSnapshot, JobResult, SynthCache,
 };
 
 use crate::Scale;
@@ -275,18 +275,21 @@ impl ServeReport {
 }
 
 /// The mixed batch of the scaling section: fast mappable suite jobs,
-/// wall-clock-bound grinders, and a slice of the HDL fuzz population
-/// (elaborated mini-Verilog designs, mostly unmappable — they ride on the
-/// grinder budget and roughen the queue the scheduler must overlap).
+/// wall-clock-bound grinders, a slice of the HDL fuzz population (elaborated
+/// mini-Verilog designs, mostly unmappable — they ride on the grinder budget
+/// and roughen the queue the scheduler must overlap), and a slice of the
+/// structural-netlist population (random AIGER resolved through the
+/// `DesignSource` frontend, all Bitwise-mappable).
 fn scaling_batch(scale: Scale) -> Vec<BatchJob> {
-    let (suite_limit, grind_budget, fuzz_count) = match scale {
-        Scale::Quick => (6, Duration::from_secs(2), 3),
-        Scale::Smoke => (12, Duration::from_secs(3), 6),
-        Scale::Full => (24, Duration::from_secs(5), 12),
+    let (suite_limit, grind_budget, fuzz_count, netlist_count) = match scale {
+        Scale::Quick => (6, Duration::from_secs(2), 3, 2),
+        Scale::Smoke => (12, Duration::from_secs(3), 6, 4),
+        Scale::Full => (24, Duration::from_secs(5), 12, 8),
     };
     let mut jobs = suite_jobs(ArchName::IntelCyclone10Lp, suite_limit);
     jobs.extend(grinder_jobs(grind_budget));
     jobs.extend(fuzz_jobs(0xF1_5E5E, fuzz_count, Some(grind_budget)));
+    jobs.extend(netlist_jobs(0xA1_6E7, netlist_count, Some(grind_budget)));
     jobs
 }
 

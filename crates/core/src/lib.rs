@@ -30,6 +30,7 @@
 
 pub mod cache;
 pub mod report;
+pub mod source;
 pub mod suite;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +45,7 @@ use lr_synth::{SolverConfig, SynthesisConfig, SynthesisError, SynthesisOutcome, 
 pub use cache::{CacheKey, CachedOutcome, MapCache};
 pub use lr_sketch::{generate_sketch, SketchError, Template};
 pub use lr_synth::SynthesisStats;
+pub use source::DesignSource;
 
 /// Configuration for one mapping run.
 #[derive(Clone)]

@@ -1,0 +1,246 @@
+//! The unified design frontend: one [`DesignSource`] enum naming every way a
+//! design can reach the mapper — a §5.1 suite microbenchmark, behavioral
+//! mini-Verilog (file or inline), or a structural netlist (AIGER/`.bench`,
+//! file or inline) — and one [`DesignSource::resolve`] turning any of them
+//! into an ℒlr spec.
+//!
+//! Before this module existed the CLI, the batch manifest parser, and the
+//! daemon protocol each re-implemented the `bench:` / Verilog-path split, and
+//! the CLI faked an "elaborate" trace span for suite benches so traces looked
+//! uniform. `resolve` is now the single place that classification lives, and
+//! every input kind reports *its own* per-stage timing:
+//!
+//! | source            | spans emitted                               |
+//! |-------------------|---------------------------------------------|
+//! | suite bench       | `suite-build`                               |
+//! | Verilog           | `elaborate` → `hdl-parse`, `hdl-elaborate` (from `lr_hdl`) |
+//! | structural netlist| `netlist-parse`, `netlist-elaborate`        |
+
+use std::path::{Path, PathBuf};
+
+use lr_arch::ArchName;
+use lr_ir::Prog;
+
+use crate::suite::{suite_for, FULL_WIDTHS};
+
+/// Every way a design can be handed to the mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignSource {
+    /// A §5.1 microbenchmark of the target architecture's suite, by name.
+    Bench(String),
+    /// A behavioral mini-Verilog file on disk.
+    VerilogPath(PathBuf),
+    /// Behavioral mini-Verilog source text (the daemon's `verilog` field).
+    VerilogInline {
+        /// Name to report if elaboration does not produce one.
+        name: String,
+        /// The module source.
+        text: String,
+    },
+    /// A structural netlist file on disk — `.aag`, `.aig`, or `.bench`,
+    /// decided by extension (falling back to header sniffing).
+    NetlistPath(PathBuf),
+    /// Structural netlist text (the daemon's `netlist` field); the format is
+    /// sniffed from the content.
+    NetlistInline {
+        /// Name for the resulting spec.
+        name: String,
+        /// The netlist source (ASCII AIGER or `.bench`).
+        text: String,
+    },
+}
+
+impl DesignSource {
+    /// Classifies a CLI/manifest design spelling: `bench:<name>` is a suite
+    /// microbenchmark, a path with a netlist extension (`.aag`/`.aig`/
+    /// `.bench`) is a structural netlist, anything else is a Verilog path.
+    /// Relative paths are anchored at `base`.
+    pub fn from_spec(spec: &str, base: &Path) -> DesignSource {
+        if let Some(name) = spec.strip_prefix("bench:") {
+            return DesignSource::Bench(name.to_string());
+        }
+        if lr_aig::parse::is_netlist_path(spec) {
+            return DesignSource::NetlistPath(base.join(spec));
+        }
+        DesignSource::VerilogPath(base.join(spec))
+    }
+
+    /// A short label for job names and error messages: the bench spelling, the
+    /// path, or the inline design's name.
+    pub fn label(&self) -> String {
+        match self {
+            DesignSource::Bench(name) => format!("bench:{name}"),
+            DesignSource::VerilogPath(path) | DesignSource::NetlistPath(path) => {
+                path.display().to_string()
+            }
+            DesignSource::VerilogInline { name, .. } | DesignSource::NetlistInline { name, .. } => {
+                name.clone()
+            }
+        }
+    }
+
+    /// Resolves the source into an ℒlr spec, emitting honest per-stage trace
+    /// spans (see the module docs for the span names per input kind).
+    ///
+    /// `arch` selects which architecture's suite `Bench` names index into; the
+    /// other variants ignore it.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown bench names, unreadable
+    /// files, and designs that fail to elaborate or parse.
+    pub fn resolve(&self, arch: ArchName) -> Result<Prog, String> {
+        match self {
+            DesignSource::Bench(name) => {
+                // Suite specs are built programmatically — no frontend runs, so
+                // no `elaborate` span should pretend one did.
+                let mut sp = lr_trace::span("suite-build");
+                sp.attr("suite_bench", 1);
+                suite_for(arch, FULL_WIDTHS)
+                    .into_iter()
+                    .find(|b| b.name == *name)
+                    .map(|b| b.build())
+                    .ok_or_else(|| format!("no microbenchmark `{name}` in the {arch} suite"))
+            }
+            DesignSource::VerilogPath(path) => {
+                let verilog = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+                lr_hdl::parse_and_elaborate(&verilog)
+                    .map_err(|e| format!("`{}` does not elaborate: {e}", path.display()))
+            }
+            DesignSource::VerilogInline { text, .. } => lr_hdl::parse_and_elaborate(text)
+                .map_err(|e| format!("verilog does not elaborate: {e}")),
+            DesignSource::NetlistPath(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+                let name = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "netlist".to_string());
+                netlist_to_spec(&bytes, path.to_str(), &name)
+                    .map_err(|e| format!("`{}`: {e}", path.display()))
+            }
+            DesignSource::NetlistInline { name, text } => {
+                netlist_to_spec(text.as_bytes(), None, name)
+                    .map_err(|e| format!("netlist `{name}`: {e}"))
+            }
+        }
+    }
+}
+
+/// Parses netlist bytes and converts them to a one-bit-per-output ℒlr spec,
+/// under the two netlist-specific trace stages.
+fn netlist_to_spec(bytes: &[u8], path_hint: Option<&str>, name: &str) -> Result<Prog, String> {
+    let aig = {
+        let mut sp = lr_trace::span("netlist-parse");
+        let aig = lr_aig::parse_netlist(bytes, path_hint).map_err(|e| e.to_string())?;
+        sp.attr("aig_ands", aig.num_ands() as u64);
+        sp.attr("aig_latches", aig.num_latches() as u64);
+        aig.with_name(sanitize_name(name))
+    };
+    if aig.outputs().is_empty() {
+        return Err("netlist has no outputs to map".to_string());
+    }
+    let _sp = lr_trace::span("netlist-elaborate");
+    Ok(aig.to_prog())
+}
+
+/// Netlist file stems become ℒlr program names (and eventually Verilog module
+/// names), so squeeze them into identifier shape.
+fn sanitize_name(name: &str) -> String {
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_spellings_classify_correctly() {
+        let base = Path::new("/designs");
+        assert_eq!(
+            DesignSource::from_spec("bench:mul_w8_s1", base),
+            DesignSource::Bench("mul_w8_s1".to_string())
+        );
+        assert_eq!(
+            DesignSource::from_spec("adder.v", base),
+            DesignSource::VerilogPath(PathBuf::from("/designs/adder.v"))
+        );
+        for netlist in ["c17.bench", "core.aag", "sub/dir/core.aig"] {
+            assert!(
+                matches!(DesignSource::from_spec(netlist, base), DesignSource::NetlistPath(_)),
+                "{netlist}"
+            );
+        }
+        // Absolute paths ignore the base.
+        assert_eq!(
+            DesignSource::from_spec("/abs/x.v", base),
+            DesignSource::VerilogPath(PathBuf::from("/abs/x.v"))
+        );
+    }
+
+    #[test]
+    fn bench_sources_resolve_against_the_arch_suite() {
+        let suite = suite_for(ArchName::IntelCyclone10Lp, FULL_WIDTHS);
+        let name = suite[0].name.clone();
+        let spec = DesignSource::Bench(name.clone()).resolve(ArchName::IntelCyclone10Lp).unwrap();
+        assert_eq!(spec.name(), name);
+
+        let err = DesignSource::Bench("no_such_bench".to_string())
+            .resolve(ArchName::IntelCyclone10Lp)
+            .unwrap_err();
+        assert!(err.contains("no microbenchmark"), "{err}");
+    }
+
+    #[test]
+    fn inline_verilog_and_netlists_resolve() {
+        let verilog = DesignSource::VerilogInline {
+            name: "m".to_string(),
+            text: "module m(input clk, input [7:0] a, b, output [7:0] out);\n\
+                   assign out = a & b;\nendmodule\n"
+                .to_string(),
+        };
+        assert!(verilog.resolve(ArchName::IntelCyclone10Lp).is_ok());
+
+        let netlist = DesignSource::NetlistInline {
+            name: "tiny".to_string(),
+            text: "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n".to_string(),
+        };
+        let spec = netlist.resolve(ArchName::IntelCyclone10Lp).unwrap();
+        assert_eq!(spec.name(), "tiny");
+        assert_eq!(spec.free_vars().len(), 2);
+
+        let bad = DesignSource::NetlistInline {
+            name: "bad".to_string(),
+            text: "aag 1 1 0 1 1\n".to_string(),
+        };
+        let err = bad.resolve(ArchName::IntelCyclone10Lp).unwrap_err();
+        assert!(err.contains("netlist `bad`"), "{err}");
+    }
+
+    #[test]
+    fn missing_files_report_the_path() {
+        let err = DesignSource::VerilogPath(PathBuf::from("/nonexistent/x.v"))
+            .resolve(ArchName::IntelCyclone10Lp)
+            .unwrap_err();
+        assert!(err.contains("cannot read `/nonexistent/x.v`"), "{err}");
+        let err = DesignSource::NetlistPath(PathBuf::from("/nonexistent/x.aag"))
+            .resolve(ArchName::IntelCyclone10Lp)
+            .unwrap_err();
+        assert!(err.contains("cannot read `/nonexistent/x.aag`"), "{err}");
+    }
+
+    #[test]
+    fn netlists_without_outputs_are_rejected() {
+        let src = DesignSource::NetlistInline {
+            name: "noout".to_string(),
+            text: "aag 1 1 0 0 0\n2\n".to_string(),
+        };
+        let err = src.resolve(ArchName::IntelCyclone10Lp).unwrap_err();
+        assert!(err.contains("no outputs"), "{err}");
+    }
+}

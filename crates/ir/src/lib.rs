@@ -446,9 +446,16 @@ impl ProgBuilder {
     /// This is how HDL elaboration handles registers that are read before the
     /// statement that assigns them (including self-feedback such as counters).
     pub fn reg_placeholder(&mut self, width: u32) -> NodeId {
+        self.reg_placeholder_init(BitVec::zeros(width))
+    }
+
+    /// Like [`ProgBuilder::reg_placeholder`], but with an explicit initial value
+    /// (AIGER latches may reset to 1, which a zero-initialized placeholder
+    /// cannot express).
+    pub fn reg_placeholder_init(&mut self, init: BitVec) -> NodeId {
         let id = NodeId(self.next_id);
         self.next_id += 1;
-        self.nodes.insert(id, Node::Reg { data: id, init: BitVec::zeros(width) });
+        self.nodes.insert(id, Node::Reg { data: id, init });
         id
     }
 
@@ -471,6 +478,56 @@ impl ProgBuilder {
     /// Adds a primitive instance node.
     pub fn prim(&mut self, instance: PrimInstance) -> NodeId {
         self.insert(Node::Prim(instance))
+    }
+
+    /// Copies every node of `prog` into this builder, substituting each free
+    /// variable named in `subst` with an existing node of this builder, and
+    /// returns the id of the copied root. This is how per-cone mapped
+    /// implementations are stitched back into one design: the cone's canonical
+    /// inputs are replaced by the nodes that drive them at the top level.
+    ///
+    /// Ids are shifted uniformly (as in [`Prog::with_id_offset`]) so primitive
+    /// sub-programs stay disjoint from this builder's ids (condition W2).
+    /// Variables *not* named in `subst` are copied as-is and stay free; they are
+    /// not recorded as declared inputs.
+    ///
+    /// # Panics
+    /// Panics if a substituted node's width differs from the variable it
+    /// replaces.
+    pub fn inline(&mut self, prog: &Prog, subst: &BTreeMap<String, NodeId>) -> NodeId {
+        let offset = self.next_id;
+        let shifted = prog.with_id_offset(offset);
+        self.next_id = shifted.max_id().map_or(offset, |max| max + 1);
+        let mut redirect: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        for (id, node) in shifted.nodes() {
+            if let Node::Var { name, width } = node {
+                if let Some(&target) = subst.get(name) {
+                    assert_eq!(
+                        self.width_of(target),
+                        *width,
+                        "substitution for `{name}` must match the variable's width"
+                    );
+                    redirect.insert(id, target);
+                }
+            }
+        }
+        let rd = |id: NodeId| redirect.get(&id).copied().unwrap_or(id);
+        for (id, node) in shifted.nodes() {
+            if redirect.contains_key(&id) {
+                continue; // The variable dissolves into its driver.
+            }
+            let node = match node {
+                Node::Op(op, args) => Node::Op(*op, args.iter().map(|&a| rd(a)).collect()),
+                Node::Reg { data, init } => Node::Reg { data: rd(*data), init: init.clone() },
+                Node::Prim(p) => Node::Prim(PrimInstance {
+                    bindings: p.bindings.iter().map(|(k, &v)| (k.clone(), rd(v))).collect(),
+                    ..p.clone()
+                }),
+                other => other.clone(),
+            };
+            self.nodes.insert(id, node);
+        }
+        rd(shifted.root())
     }
 
     /// Finalizes the program with `root` as its output.
@@ -564,6 +621,50 @@ mod tests {
     fn finish_with_foreign_root_panics() {
         let b = ProgBuilder::new("p");
         b.finish(NodeId(42));
+    }
+
+    #[test]
+    fn inline_substitutes_variables_and_keeps_ids_unique() {
+        // Inner program: x & ~y.
+        let mut inner = ProgBuilder::new("cone");
+        let x = inner.input("x", 4);
+        let y = inner.input("y", 4);
+        let ny = inner.op1(BvOp::Not, y);
+        let and = inner.op2(BvOp::And, x, ny);
+        let cone = inner.finish(and);
+
+        let mut outer = ProgBuilder::new("top");
+        let a = outer.input("a", 4);
+        let b = outer.input("b", 4);
+        let sum = outer.op2(BvOp::Add, a, b);
+        let subst: BTreeMap<String, NodeId> =
+            [("x".to_string(), sum), ("y".to_string(), b)].into_iter().collect();
+        let root = outer.inline(&cone, &subst);
+        let prog = outer.finish(root);
+        assert!(prog.well_formed().is_ok());
+        let ids = prog.all_ids();
+        let set: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(ids.len(), set.len());
+        // Only the outer inputs remain free; the cone's variables dissolved.
+        assert_eq!(prog.free_vars(), vec![("a".to_string(), 4), ("b".to_string(), 4)],);
+        let env = crate::interp::StreamInputs::from_constants([
+            ("a".to_string(), BitVec::from_u64(0b1100, 4)),
+            ("b".to_string(), BitVec::from_u64(0b0101, 4)),
+        ]);
+        // (a + b) & ~b = 0b0001 & 0b1010.
+        assert_eq!(prog.interp(&env, 0).unwrap(), BitVec::from_u64(0b0000, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inline_rejects_width_mismatched_substitutions() {
+        let mut inner = ProgBuilder::new("cone");
+        let x = inner.input("x", 4);
+        let cone = inner.finish(x);
+        let mut outer = ProgBuilder::new("top");
+        let wide = outer.input("a", 8);
+        let subst: BTreeMap<String, NodeId> = [("x".to_string(), wide)].into_iter().collect();
+        outer.inline(&cone, &subst);
     }
 
     #[test]

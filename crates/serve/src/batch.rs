@@ -11,18 +11,18 @@
 //! bench:mul_w8_s1              intel-cyclone10lp      dsp      deadline=15
 //! ```
 //!
-//! The design column is either a Verilog file (resolved relative to the
-//! manifest) or `bench:<name>`, one of the §5.1 microbenchmarks of the chosen
-//! architecture. Options: `priority=<0-255>` (higher first), `timeout=<secs>`
-//! (per-job budget), `deadline=<secs>` (wall-clock, relative to batch start),
+//! The design column is a Verilog file (resolved relative to the manifest), a
+//! structural netlist (`.aag`/`.aig`/`.bench`, also manifest-relative), or
+//! `bench:<name>`, one of the §5.1 microbenchmarks of the chosen architecture.
+//! Options: `priority=<0-255>` (higher first), `timeout=<secs>` (per-job
+//! budget), `deadline=<secs>` (wall-clock, relative to batch start),
 //! `name=<label>` (report label; defaults to the design column).
 
 use std::path::Path;
 use std::time::Duration;
 
 use lakeroad::report::summarize_timing;
-use lakeroad::suite::suite_for;
-use lakeroad::{MapOutcome, Template};
+use lakeroad::{DesignSource, MapOutcome, Template};
 use lr_arch::{ArchName, Architecture};
 
 use crate::cache::CacheSnapshot;
@@ -71,21 +71,9 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<BatchJob>, String> 
         let template = parse_template(template_field)
             .ok_or_else(|| at(format!("unknown template `{template_field}`")))?;
 
-        let spec = if let Some(bench_name) = design.strip_prefix("bench:") {
-            suite_for(arch_name, lakeroad::suite::FULL_WIDTHS)
-                .into_iter()
-                .find(|b| b.name == bench_name)
-                .map(|b| b.build())
-                .ok_or_else(|| {
-                    at(format!("no microbenchmark `{bench_name}` in the {arch_name} suite"))
-                })?
-        } else {
-            let path = base.join(design);
-            let verilog = std::fs::read_to_string(&path)
-                .map_err(|e| at(format!("cannot read `{}`: {e}", path.display())))?;
-            lr_hdl::parse_and_elaborate(&verilog)
-                .map_err(|e| at(format!("`{design}` does not elaborate: {e}")))?
-        };
+        // One resolver for every design spelling: `bench:<name>`, a Verilog
+        // path, or a structural netlist path (`.aag`/`.aig`/`.bench`).
+        let spec = DesignSource::from_spec(design, base).resolve(arch_name).map_err(&at)?;
 
         let mut job = BatchJob::new(design, spec, Architecture::load(arch_name), template);
         for option in fields {

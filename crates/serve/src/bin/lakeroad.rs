@@ -10,6 +10,17 @@
 //! architecture with the requested sketch template, and writes the synthesized
 //! structural Verilog to stdout (or `--output <file>`).
 //!
+//! Netlist mode — the cone-partitioned structural frontend:
+//!
+//! ```text
+//! $ lakeroad map-netlist c880.bench --arch-desc intel-cyclone10lp --jobs 4
+//! ```
+//!
+//! parses an AIGER/`.bench` netlist, cuts it into LUT-sized cones, maps every
+//! cone as a batch job over the shared synthesis cache, stitches the results
+//! into one structural design, and verifies the stitch against the original
+//! netlist on random stimulus (see `lr_serve::netlist`).
+//!
 //! Batch mode — the `lr_serve` engine:
 //!
 //! ```text
@@ -36,7 +47,6 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lakeroad::suite::{suite_for, FULL_WIDTHS};
 use lakeroad::{map_design, map_design_auto, MapConfig, MapOutcome, Template};
 use lr_arch::{ArchName, Architecture};
 use lr_serve::{
@@ -69,6 +79,10 @@ fn usage() -> String {
      \x20               --arch-desc <xilinx-ultrascale-plus|lattice-ecp5|intel-cyclone10lp|sofa>\n\
      \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph] [--stats]\n\
      \x20               [--trace <out.json>] [--output <file>] <design.v | bench:<name>>\n\
+     \x20      lakeroad map-netlist <design.aag|.aig|.bench> [--arch-desc <name>]\n\
+     \x20               [--jobs <N>] [--cache <file>] [--no-cache] [--timeout <seconds>]\n\
+     \x20               [--max-cone-ands <N>] [--verify-envs <N>] [--seed <u64>]\n\
+     \x20               [--output <file>] [--trace <out.json>]\n\
      \x20      lakeroad batch <manifest> [--jobs <N>] [--cache <file>] [--no-cache]\n\
      \x20               [--timeout <seconds>] [--no-incremental] [--no-egraph]\n\
      \x20               [--trace <out.json>]\n\
@@ -412,6 +426,221 @@ fn batch_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct MapNetlistArgs {
+    input: String,
+    arch_name: ArchName,
+    jobs: usize,
+    cache_path: Option<String>,
+    use_cache: bool,
+    timeout: Duration,
+    max_cone_ands: usize,
+    verify_envs: usize,
+    seed: u64,
+    output: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_map_netlist_args(args: &[String]) -> Result<MapNetlistArgs, String> {
+    let mut input = None;
+    let mut arch_name = ArchName::IntelCyclone10Lp;
+    let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut cache_path = None;
+    let mut use_cache = true;
+    let mut timeout = Duration::from_secs(120);
+    let mut max_cone_ands = 32;
+    let mut verify_envs = 32;
+    let mut seed = 0x1a4e_715d;
+    let mut output = None;
+    let mut trace = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--arch-desc" => {
+                i += 1;
+                let name = args.get(i).ok_or("--arch-desc needs a value")?;
+                arch_name =
+                    parse_arch_name(name).ok_or(format!("unknown architecture `{name}`"))?;
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--jobs expects a worker count of at least 1".to_string())?;
+            }
+            "--cache" => {
+                i += 1;
+                cache_path = Some(args.get(i).ok_or("--cache needs a file path")?.clone());
+            }
+            "--no-cache" => use_cache = false,
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout expects a number of seconds".to_string())?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--max-cone-ands" => {
+                i += 1;
+                max_cone_ands = args
+                    .get(i)
+                    .ok_or("--max-cone-ands needs a value")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--max-cone-ands expects a bound of at least 1".to_string())?;
+            }
+            "--verify-envs" => {
+                i += 1;
+                verify_envs = args
+                    .get(i)
+                    .ok_or("--verify-envs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|_| "--verify-envs expects an environment count".to_string())?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed expects an unsigned integer".to_string())?;
+            }
+            "--output" | "-o" => {
+                i += 1;
+                output = Some(args.get(i).ok_or("--output needs a value")?.clone());
+            }
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).ok_or("--trace needs an output file")?.clone());
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(MapNetlistArgs {
+        input: input.ok_or(format!("missing netlist file\n{}", usage()))?,
+        arch_name,
+        jobs,
+        cache_path,
+        use_cache,
+        timeout,
+        max_cone_ands,
+        verify_envs,
+        seed,
+        output,
+        trace,
+    })
+}
+
+fn map_netlist_main(args: &[String]) -> ExitCode {
+    let options = match parse_map_netlist_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.trace.is_some() {
+        lr_trace::set_enabled(true);
+    }
+    let bytes = match std::fs::read(&options.input) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", options.input);
+            return ExitCode::from(2);
+        }
+    };
+    let aig = match lr_aig::parse_netlist(&bytes, Some(&options.input)) {
+        Ok(aig) => {
+            let stem = std::path::Path::new(&options.input)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "netlist".to_string());
+            aig.with_name(stem)
+        }
+        Err(e) => {
+            eprintln!("`{}`: {e}", options.input);
+            return ExitCode::from(2);
+        }
+    };
+
+    let cache = if options.use_cache {
+        let cache = match &options.cache_path {
+            Some(path) => match SynthCache::load(std::path::Path::new(path)) {
+                Ok(cache) => {
+                    if !cache.is_empty() {
+                        eprintln!("loaded {} cached verdicts from `{path}`", cache.len());
+                    }
+                    cache
+                }
+                Err(e) => {
+                    eprintln!("cannot load cache `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => SynthCache::new(),
+        };
+        Some(Arc::new(cache))
+    } else {
+        None
+    };
+    let mut map = MapConfig::default().with_timeout(options.timeout);
+    if let Some(cache) = &cache {
+        let shared: Arc<dyn lakeroad::MapCache> = Arc::<SynthCache>::clone(cache);
+        map = map.with_cache(shared);
+    }
+
+    let mut netlist_options = lr_serve::NetlistOptions::new(options.arch_name);
+    netlist_options.workers = options.jobs;
+    netlist_options.map = map;
+    netlist_options.max_cone_ands = options.max_cone_ands;
+    netlist_options.verify_environments = options.verify_envs;
+    netlist_options.verify_seed = options.seed;
+
+    let result = lr_serve::map_netlist(&aig, &netlist_options, |record| {
+        if let JobResult::Error(e) = &record.result {
+            eprintln!("{}: {e}", record.name);
+        }
+    });
+    if let Some(path) = &options.trace {
+        finish_trace(path);
+    }
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprint!("{}", report.render());
+
+    if let (Some(cache), Some(path)) = (&cache, &options.cache_path) {
+        if let Err(e) = cache.save(std::path::Path::new(path)) {
+            eprintln!("cannot save cache `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("saved {} cached verdicts to `{path}`", cache.len());
+    }
+    match options.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &report.verilog) {
+                eprintln!("cannot write `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => println!("{}", report.verilog),
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_serve_args(args: &[String]) -> Result<(DaemonConfig, bool), String> {
     let mut config = DaemonConfig {
         addr: "127.0.0.1:9077".to_string(),
@@ -609,6 +838,9 @@ fn top_main(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("map-netlist") {
+        return map_netlist_main(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("batch") {
         return batch_main(&args[1..]);
     }
@@ -628,38 +860,17 @@ fn main() -> ExitCode {
     if options.trace.is_some() {
         lr_trace::set_enabled(true);
     }
-    // Resolve the design: a Verilog file, or `bench:<name>` — one of the §5.1
-    // microbenchmarks of the chosen architecture (a known workload to trace or
-    // map without needing a source file, mirroring the manifest spelling).
-    let spec = if let Some(bench_name) = options.input.strip_prefix("bench:") {
-        // Suite specs are built programmatically, so the Verilog frontend's
-        // "elaborate" span never fires; record the construction under the same
-        // stage name to keep traces uniform across input kinds.
-        let mut sp = lr_trace::span("elaborate");
-        sp.attr("suite_bench", 1);
-        let bench =
-            suite_for(options.arch_name, FULL_WIDTHS).into_iter().find(|b| b.name == bench_name);
-        match bench {
-            Some(bench) => bench.build(),
-            None => {
-                eprintln!("no microbenchmark `{bench_name}` in the {} suite", options.arch_name);
-                return ExitCode::from(2);
-            }
-        }
-    } else {
-        let verilog = match std::fs::read_to_string(&options.input) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("cannot read `{}`: {e}", options.input);
-                return ExitCode::from(2);
-            }
-        };
-        match lr_hdl::parse_and_elaborate(&verilog) {
-            Ok(spec) => spec,
-            Err(e) => {
-                eprintln!("error: frontend failed: {e}");
-                return ExitCode::from(2);
-            }
+    // Resolve the design through the unified frontend: a Verilog file, a
+    // structural netlist (`.aag`/`.aig`/`.bench`), or `bench:<name>` — one of
+    // the §5.1 microbenchmarks of the chosen architecture. Each input kind
+    // reports its own per-stage trace spans (`elaborate`, `netlist-parse`/
+    // `netlist-elaborate`, or `suite-build`).
+    let source = lakeroad::DesignSource::from_spec(&options.input, std::path::Path::new(""));
+    let spec = match source.resolve(options.arch_name) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
         }
     };
     let config = MapConfig {

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod daemon;
 pub mod forensics;
 pub mod json;
+pub mod netlist;
 pub mod protocol;
 pub mod scenario;
 pub mod scheduler;
@@ -63,7 +64,10 @@ pub use cache::{CacheSnapshot, SynthCache};
 pub use daemon::{Daemon, DaemonClient, DaemonConfig, DaemonSummary};
 pub use forensics::{FlightRecorder, ForensicsConfig, RequestRecord};
 pub use json::Json;
-pub use scenario::{fuzz_jobs, grinder_jobs, random_program, suite_jobs, synthetic_jobs, Rng};
+pub use netlist::{cone_jobs, map_netlist, NetlistOptions, NetlistReport};
+pub use scenario::{
+    fuzz_jobs, grinder_jobs, netlist_jobs, random_program, suite_jobs, synthetic_jobs, Rng,
+};
 pub use scheduler::{
     run_batch, run_batch_streaming, set_poison_job, BatchJob, BatchOptions, BatchRun, JobRecord,
     JobResult, TemplateChoice,

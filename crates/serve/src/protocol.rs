@@ -21,8 +21,10 @@
 //! {"kind": "shutdown"}
 //! ```
 //!
-//! A `map` request names its design either as `bench` (a §5.1 microbenchmark
-//! of the chosen architecture) or as inline `verilog` source. Responses carry
+//! A `map` request names its design as exactly one of `bench` (a §5.1
+//! microbenchmark of the chosen architecture), inline `verilog` source, or
+//! inline `netlist` text (ASCII AIGER or `.bench`, format-sniffed, mapped as
+//! one whole-design job). Responses carry
 //! `kind: "pong" | "mapped" | "stats" | "trace" | "metrics" | "forensics" |
 //! "shutting_down" | "rejected" | "error"`; a malformed request earns an
 //! `error` response but does **not** close the connection — only an
@@ -49,8 +51,7 @@
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
-use lakeroad::suite::suite_for;
-use lakeroad::MapOutcome;
+use lakeroad::{DesignSource, MapOutcome};
 use lr_arch::Architecture;
 
 use crate::batch::{parse_arch_name, parse_template};
@@ -175,23 +176,27 @@ fn parse_map_request(doc: &Json) -> Result<BatchJob, String> {
 
     let bench = doc.get(&["bench"]).and_then(Json::as_str);
     let verilog = doc.get(&["verilog"]).and_then(Json::as_str);
-    let (default_name, spec) = match (bench, verilog) {
-        (Some(bench_name), None) => {
-            let spec = suite_for(arch_name, lakeroad::suite::FULL_WIDTHS)
-                .into_iter()
-                .find(|b| b.name == bench_name)
-                .map(|b| b.build())
-                .ok_or_else(|| {
-                    format!("no microbenchmark `{bench_name}` in the {arch_name} suite")
-                })?;
-            (format!("bench:{bench_name}"), spec)
+    let netlist = doc.get(&["netlist"]).and_then(Json::as_str);
+    // The wire format stays compatible: `bench` and `verilog` requests parse
+    // exactly as before; `netlist` carries inline AIGER/.bench text.
+    let source = match (bench, verilog, netlist) {
+        (Some(name), None, None) => DesignSource::Bench(name.to_string()),
+        (None, Some(text), None) => {
+            DesignSource::VerilogInline { name: "verilog".to_string(), text: text.to_string() }
         }
-        (None, Some(source)) => {
-            let spec = lr_hdl::parse_and_elaborate(source)
-                .map_err(|e| format!("verilog does not elaborate: {e}"))?;
-            (spec.name().to_string(), spec)
+        (None, None, Some(text)) => {
+            DesignSource::NetlistInline { name: "netlist".to_string(), text: text.to_string() }
         }
-        _ => return Err("map request needs exactly one of `bench` or `verilog`".to_string()),
+        _ => {
+            return Err(
+                "map request needs exactly one of `bench`, `verilog`, or `netlist`".to_string()
+            )
+        }
+    };
+    let spec = source.resolve(arch_name)?;
+    let default_name = match &source {
+        DesignSource::Bench(_) => source.label(),
+        _ => spec.name().to_string(),
     };
 
     let mut job = BatchJob::new(default_name, spec, Architecture::load(arch_name), template);
@@ -416,7 +421,7 @@ mod tests {
             ("{\"kind\":\"map\",\"id\":1,\"arch\":\"pdp11\"}", "unknown architecture", true),
             (
                 "{\"kind\":\"map\",\"id\":1,\"arch\":\"intel\"}",
-                "exactly one of `bench` or `verilog`",
+                "exactly one of `bench`, `verilog`, or `netlist`",
                 true,
             ),
             (

@@ -229,6 +229,43 @@ pub fn fuzz_jobs(seed: u64, n: usize, budget: Option<Duration>) -> Vec<BatchJob>
         .collect()
 }
 
+/// `n` jobs whose specs come from the structural-netlist frontend: each job
+/// generates a seeded random AIG (`lr_aig`), renders it as ASCII AIGER text,
+/// and resolves it through `lakeroad::DesignSource` — the exact path a daemon
+/// `netlist` request takes. The AIGs are small single-output combinational
+/// functions of at most 4 inputs, so the Bitwise sketch maps every one onto
+/// the rotating 4-LUT architectures: the all-mappable counterpart of
+/// [`fuzz_jobs`]'s budget-bound population. Deterministic in `seed`.
+pub fn netlist_jobs(seed: u64, n: usize, budget: Option<Duration>) -> Vec<BatchJob> {
+    let archs = [ArchName::IntelCyclone10Lp, ArchName::LatticeEcp5];
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            let aig_seed = rng.next_u64();
+            let config = lr_aig::GenConfig {
+                inputs: 3 + (rng.below(2) as u32),
+                latches: 0,
+                ands: 5 + rng.below(8) as u32,
+                outputs: 1,
+            };
+            let text = lr_aig::random_aig(aig_seed, &config).to_aag();
+            let name = format!("netlist_{i:03}_{aig_seed:016x}");
+            let arch = archs[i % archs.len()];
+            let spec = lakeroad::DesignSource::NetlistInline { name: name.clone(), text }
+                .resolve(arch)
+                .expect("generated AIGER resolves by construction");
+            let mut job = BatchJob::new(
+                name,
+                spec,
+                Architecture::load(arch),
+                TemplateChoice::Named(Template::Bitwise),
+            );
+            job.timeout = budget;
+            job
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +339,24 @@ mod tests {
             assert_eq!(x.name, y.name);
             assert_eq!(x.timeout, Some(Duration::from_secs(1)));
             assert!(x.spec.well_formed().is_ok());
+        }
+        // The population rotates architectures.
+        assert_ne!(a[0].arch.name(), a[1].arch.name());
+    }
+
+    #[test]
+    fn netlist_jobs_resolve_through_the_frontend_and_reproduce() {
+        let a = netlist_jobs(0xA16, 4, Some(Duration::from_secs(2)));
+        let b = netlist_jobs(0xA16, 4, Some(Duration::from_secs(2)));
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.name, y.name);
+            assert!(x.spec.well_formed().is_ok());
+            // Small combinational functions: at most 4 free inputs, so the
+            // Bitwise sketch fits the rotating 4-LUT architectures.
+            assert!(x.spec.free_vars().len() <= 4);
+            assert!(matches!(x.template, TemplateChoice::Named(Template::Bitwise)));
         }
         // The population rotates architectures.
         assert_ne!(a[0].arch.name(), a[1].arch.name());
